@@ -1,0 +1,143 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (§5). Each benchmark runs the corresponding campaign at
+// QuickScale (shapes preserved, wall time bounded) and prints the
+// paper-style table; `cmd/dbench -scale full` runs the paper-faithful
+// 20-minute versions.
+//
+//	go test -bench=. -benchmem
+package dbench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dbench/internal/core"
+)
+
+// table3 caches the fault-free configuration sweep: Table 3 and Figure 4
+// share it.
+var table3Rows []core.PerfRow
+
+func benchScale() core.Scale { return core.QuickScale() }
+
+func BenchmarkTable3Checkpoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunTable3(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table3Rows = rows
+		if i == 0 {
+			fmt.Println(core.FormatTable3(rows))
+		}
+		b.ReportMetric(float64(rows[len(rows)-1].Checkpoints), "ckpts-F1G2T1")
+		b.ReportMetric(rows[0].TpmC, "tpmC-F400G3T20")
+	}
+}
+
+func BenchmarkFigure4PerfRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunFigure4(benchScale(), table3Rows, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(core.FormatFigure4(rows))
+		}
+		b.ReportMetric(rows[0].RecoveryTime.Seconds(), "rec-s-largest-cfg")
+		b.ReportMetric(rows[len(rows)-1].RecoveryTime.Seconds(), "rec-s-smallest-cfg")
+	}
+}
+
+func BenchmarkFigure5ArchiveOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunFigure5(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(core.FormatFigure5(rows))
+		}
+		var avg float64
+		for _, r := range rows {
+			avg += r.OverheadPct()
+		}
+		b.ReportMetric(avg/float64(len(rows)), "avg-overhead-%")
+	}
+}
+
+func BenchmarkTable4IncompleteRecovery(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunTable4(sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(core.FormatTable4(rows, sc))
+		}
+		b.ReportMetric(rows[0].Times[2].Seconds(), "rec-s-late-inject")
+	}
+}
+
+func BenchmarkTable5CompleteRecovery(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunTable5(sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(core.FormatTable5(rows, sc))
+		}
+		b.ReportMetric(rows[0].Times[0].Seconds(), "abort-rec-s")
+	}
+}
+
+func BenchmarkFigure6Standby(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunFigure6(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(core.FormatFigure6(rows))
+		}
+		var fo, mr float64
+		for _, r := range rows {
+			fo += r.Failover.Seconds()
+			mr += r.MediaRecovery.Seconds()
+		}
+		b.ReportMetric(fo/float64(len(rows)), "avg-failover-s")
+		b.ReportMetric(mr/float64(len(rows)), "avg-media-rec-s")
+	}
+}
+
+func BenchmarkFigure7LostTransactions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunFigure7(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(core.FormatFigure7(rows))
+		}
+		b.ReportMetric(float64(rows[0].Lost), "lost-smallest-log")
+		b.ReportMetric(float64(rows[len(rows)-1].Lost), "lost-largest-log")
+	}
+}
+
+// BenchmarkSingleExperiment measures the cost of one complete benchmark
+// run (load + 20 simulated minutes of TPC-C), the unit everything above
+// is built from.
+func BenchmarkSingleExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := core.DefaultSpec()
+		spec.TPCC.Warehouses = 1
+		res, err := core.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TpmC, "tpmC")
+	}
+}

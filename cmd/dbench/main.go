@@ -1,0 +1,112 @@
+// Command dbench runs the dependability-benchmark campaigns that
+// regenerate the paper's tables and figures.
+//
+// Usage:
+//
+//	dbench [-scale quick|std|full] [-exp t3,f4,f5,t4,t5,f6,f7|all]
+//
+// Output is the paper-style text table for each experiment, preceded by
+// per-run progress lines on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dbench/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dbench", flag.ContinueOnError)
+	scaleName := fs.String("scale", "std", "experiment scale: quick, std or full")
+	expList := fs.String("exp", "all", "comma-separated experiments: t3,f4,f5,t4,t5,f6,f7 or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc core.Scale
+	switch *scaleName {
+	case "quick":
+		sc = core.QuickScale()
+	case "std":
+		sc = core.StdScale()
+	case "full":
+		sc = core.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	progress := core.Progress(func(line string) {
+		fmt.Fprintf(os.Stderr, "%s  %s\n", time.Now().Format("15:04:05"), line)
+	})
+
+	var perf []core.PerfRow
+	if all || want["t3"] || want["f4"] {
+		rows, err := core.RunTable3(sc, progress)
+		if err != nil {
+			return err
+		}
+		perf = rows
+		if all || want["t3"] {
+			fmt.Println(core.FormatTable3(rows))
+		}
+	}
+	if all || want["f4"] {
+		rows, err := core.RunFigure4(sc, perf, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatFigure4(rows))
+	}
+	if all || want["f5"] {
+		rows, err := core.RunFigure5(sc, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatFigure5(rows))
+	}
+	if all || want["t4"] {
+		rows, err := core.RunTable4(sc, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatTable4(rows, sc))
+	}
+	if all || want["t5"] {
+		rows, err := core.RunTable5(sc, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatTable5(rows, sc))
+	}
+	if all || want["f6"] {
+		rows, err := core.RunFigure6(sc, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatFigure6(rows))
+	}
+	if all || want["f7"] {
+		rows, err := core.RunFigure7(sc, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatFigure7(rows))
+	}
+	return nil
+}

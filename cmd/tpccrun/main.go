@@ -1,0 +1,64 @@
+// Command tpccrun executes a single fault-free TPC-C performance run on a
+// chosen recovery configuration and prints its measures — the raw
+// performance side of the benchmark.
+//
+// Usage:
+//
+//	tpccrun [-config F100G3T10] [-minutes 20] [-warehouses 1] [-archive]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dbench/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tpccrun", flag.ContinueOnError)
+	cfgName := fs.String("config", "F100G3T10", "recovery configuration (Table 3 name)")
+	minutes := fs.Int("minutes", 20, "run duration in simulated minutes")
+	warehouses := fs.Int("warehouses", 1, "TPC-C warehouse count")
+	archive := fs.Bool("archive", false, "enable archive log mode")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, ok := core.ConfigByName(*cfgName)
+	if !ok {
+		return fmt.Errorf("unknown configuration %q (see Table 3 names, e.g. F40G3T5)", *cfgName)
+	}
+	spec := core.DefaultSpec()
+	spec.Name = "tpccrun/" + cfg.Name
+	spec.Seed = *seed
+	spec.Recovery = cfg
+	spec.Archive = *archive
+	spec.Duration = time.Duration(*minutes) * time.Minute
+	spec.TPCC.Warehouses = *warehouses
+
+	res, err := core.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configuration:   %s (archive=%v)\n", cfg.Name, *archive)
+	fmt.Printf("tpmC:            %.0f\n", res.TpmC)
+	fmt.Printf("committed:       %d (failures observed: %d)\n", res.Committed, res.Failures)
+	fmt.Printf("checkpoints:     %d\n", res.Checkpoints)
+	fmt.Printf("redo written:    %.1f MB (%.2f MB/s)\n",
+		float64(res.RedoWritten)/(1<<20), float64(res.RedoWritten)/(1<<20)/spec.Duration.Seconds())
+	fmt.Printf("log stalls:      %v\n", res.LogStalls.Round(time.Millisecond))
+	fmt.Printf("cache hit rate:  %.3f\n", res.CacheHitRate)
+	fmt.Printf("mix:             %v\n", res.ByType)
+	fmt.Printf("throughput/30s:  %v\n", res.Series)
+	fmt.Printf("violations:      %d, lost transactions: %d\n", len(res.IntegrityViolations), res.LostTransactions)
+	return nil
+}

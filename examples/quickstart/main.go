@@ -1,0 +1,41 @@
+// Quickstart: start the simulated DBMS, run TPC-C for a few minutes,
+// inject a SHUTDOWN ABORT operator fault, recover, and print the
+// benchmark's three dependability measures (recovery time, lost
+// transactions, integrity violations) next to the performance measure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dbench/internal/core"
+	"dbench/internal/faults"
+)
+
+func main() {
+	spec := core.DefaultSpec()
+	spec.Name = "quickstart"
+	spec.TPCC.Warehouses = 1
+	spec.Duration = 5 * time.Minute
+	spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+	spec.InjectAt = 2 * time.Minute
+
+	res, err := core.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dependability benchmark, one experiment:")
+	fmt.Printf("  workload:            TPC-C, %d warehouse(s), %v\n", spec.TPCC.Warehouses, spec.Duration)
+	fmt.Printf("  configuration:       %s\n", spec.Recovery.Name)
+	fmt.Printf("  fault:               %v at t=%v\n", *spec.Fault, spec.InjectAt)
+	fmt.Println()
+	fmt.Printf("  tpmC:                %.0f\n", res.TpmC)
+	fmt.Printf("  recovery time:       %v\n", res.RecoveryTime.Round(time.Millisecond))
+	fmt.Printf("  end-user outage:     %v\n", res.UserOutage.Round(time.Millisecond))
+	fmt.Printf("  lost transactions:   %d\n", res.LostTransactions)
+	fmt.Printf("  integrity violations:%d\n", len(res.IntegrityViolations))
+	fmt.Println()
+	fmt.Println("  throughput per 30 s window (watch the dip at the fault):")
+	fmt.Printf("  %v\n", res.Series)
+}

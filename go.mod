@@ -1,0 +1,3 @@
+module dbench
+
+go 1.24

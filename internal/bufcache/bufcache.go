@@ -1,0 +1,364 @@
+// Package bufcache implements the database buffer cache: an LRU cache of
+// data blocks with dirty tracking, demand paging charged to the simulated
+// disks, and checkpoint draining.
+//
+// Checkpoint cost — reading the dirty list and forcing it to the datafiles
+// — is the central performance/recovery trade-off the paper studies: the
+// more often the cache is drained, the less redo crash recovery must
+// replay, but the more disk bandwidth the foreground workload loses.
+package bufcache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/storage"
+)
+
+// ErrNoEvictable reports that every buffer is dirty and unwritable, so a
+// miss cannot be served.
+var ErrNoEvictable = errors.New("bufcache: no evictable buffer")
+
+type bufKey struct {
+	file *storage.Datafile
+	no   int
+}
+
+type buffer struct {
+	ref   storage.BlockRef
+	block *storage.Block
+
+	dirty bool
+	// firstDirtySCN is the SCN of the earliest unflushed change in the
+	// buffer; recovery must start no later than the minimum over all
+	// dirty buffers.
+	firstDirtySCN redo.SCN
+
+	elem *list.Element
+}
+
+// Stats counts cache activity for the benchmark reports.
+type Stats struct {
+	Hits             int64
+	Misses           int64
+	Evictions        int64
+	DirtyEvictWrites int64
+	CheckpointWrites int64
+	SkippedWrites    int64
+}
+
+// Cache is the database buffer cache. It is used only from simulation
+// processes, so it needs no locking.
+type Cache struct {
+	k        *sim.Kernel
+	capacity int
+
+	buffers map[bufKey]*buffer
+	lru     *list.List // front = most recently used
+	dirty   int
+
+	// FlushLog, when set, is called before any dirty block is written
+	// to disk, with the block's last-change SCN. It enforces the
+	// write-ahead rule: redo for a change must be durable before the
+	// changed block is.
+	FlushLog func(p *sim.Proc, scn redo.SCN) error
+
+	stats Stats
+}
+
+// New returns a cache holding at most capacity blocks.
+func New(k *sim.Kernel, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		k:        k,
+		capacity: capacity,
+		buffers:  make(map[bufKey]*buffer, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int { return len(c.buffers) }
+
+// DirtyCount returns the number of dirty buffers.
+func (c *Cache) DirtyCount() int { return c.dirty }
+
+// Get returns the cached block for ref, reading it from disk on a miss
+// (charged to the datafile's disk). The returned block is the cache's own
+// copy: callers that mutate it must call MarkDirty before yielding.
+func (c *Cache) Get(p *sim.Proc, ref storage.BlockRef) (*storage.Block, error) {
+	key := bufKey{file: ref.File, no: ref.No}
+	if b, ok := c.buffers[key]; ok {
+		c.stats.Hits++
+		c.lru.MoveToFront(b.elem)
+		return b.block, nil
+	}
+	c.stats.Misses++
+	for len(c.buffers) >= c.capacity {
+		if err := c.evictOne(p); err != nil {
+			return nil, err
+		}
+	}
+	blk, err := ref.File.ReadBlock(p, ref.No)
+	if err != nil {
+		return nil, fmt.Errorf("bufcache: miss read: %w", err)
+	}
+	// The disk read yielded: another process may have loaded the block
+	// meanwhile. Use the resident buffer in that case — two live copies
+	// of one block would lose whichever's updates are written last.
+	if b, ok := c.buffers[key]; ok {
+		c.lru.MoveToFront(b.elem)
+		return b.block, nil
+	}
+	b := &buffer{ref: ref, block: blk}
+	b.elem = c.lru.PushFront(b)
+	c.buffers[key] = b
+	return b.block, nil
+}
+
+// Peek returns the cached block without promotion or I/O; ok reports a hit.
+func (c *Cache) Peek(ref storage.BlockRef) (*storage.Block, bool) {
+	b, ok := c.buffers[bufKey{file: ref.File, no: ref.No}]
+	if !ok {
+		return nil, false
+	}
+	return b.block, true
+}
+
+// MarkDirty records that the block for ref was modified at scn. The block
+// must be resident (callers mutate the pointer returned by Get).
+func (c *Cache) MarkDirty(ref storage.BlockRef, scn redo.SCN) {
+	b, ok := c.buffers[bufKey{file: ref.File, no: ref.No}]
+	if !ok {
+		panic(fmt.Sprintf("bufcache: MarkDirty on non-resident block %v", ref))
+	}
+	if !b.dirty {
+		b.dirty = true
+		b.firstDirtySCN = scn
+		c.dirty++
+	}
+	b.block.SCN = scn
+}
+
+// evictOne makes room for one buffer: it writes out and drops the least
+// recently used evictable buffer. When concurrent processes race for the
+// same victims it retries (bounded), waiting a beat for their writes to
+// finish; ErrNoEvictable is returned only when every buffer is dirty on an
+// unwritable file.
+func (c *Cache) evictOne(p *sim.Proc) error {
+	for attempt := 0; attempt < 64; attempt++ {
+		if len(c.buffers) < c.capacity {
+			return nil // concurrent evictions made room
+		}
+		yielded, evicted, err := c.tryEvict(p)
+		if err != nil {
+			return err
+		}
+		if evicted {
+			return nil
+		}
+		if !yielded {
+			// The pass observed a stable cache with nothing
+			// evictable: give up.
+			return ErrNoEvictable
+		}
+		// Other processes are mid-eviction; let them finish.
+		p.Sleep(time.Millisecond)
+	}
+	return ErrNoEvictable
+}
+
+// tryEvict runs one eviction pass over a snapshot of the LRU order. It
+// reports whether the pass yielded control (so the cache may have changed)
+// and whether a buffer was evicted.
+func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
+	var candidates []*buffer
+	for e := c.lru.Back(); e != nil; e = e.Prev() {
+		candidates = append(candidates, e.Value.(*buffer))
+	}
+	for _, b := range candidates {
+		key := bufKey{file: b.ref.File, no: b.ref.No}
+		if c.buffers[key] != b {
+			continue // evicted by a concurrent process meanwhile
+		}
+		if b.dirty {
+			if ferr := c.forceLog(p, b.block.SCN); ferr != nil {
+				return yielded, false, ferr
+			}
+			yielded = true
+			if c.buffers[key] != b {
+				continue // gone while we forced the log
+			}
+			if !b.dirty {
+				// Cleaned concurrently (checkpoint): drop without
+				// a write below.
+			} else if werr := b.ref.File.WriteBlock(p, b.ref.No, b.block); werr != nil {
+				continue // unwritable: try an older buffer
+			} else {
+				c.stats.DirtyEvictWrites++
+				if b.dirty {
+					b.dirty = false
+					c.dirty--
+				}
+			}
+		}
+		if c.buffers[key] != b {
+			continue
+		}
+		c.lru.Remove(b.elem)
+		delete(c.buffers, key)
+		c.stats.Evictions++
+		return yielded, true, nil
+	}
+	return yielded, false, nil
+}
+
+// Checkpoint writes every dirty buffer that existed when the call started
+// to its datafile, charging the writes to the calling process. Buffers on
+// lost or offline files are skipped and remain dirty. It returns the
+// number of blocks written.
+func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
+	// Snapshot the dirty set: blocks dirtied while the checkpoint is in
+	// progress belong to the next checkpoint.
+	var snap []*buffer
+	for _, b := range c.buffers {
+		if b.dirty {
+			snap = append(snap, b)
+		}
+	}
+	// Deterministic order: by file name then block number.
+	sortBuffers(snap)
+	written := 0
+	for _, b := range snap {
+		if !b.dirty {
+			continue // cleaned concurrently (evicted)
+		}
+		if err := c.forceLog(p, b.block.SCN); err != nil {
+			return written, err
+		}
+		if !b.dirty {
+			continue // cleaned while forcing the log
+		}
+		key := bufKey{file: b.ref.File, no: b.ref.No}
+		if c.buffers[key] != b {
+			continue // evicted (and therefore written) meanwhile
+		}
+		if err := b.ref.File.WriteBlock(p, b.ref.No, b.block); err != nil {
+			c.stats.SkippedWrites++
+			continue
+		}
+		if b.dirty {
+			b.dirty = false
+			c.dirty--
+		}
+		written++
+		c.stats.CheckpointWrites++
+	}
+	return written, nil
+}
+
+// MinDirtySCN returns the earliest first-dirty SCN among dirty buffers, or
+// -1 when the cache is clean. Crash recovery must begin at or before this
+// SCN to reconstruct the lost buffers.
+func (c *Cache) MinDirtySCN() redo.SCN {
+	minSCN := redo.SCN(-1)
+	for _, b := range c.buffers {
+		if !b.dirty {
+			continue
+		}
+		if minSCN < 0 || b.firstDirtySCN < minSCN {
+			minSCN = b.firstDirtySCN
+		}
+	}
+	return minSCN
+}
+
+// InvalidateAll drops every buffer without writing, modelling instance
+// crash (SHUTDOWN ABORT): the cache content is simply lost.
+func (c *Cache) InvalidateAll() {
+	c.buffers = make(map[bufKey]*buffer, c.capacity)
+	c.lru.Init()
+	c.dirty = 0
+}
+
+// FlushFileForce writes every dirty buffer of one datafile, bypassing the
+// file's online flag (the offline-normal sweep: the file no longer accepts
+// DML, so the dirty set can only shrink while we write). Buffers stay
+// resident and clean.
+func (c *Cache) FlushFileForce(p *sim.Proc, f *storage.Datafile) error {
+	var snap []*buffer
+	for _, b := range c.buffers {
+		if b.dirty && b.ref.File == f {
+			snap = append(snap, b)
+		}
+	}
+	sortBuffers(snap)
+	for _, b := range snap {
+		if !b.dirty {
+			continue
+		}
+		if err := c.forceLog(p, b.block.SCN); err != nil {
+			return err
+		}
+		if !b.dirty {
+			continue
+		}
+		key := bufKey{file: b.ref.File, no: b.ref.No}
+		if c.buffers[key] != b {
+			continue
+		}
+		if err := b.ref.File.WriteBlockForce(p, b.ref.No, b.block); err != nil {
+			return err
+		}
+		if b.dirty {
+			b.dirty = false
+			c.dirty--
+		}
+	}
+	return nil
+}
+
+// InvalidateFile drops all buffers of one datafile without writing (used
+// when a file is taken offline for media recovery, so stale cache content
+// cannot mask the restored images).
+func (c *Cache) InvalidateFile(f *storage.Datafile) {
+	for key, b := range c.buffers {
+		if key.file != f {
+			continue
+		}
+		if b.dirty {
+			c.dirty--
+		}
+		c.lru.Remove(b.elem)
+		delete(c.buffers, key)
+	}
+}
+
+// forceLog applies the write-ahead rule before a dirty block write.
+func (c *Cache) forceLog(p *sim.Proc, scn redo.SCN) error {
+	if c.FlushLog == nil {
+		return nil
+	}
+	return c.FlushLog(p, scn)
+}
+
+func sortBuffers(bs []*buffer) {
+	sort.Slice(bs, func(i, j int) bool { return less(bs[i], bs[j]) })
+}
+
+func less(a, b *buffer) bool {
+	if a.ref.File.Name != b.ref.File.Name {
+		return a.ref.File.Name < b.ref.File.Name
+	}
+	return a.ref.No < b.ref.No
+}

@@ -1,0 +1,232 @@
+// Package catalog holds the database dictionary: users and tables, and the
+// mapping from table rows to physical blocks.
+//
+// Tables are key-addressed heaps: every row has an int64 row key that
+// hashes to one block of the table's segment. The segment's blocks are
+// allocated across the datafiles of the owning tablespace at creation
+// time. The dictionary itself is treated as durable at DDL commit (DDL is
+// logged to redo, and backups snapshot the dictionary), which mirrors the
+// SYSTEM tablespace without modelling its physical blocks.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"dbench/internal/storage"
+)
+
+// Table describes one user table and its physical segment.
+type Table struct {
+	Name       string
+	Owner      string
+	Tablespace string
+	// Cluster is the number of consecutive row keys stored per block
+	// before moving to the next one: sequential inserts (orders, order
+	// lines, history) land in a hot "right edge" block like a B-tree,
+	// which is what gives real databases their cache locality.
+	Cluster int
+
+	blocks []storage.BlockRef
+}
+
+// Blocks returns the table's block refs (callers must not modify).
+func (t *Table) Blocks() []storage.BlockRef { return t.blocks }
+
+// NumBlocks returns the segment size in blocks.
+func (t *Table) NumBlocks() int { return len(t.blocks) }
+
+// BlockFor maps a row key to its home block: keys are grouped in runs of
+// Cluster consecutive keys, and runs are spread over the segment.
+func (t *Table) BlockFor(key int64) storage.BlockRef {
+	c := t.Cluster
+	if c < 1 {
+		c = 1
+	}
+	run := uint64(key) / uint64(c)
+	idx := int(run % uint64(len(t.blocks)))
+	return t.blocks[idx]
+}
+
+// User is a database account.
+type User struct {
+	Name    string
+	Default string // default tablespace
+}
+
+// Catalog is the data dictionary.
+type Catalog struct {
+	tables map[string]*Table
+	users  map[string]*User
+}
+
+// New returns an empty dictionary.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		users:  make(map[string]*User),
+	}
+}
+
+// CreateUser registers a database account.
+func (c *Catalog) CreateUser(name, defaultTablespace string) (*User, error) {
+	if _, ok := c.users[name]; ok {
+		return nil, fmt.Errorf("catalog: user %q exists", name)
+	}
+	u := &User{Name: name, Default: defaultTablespace}
+	c.users[name] = u
+	return u, nil
+}
+
+// DropUser removes an account and all tables it owns. It returns the names
+// of the dropped tables.
+func (c *Catalog) DropUser(name string) ([]string, error) {
+	if _, ok := c.users[name]; !ok {
+		return nil, fmt.Errorf("catalog: unknown user %q", name)
+	}
+	var dropped []string
+	for tname, tbl := range c.tables {
+		if tbl.Owner == name {
+			dropped = append(dropped, tname)
+			delete(c.tables, tname)
+		}
+	}
+	sort.Strings(dropped)
+	delete(c.users, name)
+	return dropped, nil
+}
+
+// User returns the named account.
+func (c *Catalog) User(name string) (*User, error) {
+	u, ok := c.users[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown user %q", name)
+	}
+	return u, nil
+}
+
+// CreateTable allocates a segment of numBlocks blocks for a new table,
+// spread round-robin across the tablespace's datafiles.
+func (c *Catalog) CreateTable(name, owner string, ts *storage.Tablespace, numBlocks int) (*Table, error) {
+	return c.CreateTableClustered(name, owner, ts, numBlocks, 1)
+}
+
+// CreateTableClustered creates a table whose rows are clustered in runs
+// of `cluster` consecutive keys per block.
+func (c *Catalog) CreateTableClustered(name, owner string, ts *storage.Tablespace, numBlocks, cluster int) (*Table, error) {
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q exists", name)
+	}
+	if numBlocks < 1 {
+		return nil, fmt.Errorf("catalog: table %q needs at least 1 block", name)
+	}
+	if len(ts.Files) == 0 {
+		return nil, fmt.Errorf("catalog: tablespace %q has no datafiles", ts.Name)
+	}
+	t := &Table{Name: name, Owner: owner, Tablespace: ts.Name, Cluster: cluster}
+	// Allocate blocks from the tablespace's files: a per-file cursor
+	// tracks the next free block (segments never share blocks).
+	perFile := (numBlocks + len(ts.Files) - 1) / len(ts.Files)
+	for _, f := range ts.Files {
+		start := c.allocated(f)
+		for i := 0; i < perFile && len(t.blocks) < numBlocks; i++ {
+			no := start + i
+			if no >= f.NumBlocks() {
+				return nil, fmt.Errorf("%w: tablespace %q file %q", storage.ErrNoSpace, ts.Name, f.Name)
+			}
+			t.blocks = append(t.blocks, storage.BlockRef{File: f, No: no})
+		}
+	}
+	if len(t.blocks) < numBlocks {
+		return nil, fmt.Errorf("%w: tablespace %q", storage.ErrNoSpace, ts.Name)
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// allocated returns the number of blocks of f already assigned to tables.
+func (c *Catalog) allocated(f *storage.Datafile) int {
+	n := 0
+	for _, t := range c.tables {
+		for _, ref := range t.blocks {
+			if ref.File == f {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DropTable removes a table from the dictionary. The segment's blocks are
+// simply released (their content becomes unreachable, as with Oracle's
+// DROP TABLE).
+func (c *Catalog) DropTable(name string) error {
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: unknown table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TablesIn returns the names of tables stored in the given tablespace.
+func (c *Catalog) TablesIn(tablespace string) []string {
+	var names []string
+	for n, t := range c.tables {
+		if t.Tablespace == tablespace {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot deep-copies the dictionary (table block refs still point at the
+// same datafile objects, which is what restore wants: the physical layout
+// is identified by file, not duplicated).
+func (c *Catalog) Snapshot() *Catalog {
+	s := New()
+	for n, t := range c.tables {
+		ct := &Table{Name: t.Name, Owner: t.Owner, Tablespace: t.Tablespace, Cluster: t.Cluster}
+		ct.blocks = append([]storage.BlockRef(nil), t.blocks...)
+		s.tables[n] = ct
+	}
+	for n, u := range c.users {
+		cu := *u
+		s.users[n] = &cu
+	}
+	return s
+}
+
+// Restore replaces the dictionary content with the snapshot's.
+func (c *Catalog) Restore(snap *Catalog) {
+	c.tables = make(map[string]*Table, len(snap.tables))
+	c.users = make(map[string]*User, len(snap.users))
+	for n, t := range snap.tables {
+		ct := &Table{Name: t.Name, Owner: t.Owner, Tablespace: t.Tablespace, Cluster: t.Cluster}
+		ct.blocks = append([]storage.BlockRef(nil), t.blocks...)
+		c.tables[n] = ct
+	}
+	for n, u := range snap.users {
+		cu := *u
+		c.users[n] = &cu
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dbench/internal/engine"
+	"dbench/internal/faults"
+	"dbench/internal/tpcc"
+)
+
+// Scale groups the knobs that trade experiment fidelity for wall-clock
+// time. FullScale reproduces the paper's setup (20-minute runs, faults at
+// 150/300/600 s); QuickScale shrinks everything proportionally for tests
+// and benchmarks.
+type Scale struct {
+	TPCC        tpcc.Config
+	CacheBlocks int
+	Duration    time.Duration
+	// InjectTimes are the three fault-injection instants (paper §4:
+	// during ramp-up, at full throughput, after substantial history).
+	InjectTimes [3]time.Duration
+	// Tail ends fault runs this long after recovery completes.
+	Tail time.Duration
+	Seed int64
+}
+
+// FullScale is the paper-faithful setup: 20-minute experiments, operator
+// faults injected 150, 300 and 600 seconds after the workload starts.
+func FullScale() Scale {
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = 1 // lands the redo rate on the paper's ~0.4 MB/s
+	return Scale{
+		TPCC:        cfg,
+		CacheBlocks: 4096,
+		Duration:    20 * time.Minute,
+		InjectTimes: [3]time.Duration{150 * time.Second, 300 * time.Second, 600 * time.Second},
+		Tail:        60 * time.Second,
+		Seed:        1,
+	}
+}
+
+// StdScale is the default campaign scale: the paper's injection instants
+// (150/300/600 s) on 12-minute runs — the shapes of every table and figure
+// are preserved while a full campaign stays tractable on one core.
+func StdScale() Scale {
+	sc := FullScale()
+	sc.Duration = 12 * time.Minute
+	return sc
+}
+
+// QuickScale shrinks the workload and run length for fast regeneration
+// (used by the benchmark suite); shapes are preserved, absolute numbers
+// shift.
+func QuickScale() Scale {
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = 1
+	cfg.CustomersPerDistrict = 150
+	cfg.Items = 2500
+	return Scale{
+		TPCC:        cfg,
+		CacheBlocks: 2048,
+		Duration:    8 * time.Minute,
+		InjectTimes: [3]time.Duration{60 * time.Second, 120 * time.Second, 240 * time.Second},
+		Tail:        45 * time.Second,
+		Seed:        1,
+	}
+}
+
+// spec builds a base Spec for this scale.
+func (sc Scale) spec(name string, cfg RecoveryConfig) Spec {
+	return Spec{
+		Name:        name,
+		Seed:        sc.Seed,
+		Recovery:    cfg,
+		TPCC:        sc.TPCC,
+		CacheBlocks: sc.CacheBlocks,
+		Cost:        engine.DefaultCostModel(),
+		Duration:    sc.Duration,
+		Detection:   2 * time.Second,
+	}
+}
+
+// Progress receives one line per completed run; may be nil.
+type Progress func(line string)
+
+func (p Progress) emit(format string, args ...any) {
+	if p != nil {
+		p(fmt.Sprintf(format, args...))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 3 / Figure 4 (performance side): one fault-free run per recovery
+// configuration, measuring tpmC and checkpoints per experiment.
+
+// PerfRow is one configuration's performance measurement.
+type PerfRow struct {
+	Config      RecoveryConfig
+	TpmC        float64
+	Checkpoints int
+	LogStalls   time.Duration
+	RedoMBps    float64
+}
+
+// RunTable3 measures every Table 3 configuration without faults.
+func RunTable3(sc Scale, progress Progress) ([]PerfRow, error) {
+	rows := make([]PerfRow, 0, len(Table3Configs))
+	for _, cfg := range Table3Configs {
+		spec := sc.spec("T3/"+cfg.Name, cfg)
+		res, err := Run(spec)
+		if err != nil {
+			return rows, err
+		}
+		row := PerfRow{
+			Config:      cfg,
+			TpmC:        res.TpmC,
+			Checkpoints: res.Checkpoints,
+			LogStalls:   res.LogStalls,
+			RedoMBps:    float64(res.RedoWritten) / (1 << 20) / sc.Duration.Seconds(),
+		}
+		rows = append(rows, row)
+		progress.emit("T3 %-10s tpmC=%5.0f ckpts=%3d stalls=%v", cfg.Name, row.TpmC, row.Checkpoints, row.LogStalls.Round(time.Second))
+	}
+	return rows, nil
+}
+
+// Fig4Row pairs a configuration's performance with its shutdown-abort
+// recovery time.
+type Fig4Row struct {
+	Config       RecoveryConfig
+	TpmC         float64
+	RecoveryTime time.Duration
+}
+
+// RunFigure4 reproduces Figure 4: performance and recovery time per
+// configuration under the Shutdown Abort faultload. perf may carry the
+// Table 3 rows to avoid re-running the fault-free side; pass nil to run
+// them here.
+func RunFigure4(sc Scale, perf []PerfRow, progress Progress) ([]Fig4Row, error) {
+	var err error
+	if perf == nil {
+		perf, err = RunTable3(sc, progress)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := make([]Fig4Row, 0, len(perf))
+	for _, pr := range perf {
+		spec := sc.spec("F4/"+pr.Config.Name, pr.Config)
+		spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+		spec.InjectAt = sc.InjectTimes[1] // at full throughput
+		spec.TailAfterRecovery = sc.Tail
+		res, err := Run(spec)
+		if err != nil {
+			return rows, err
+		}
+		row := Fig4Row{Config: pr.Config, TpmC: pr.TpmC, RecoveryTime: res.RecoveryTime}
+		rows = append(rows, row)
+		progress.emit("F4 %-10s tpmC=%5.0f recovery=%v", pr.Config.Name, row.TpmC, row.RecoveryTime.Round(time.Second))
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: performance with and without archive logs.
+
+// Fig5Row compares one configuration's tpmC with the archiver off and on.
+type Fig5Row struct {
+	Config        RecoveryConfig
+	TpmCNoArchive float64
+	TpmCArchive   float64
+}
+
+// OverheadPct is the archive mechanism's throughput cost.
+func (r Fig5Row) OverheadPct() float64 {
+	if r.TpmCNoArchive == 0 {
+		return 0
+	}
+	return 100 * (1 - r.TpmCArchive/r.TpmCNoArchive)
+}
+
+// RunFigure5 reproduces Figure 5 over the archive-relevant configurations.
+func RunFigure5(sc Scale, progress Progress) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, cfg := range ArchiveConfigs() {
+		row := Fig5Row{Config: cfg}
+		for _, archive := range []bool{false, true} {
+			spec := sc.spec(fmt.Sprintf("F5/%s/arch=%v", cfg.Name, archive), cfg)
+			spec.Archive = archive
+			res, err := Run(spec)
+			if err != nil {
+				return rows, err
+			}
+			if archive {
+				row.TpmCArchive = res.TpmC
+			} else {
+				row.TpmCNoArchive = res.TpmC
+			}
+		}
+		rows = append(rows, row)
+		progress.emit("F5 %-10s tpmC off=%5.0f on=%5.0f overhead=%4.1f%%",
+			cfg.Name, row.TpmCNoArchive, row.TpmCArchive, row.OverheadPct())
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Tables 4 and 5: recovery time per fault type, configuration and
+// injection instant, with archive logs active.
+
+// RecRow is one (fault, configuration) row: recovery times at the three
+// injection instants plus the dependability measures.
+type RecRow struct {
+	Fault  faults.Kind
+	Config RecoveryConfig
+	// Times[i] is the recovery time with the fault injected at
+	// Scale.InjectTimes[i].
+	Times [3]time.Duration
+	// LostCommits[i] is committed transactions lost (incomplete
+	// recovery only).
+	LostCommits [3]int
+	// Violations[i] counts integrity violations detected afterwards.
+	Violations [3]int
+}
+
+// runRecoveryGrid executes fault × config × inject-time with archives on.
+func runRecoveryGrid(sc Scale, kinds []faults.Kind, configs []RecoveryConfig, label string, progress Progress) ([]RecRow, error) {
+	targets := map[faults.Kind]string{
+		faults.DeleteDatafile:       "TPCC_01.dbf",
+		faults.SetDatafileOffline:   "TPCC_01.dbf",
+		faults.DeleteTablespace:     "TPCC",
+		faults.SetTablespaceOffline: "TPCC",
+		faults.DeleteUsersObject:    tpcc.TableStock,
+	}
+	var rows []RecRow
+	for _, kind := range kinds {
+		for _, cfg := range configs {
+			row := RecRow{Fault: kind, Config: cfg}
+			for i, at := range sc.InjectTimes {
+				spec := sc.spec(fmt.Sprintf("%s/%v/%s/t%d", label, kind, cfg.Name, i), cfg)
+				spec.Archive = true
+				spec.Fault = &faults.Fault{Kind: kind, Target: targets[kind]}
+				spec.InjectAt = at
+				spec.TailAfterRecovery = sc.Tail
+				res, err := Run(spec)
+				if err != nil {
+					return rows, fmt.Errorf("%s %v %s inject=%v: %w", label, kind, cfg.Name, at, err)
+				}
+				row.Times[i] = res.RecoveryTime
+				if res.Outcome != nil && res.Outcome.Report != nil {
+					row.LostCommits[i] = res.Outcome.Report.LostCommits
+				}
+				row.Violations[i] = len(res.IntegrityViolations)
+			}
+			rows = append(rows, row)
+			progress.emit("%s %-22v %-10s %8v %8v %8v", label, kind, cfg.Name,
+				row.Times[0].Round(time.Second), row.Times[1].Round(time.Second), row.Times[2].Round(time.Second))
+		}
+	}
+	return rows, nil
+}
+
+// RunTable4 reproduces Table 4: the faults with incomplete recovery.
+func RunTable4(sc Scale, progress Progress) ([]RecRow, error) {
+	return runRecoveryGrid(sc, []faults.Kind{faults.DeleteUsersObject, faults.DeleteTablespace}, ArchiveConfigs(), "T4", progress)
+}
+
+// RunTable5 reproduces Table 5: the faults with complete recovery.
+func RunTable5(sc Scale, progress Progress) ([]RecRow, error) {
+	return runRecoveryGrid(sc, []faults.Kind{
+		faults.ShutdownAbort, faults.DeleteDatafile,
+		faults.SetDatafileOffline, faults.SetTablespaceOffline,
+	}, ArchiveConfigs(), "T5", progress)
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: performance and recovery time with archive logs and the
+// stand-by database.
+
+// Fig6Row compares the stand-by configuration against archive-only.
+type Fig6Row struct {
+	Config RecoveryConfig
+	// TpmCArchive/TpmCStandby are fault-free throughputs.
+	TpmCArchive float64
+	TpmCStandby float64
+	// Failover is the stand-by activation time after a primary crash
+	// at the late injection instant.
+	Failover time.Duration
+	// MediaRecovery is the archive-only delete-datafile recovery at the
+	// same instant, for the paper's comparison curve.
+	MediaRecovery time.Duration
+}
+
+// RunFigure6 reproduces Figure 6 over the archive configurations.
+func RunFigure6(sc Scale, progress Progress) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, cfg := range ArchiveConfigs() {
+		row := Fig6Row{Config: cfg}
+
+		spec := sc.spec("F6/arch/"+cfg.Name, cfg)
+		spec.Archive = true
+		res, err := Run(spec)
+		if err != nil {
+			return rows, err
+		}
+		row.TpmCArchive = res.TpmC
+
+		spec = sc.spec("F6/sb/"+cfg.Name, cfg)
+		spec.Archive = true
+		spec.Standby = true
+		res, err = Run(spec)
+		if err != nil {
+			return rows, err
+		}
+		row.TpmCStandby = res.TpmC
+
+		spec = sc.spec("F6/failover/"+cfg.Name, cfg)
+		spec.Archive = true
+		spec.Standby = true
+		spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+		spec.InjectAt = sc.InjectTimes[2]
+		spec.TailAfterRecovery = sc.Tail
+		res, err = Run(spec)
+		if err != nil {
+			return rows, err
+		}
+		row.Failover = res.RecoveryTime
+
+		spec = sc.spec("F6/media/"+cfg.Name, cfg)
+		spec.Archive = true
+		spec.Fault = &faults.Fault{Kind: faults.DeleteDatafile, Target: "TPCC_01.dbf"}
+		spec.InjectAt = sc.InjectTimes[2]
+		spec.TailAfterRecovery = sc.Tail
+		res, err = Run(spec)
+		if err != nil {
+			return rows, err
+		}
+		row.MediaRecovery = res.RecoveryTime
+
+		rows = append(rows, row)
+		progress.emit("F6 %-10s tpmC arch=%5.0f sb=%5.0f failover=%v media=%v",
+			cfg.Name, row.TpmCArchive, row.TpmCStandby,
+			row.Failover.Round(time.Second), row.MediaRecovery.Round(time.Second))
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: lost transactions on the stand-by database versus redo log
+// file size and group count.
+
+// Fig7Row is one (size, groups) cell.
+type Fig7Row struct {
+	SizeMB int
+	Groups int
+	// Lost is acknowledged commits missing on the activated stand-by.
+	Lost int
+}
+
+// Figure7Grid is the size/group grid measured (log sizes in MB × group
+// counts), mirroring the paper's Figure 7 axes.
+var Figure7Grid = struct {
+	SizesMB []int
+	Groups  []int
+}{
+	SizesMB: []int{1, 10, 40, 100},
+	Groups:  []int{2, 3, 6},
+}
+
+// RunFigure7 reproduces Figure 7: primary crash at the late instant with
+// a stand-by, varying the online log geometry.
+func RunFigure7(sc Scale, progress Progress) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, sizeMB := range Figure7Grid.SizesMB {
+		for _, groups := range Figure7Grid.Groups {
+			cfg := RecoveryConfig{
+				Name:              fmt.Sprintf("F%dG%dT1", sizeMB, groups),
+				FileSize:          int64(sizeMB) << 20,
+				Groups:            groups,
+				CheckpointTimeout: time.Minute,
+			}
+			spec := sc.spec("F7/"+cfg.Name, cfg)
+			spec.Archive = true
+			spec.Standby = true
+			spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+			spec.InjectAt = sc.InjectTimes[2]
+			spec.TailAfterRecovery = sc.Tail
+			res, err := Run(spec)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, Fig7Row{SizeMB: sizeMB, Groups: groups, Lost: res.LostTransactions})
+			progress.emit("F7 size=%3dMB groups=%d lost=%d", sizeMB, groups, res.LostTransactions)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dbench/internal/faults"
+	"dbench/internal/tpcc"
+)
+
+// miniScale keeps shape tests fast.
+func miniScale() Scale {
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = 1
+	cfg.CustomersPerDistrict = 60
+	cfg.Items = 500
+	cfg.TerminalsPerWarehouse = 5
+	return Scale{
+		TPCC:        cfg,
+		CacheBlocks: 512,
+		Duration:    4 * time.Minute,
+		InjectTimes: [3]time.Duration{30 * time.Second, 60 * time.Second, 120 * time.Second},
+		Tail:        30 * time.Second,
+		Seed:        7,
+	}
+}
+
+// TestShapeCheckpointRateVsConfig encodes the Table 3 / Figure 4 shape:
+// tiny log files checkpoint orders of magnitude more often than huge ones,
+// and that costs throughput (or at least never helps it much).
+func TestShapeCheckpointRateVsConfig(t *testing.T) {
+	sc := miniScale()
+	big, err := Run(sc.spec("big", mustConfig("F400G3T20")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := Run(sc.spec("tiny", mustConfig("F1G3T1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Checkpoints <= big.Checkpoints {
+		t.Fatalf("checkpoints tiny=%d big=%d; small logs must checkpoint more", tiny.Checkpoints, big.Checkpoints)
+	}
+	if tiny.TpmC > big.TpmC*1.05 {
+		t.Fatalf("tpmC tiny=%.0f big=%.0f; frequent checkpoints should not speed things up", tiny.TpmC, big.TpmC)
+	}
+	t.Logf("big: tpmC=%.0f ckpts=%d; tiny: tpmC=%.0f ckpts=%d", big.TpmC, big.Checkpoints, tiny.TpmC, tiny.Checkpoints)
+}
+
+// TestShapeRecoveryGrid runs a small recovery grid and checks the paper's
+// qualitative results: offline tablespace recovers in ~a second; shutdown
+// abort recovery shrinks with checkpoint frequency; no integrity
+// violations anywhere; complete recoveries lose nothing.
+func TestShapeRecoveryGrid(t *testing.T) {
+	sc := miniScale()
+	configs := []RecoveryConfig{mustConfig("F40G3T10"), mustConfig("F1G3T1")}
+	rows, err := runRecoveryGrid(sc, []faults.Kind{faults.ShutdownAbort, faults.SetTablespaceOffline}, configs, "test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]RecRow{}
+	for _, r := range rows {
+		byKey[r.Fault.String()+"/"+r.Config.Name] = r
+		for i := 0; i < 3; i++ {
+			if r.Violations[i] != 0 {
+				t.Errorf("%v/%s inject %d: %d integrity violations", r.Fault, r.Config.Name, i, r.Violations[i])
+			}
+			if r.LostCommits[i] != 0 {
+				t.Errorf("%v/%s inject %d: %d lost commits on complete recovery", r.Fault, r.Config.Name, i, r.LostCommits[i])
+			}
+		}
+	}
+	// Offline tablespace: always close to a second (paper Table 5).
+	for _, cfg := range configs {
+		r := byKey["Set tablespace offline/"+cfg.Name]
+		for i := 0; i < 3; i++ {
+			if r.Times[i] > 5*time.Second {
+				t.Errorf("offline tablespace recovery %v at %s", r.Times[i], cfg.Name)
+			}
+		}
+	}
+	// Shutdown abort: the frequent-checkpoint config recovers at least
+	// as fast as the lazy one (paper Table 5's dominant trend).
+	lazy := byKey["Shutdown abort/F40G3T10"]
+	eager := byKey["Shutdown abort/F1G3T1"]
+	if eager.Times[2] > lazy.Times[2] {
+		t.Errorf("shutdown abort recovery: eager %v > lazy %v", eager.Times[2], lazy.Times[2])
+	}
+	t.Logf("abort recovery lazy=%v eager=%v", lazy.Times, eager.Times)
+}
+
+// TestShapeLostTransactionsVsLogSize encodes Figure 7: bigger online logs
+// lose more transactions at stand-by failover.
+func TestShapeLostTransactionsVsLogSize(t *testing.T) {
+	sc := miniScale()
+	lost := func(sizeMB int) int {
+		cfg := RecoveryConfig{
+			Name: "t", FileSize: int64(sizeMB) << 20, Groups: 3, CheckpointTimeout: time.Minute,
+		}
+		// Sub-MB sizes for the mini workload: scale by KB instead.
+		cfg.FileSize = int64(sizeMB) << 10 * 64 // 64 KB per "MB" step
+		spec := sc.spec("f7", cfg)
+		spec.Archive = true
+		spec.Standby = true
+		spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+		spec.InjectAt = sc.InjectTimes[2]
+		spec.TailAfterRecovery = sc.Tail
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LostTransactions
+	}
+	small, large := lost(1), lost(16)
+	if small >= large {
+		t.Fatalf("lost small=%d >= large=%d; bigger unarchived logs must lose more", small, large)
+	}
+	t.Logf("lost: small=%d large=%d", small, large)
+}

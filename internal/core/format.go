@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dbench/internal/faults"
+)
+
+// Formatting helpers: render each campaign's rows in the layout of the
+// corresponding paper table or figure (text form).
+
+func secs(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", d.Seconds())
+}
+
+// FormatTable3 renders the recovery-configuration table (paper Table 3),
+// with the measured checkpoints per experiment in the last column.
+func FormatTable3(rows []PerfRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. Recovery configurations (measured).\n")
+	fmt.Fprintf(&b, "%-10s %10s %7s %9s | %10s %6s %10s\n",
+		"Config", "FileSize", "Groups", "CkptTime", "#CKPT/exp", "tpmC", "redo MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8dMB %7d %8ds | %10d %6.0f %10.2f\n",
+			r.Config.Name, r.Config.FileSize>>20, r.Config.Groups,
+			int(r.Config.CheckpointTimeout.Seconds()),
+			r.Checkpoints, r.TpmC, r.RedoMBps)
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders performance and recovery time per configuration
+// (paper Figure 4).
+func FormatFigure4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4. Performance and recovery time (Shutdown Abort faultload).\n")
+	fmt.Fprintf(&b, "%-10s %8s %14s\n", "Config", "tpmC", "recovery (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.0f %14s\n", r.Config.Name, r.TpmC, secs(r.RecoveryTime))
+	}
+	return b.String()
+}
+
+// FormatFigure5 renders throughput with and without archive logs (paper
+// Figure 5).
+func FormatFigure5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5. Performance with and without archive logs.\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s\n", "Config", "tpmC (off)", "tpmC (on)", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f %9.1f%%\n",
+			r.Config.Name, r.TpmCNoArchive, r.TpmCArchive, r.OverheadPct())
+	}
+	return b.String()
+}
+
+// formatRecTable renders a Table 4/5 style grid: one block per fault type,
+// one row per configuration, one column per injection instant.
+func formatRecTable(title string, rows []RecRow, injects [3]time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-22s %-10s | %9s %9s %9s | %6s %5s\n", "Fault", "Config",
+		fmt.Sprintf("@%ds", int(injects[0].Seconds())),
+		fmt.Sprintf("@%ds", int(injects[1].Seconds())),
+		fmt.Sprintf("@%ds", int(injects[2].Seconds())),
+		"lost", "viol")
+	var last faults.Kind
+	for _, r := range rows {
+		name := ""
+		if r.Fault != last {
+			name = r.Fault.String()
+			last = r.Fault
+		}
+		lost := r.LostCommits[0] + r.LostCommits[1] + r.LostCommits[2]
+		viol := r.Violations[0] + r.Violations[1] + r.Violations[2]
+		fmt.Fprintf(&b, "%-22s %-10s | %9s %9s %9s | %6d %5d\n",
+			name, r.Config.Name,
+			secs(r.Times[0]), secs(r.Times[1]), secs(r.Times[2]), lost, viol)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders the incomplete-recovery grid (paper Table 4).
+func FormatTable4(rows []RecRow, sc Scale) string {
+	return formatRecTable("Table 4. Recovery time (s) for faults with incomplete recovery.", rows, sc.InjectTimes)
+}
+
+// FormatTable5 renders the complete-recovery grid (paper Table 5).
+func FormatTable5(rows []RecRow, sc Scale) string {
+	return formatRecTable("Table 5. Recovery time (s) for faults with complete recovery.", rows, sc.InjectTimes)
+}
+
+// FormatFigure6 renders the stand-by comparison (paper Figure 6).
+func FormatFigure6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6. Performance and recovery time with archive logs and stand-by.\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %14s %18s\n",
+		"Config", "tpmC (arch)", "tpmC (sb)", "failover (s)", "media rec. (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f %14s %18s\n",
+			r.Config.Name, r.TpmCArchive, r.TpmCStandby, secs(r.Failover), secs(r.MediaRecovery))
+	}
+	return b.String()
+}
+
+// FormatFigure7 renders the lost-transactions grid (paper Figure 7).
+func FormatFigure7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7. Lost transactions in the stand-by database.\n")
+	fmt.Fprintf(&b, "%-10s", "size\\groups")
+	for _, g := range Figure7Grid.Groups {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("G%d", g))
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, size := range Figure7Grid.SizesMB {
+		fmt.Fprintf(&b, "%-10s", fmt.Sprintf("%d MB", size))
+		for _, g := range Figure7Grid.Groups {
+			v := -1
+			for _, r := range rows {
+				if r.SizeMB == size && r.Groups == g {
+					v = r.Lost
+				}
+			}
+			fmt.Fprintf(&b, " %8d", v)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

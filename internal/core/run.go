@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dbench/internal/backup"
+	"dbench/internal/engine"
+	"dbench/internal/faults"
+	"dbench/internal/recovery"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/simdisk"
+	"dbench/internal/sqladmin"
+	"dbench/internal/standby"
+	"dbench/internal/tpcc"
+)
+
+// Spec fully describes one benchmark experiment: the TPC-C workload, the
+// recovery configuration under test, and (optionally) one operator fault
+// with its injection instant.
+type Spec struct {
+	// Name labels the experiment in reports.
+	Name string
+	// Seed drives every random choice, making runs reproducible.
+	Seed int64
+
+	// Recovery is the configuration under test (a Table 3 row).
+	Recovery RecoveryConfig
+	// Archive enables the archive log mechanism (§5.2).
+	Archive bool
+	// Standby adds a stand-by database fed by archive shipping (§5.3).
+	Standby bool
+
+	// TPCC scales the workload.
+	TPCC tpcc.Config
+	// CacheBlocks sizes the buffer cache.
+	CacheBlocks int
+	// Cost is the simulated platform cost model.
+	Cost engine.CostModel
+
+	// Duration is the measured workload run length (paper: 20 minutes).
+	Duration time.Duration
+	// Fault, when non-nil, is injected InjectAt after the workload
+	// starts; recovery begins after Detection.
+	Fault     *faults.Fault
+	InjectAt  time.Duration
+	Detection time.Duration
+	// TailAfterRecovery, when positive, ends the run that long after
+	// the recovery completes instead of running the full Duration —
+	// recovery-time experiments do not need the remaining workload
+	// (performance is measured on fault-free runs).
+	TailAfterRecovery time.Duration
+}
+
+// DefaultSpec returns a paper-style 20-minute experiment on F100G3T10
+// without a fault.
+func DefaultSpec() Spec {
+	return Spec{
+		Name:        "default",
+		Seed:        1,
+		Recovery:    mustConfig("F100G3T10"),
+		TPCC:        tpcc.DefaultConfig(),
+		CacheBlocks: 4096,
+		Cost:        engine.DefaultCostModel(),
+		Duration:    20 * time.Minute,
+		Detection:   2 * time.Second,
+	}
+}
+
+func mustConfig(name string) RecoveryConfig {
+	c, ok := ConfigByName(name)
+	if !ok {
+		panic("core: unknown config " + name)
+	}
+	return c
+}
+
+// Result carries the measures of one experiment: the performance measure
+// of TPC-C plus the paper's new dependability measures.
+type Result struct {
+	Spec Spec
+
+	// TpmC is the New-Order throughput over the full run.
+	TpmC float64
+	// Series is New-Order throughput in 30-second buckets.
+	Series []int
+	// Committed counts all committed transactions; Failures the failed
+	// attempts observed by terminals.
+	Committed int
+	Failures  int
+
+	// Outcome describes the fault and its recovery (nil without fault).
+	Outcome *faults.Outcome
+	// RecoveryTime is the recovery procedure duration (the paper's
+	// Tables 4/5 measure; excludes detection).
+	RecoveryTime time.Duration
+	// UserOutage is the end-user view: from injection to the first
+	// successful transaction after it.
+	UserOutage time.Duration
+
+	// LostTransactions counts acknowledged commits whose effects are
+	// missing after the experiment (the paper's lost-transaction
+	// measure).
+	LostTransactions int
+	// IntegrityViolations lists failed TPC-C consistency conditions.
+	IntegrityViolations []tpcc.Violation
+
+	// Checkpoints is the number of completed checkpoints during the
+	// run (Table 3's rightmost column).
+	Checkpoints int
+	// RedoWritten is the volume of redo generated.
+	RedoWritten int64
+	// LogStalls is time transactions spent waiting for log-group reuse.
+	LogStalls time.Duration
+
+	// Diagnostics for calibration and reports.
+	DebugLog     *redo.Manager // the primary instance's log (debug access)
+	ByType       map[tpcc.TxnType]int
+	LockWaits    int64
+	LockTimeouts int64
+	CacheHitRate float64
+	DiskBusy     map[string]time.Duration
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s: tpmC=%.0f ckpts=%d", r.Spec.Name, r.TpmC, r.Checkpoints)
+	if r.Outcome != nil {
+		s += fmt.Sprintf(" fault=%v recovery=%v outage=%v lost=%d viol=%d",
+			r.Outcome.Fault, r.RecoveryTime.Round(time.Second), r.UserOutage.Round(time.Second),
+			r.LostTransactions, len(r.IntegrityViolations))
+	}
+	return s
+}
+
+// debugTrace enables phase tracing on stdout (used while calibrating).
+var debugTrace = false
+
+// Run executes one experiment end to end: build the simulated platform,
+// create and load the database, take the reference backup, run TPC-C for
+// the configured duration with the optional fault, then collect measures.
+func Run(spec Spec) (*Result, error) {
+	k := sim.NewKernel(spec.Seed)
+	fs := simdisk.NewFS(
+		simdisk.DefaultSpec(engine.DiskData1),
+		simdisk.DefaultSpec(engine.DiskData2),
+		simdisk.DefaultSpec(engine.DiskRedo),
+		simdisk.DefaultSpec(engine.DiskArch),
+	)
+	ecfg := engine.DefaultConfig()
+	ecfg.Redo.GroupSizeBytes = spec.Recovery.FileSize
+	ecfg.Redo.Groups = spec.Recovery.Groups
+	ecfg.Redo.ArchiveMode = spec.Archive
+	ecfg.CheckpointTimeout = spec.Recovery.CheckpointTimeout
+	ecfg.CacheBlocks = spec.CacheBlocks
+	ecfg.Cost = spec.Cost
+	in, err := engine.New(k, fs, ecfg)
+	if err != nil {
+		return nil, err
+	}
+
+	bk := backup.NewManager(k, fs, engine.DiskArch)
+	rm := recovery.NewManager(in, bk)
+	ex := sqladmin.NewExecutor(in, rm, bk)
+	inj := faults.NewInjector(in, rm, ex)
+	if spec.Detection > 0 {
+		inj.Detection = spec.Detection
+	}
+
+	app := tpcc.NewApp(in, spec.TPCC)
+	drv := tpcc.NewDriver(app, tpcc.DefaultDriverConfig())
+
+	res := &Result{Spec: spec}
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+		k.Stop()
+	}
+
+	trace := func(msg string) {
+		if debugTrace {
+			fmt.Printf("[%v] %s\n", k.Now(), msg)
+		}
+	}
+	var sb *standby.Standby
+	recoveryPoint := redo.SCN(-1) // -1: complete recovery, nothing lost
+	k.Go("benchmark", func(p *sim.Proc) {
+		// Phase 1: create, load, checkpoint, reference backup.
+		if err := in.Open(p); err != nil {
+			fail(err)
+			return
+		}
+		if err := app.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+			fail(err)
+			return
+		}
+		if err := app.Load(p, rand.New(rand.NewSource(spec.Seed))); err != nil {
+			fail(err)
+			return
+		}
+		if err := in.Checkpoint(p); err != nil {
+			fail(err)
+			return
+		}
+		backupSCN := in.DB().Control.CheckpointSCN
+		if _, err := bk.TakeFull(p, in.DB(), in.Catalog(), backupSCN); err != nil {
+			fail(err)
+			return
+		}
+		if spec.Archive {
+			if err := in.ForceLogSwitch(p); err != nil {
+				fail(err)
+				return
+			}
+		}
+
+		// Phase 1b: instantiate the stand-by from the same content.
+		if spec.Standby {
+			sb, err = buildStandby(p, k, ecfg, spec, backupSCN)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := sb.Start(p); err != nil {
+				fail(err)
+				return
+			}
+			in.Archiver().OnArchived = sb.Ship
+		}
+
+		trace("setup done")
+		// Phase 2: measured run.
+		start := p.Now()
+		ckptBase := in.Stats().Checkpoints
+		drv.Start()
+
+		if spec.Fault != nil {
+			p.Sleep(spec.InjectAt)
+			trace("injecting")
+			o, err := inj.Inject(p, *spec.Fault)
+			if err != nil {
+				fail(err)
+				return
+			}
+			res.Outcome = o
+			if spec.Standby && *spec.Fault == (faults.Fault{Kind: faults.ShutdownAbort}) {
+				// Fail over to the stand-by instead of recovering
+				// the primary.
+				p.Sleep(inj.Detection)
+				o.DetectedAt = p.Now()
+				if _, err := sb.Activate(p); err != nil {
+					fail(err)
+					return
+				}
+				recoveryPoint = sb.AppliedSCN()
+				app.In = sb.Instance()
+				o.RecoveredAt = p.Now()
+			} else {
+				if err := inj.Recover(p, o); err != nil {
+					fail(err)
+					return
+				}
+				if o.Report != nil && !o.Report.Complete {
+					recoveryPoint = o.PreFaultSCN
+				}
+			}
+			res.RecoveryTime = o.RecoveryDuration()
+		}
+
+		trace("tail")
+		rest := spec.Duration - p.Now().Sub(start)
+		if spec.Fault != nil && spec.TailAfterRecovery > 0 && rest > spec.TailAfterRecovery {
+			rest = spec.TailAfterRecovery
+		}
+		if rest > 0 {
+			p.Sleep(rest)
+		}
+		trace("quiesce")
+		drv.Quiesce(p)
+		trace("quiesced")
+		end := p.Now()
+		if full := start.Add(spec.Duration); end > full {
+			end = full
+		}
+
+		// Phase 3: measures.
+		res.TpmC = drv.TpmC(start, end)
+		res.Series = drv.ThroughputSeries(start, end, 30*time.Second)
+		res.Committed = drv.CountCommitted(0)
+		res.Failures = len(drv.Failures())
+		res.Checkpoints = in.Stats().Checkpoints - ckptBase
+		res.RedoWritten = in.Log().Stats().FlushedBytes
+		res.LogStalls = in.Log().Stats().StallTime
+		res.DebugLog = in.Log()
+		res.ByType = make(map[tpcc.TxnType]int)
+		for _, c := range drv.Commits() {
+			res.ByType[c.Type]++
+		}
+		ts := in.Txns().Stats()
+		res.LockWaits, res.LockTimeouts = ts.LockWaits, ts.LockTimeouts
+		cs := in.Cache().Stats()
+		if cs.Hits+cs.Misses > 0 {
+			res.CacheHitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+		}
+		res.DiskBusy = make(map[string]time.Duration)
+		for _, d := range fs.DiskNames() {
+			res.DiskBusy[d] = fs.Disk(d).BusyTotal()
+		}
+		if res.Outcome != nil {
+			if back, ok := drv.FirstCommitAfter(res.Outcome.InjectedAt); ok {
+				res.UserOutage = back.Sub(res.Outcome.InjectedAt)
+			} else {
+				res.UserOutage = end.Sub(res.Outcome.InjectedAt)
+			}
+		}
+		// Lost transactions from the end-user view: with an incomplete
+		// recovery point, count acknowledged commits beyond it (row
+		// probing is defeated by order-id reuse after the rollback);
+		// otherwise probe every acknowledged order row.
+		if recoveryPoint >= 0 {
+			// Only commits acknowledged before the recovery started
+			// can be lost; later SCNs belong to the new incarnation.
+			for _, c := range drv.Commits() {
+				if c.SCN > recoveryPoint && c.At <= res.Outcome.DetectedAt {
+					res.LostTransactions++
+				}
+			}
+			// The recovery report counts lost commits from the redo
+			// stream itself (including the instants between detection
+			// and shutdown); take the authoritative larger figure.
+			if rep := res.Outcome.Report; rep != nil && rep.LostCommits > res.LostTransactions {
+				res.LostTransactions = rep.LostCommits
+			}
+		} else {
+			lost, err := drv.VerifyDurability(p)
+			if err != nil {
+				fail(fmt.Errorf("core: durability check: %w", err))
+				return
+			}
+			res.LostTransactions = len(lost)
+		}
+		viols, err := app.CheckConsistency(p)
+		if err != nil {
+			fail(fmt.Errorf("core: consistency check: %w", err))
+			return
+		}
+		res.IntegrityViolations = viols
+		k.Stop()
+	})
+	k.Run(sim.Time(200 * time.Hour))
+	// Tear the simulation down completely: blocked background processes
+	// (LGWR waiting for work, PMON sleeping, stand-by MRP, ...) would
+	// otherwise leak their goroutines and keep the whole run's state
+	// reachable — across a campaign of dozens of runs that is an OOM.
+	k.KillAll()
+	if runErr != nil {
+		return nil, fmt.Errorf("core: run %q: %w", spec.Name, runErr)
+	}
+	return res, nil
+}
+
+// buildStandby creates the stand-by server: its own simulated machine with
+// an identical schema and data content (the standard "instantiate from a
+// backup of the primary" procedure, reproduced by re-running the
+// deterministic load), left mounted in managed recovery from startSCN.
+func buildStandby(p *sim.Proc, k *sim.Kernel, ecfg engine.Config, spec Spec, startSCN redo.SCN) (*standby.Standby, error) {
+	sbFS := simdisk.NewFS(
+		simdisk.DefaultSpec(engine.DiskData1),
+		simdisk.DefaultSpec(engine.DiskData2),
+		simdisk.DefaultSpec(engine.DiskRedo),
+		simdisk.DefaultSpec(engine.DiskArch),
+	)
+	sbCfg := ecfg
+	sbCfg.Name = "standby"
+	sbIn, err := engine.New(k, sbFS, sbCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: standby: %w", err)
+	}
+	sbApp := tpcc.NewApp(sbIn, spec.TPCC)
+	if err := sbApp.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+		return nil, fmt.Errorf("core: standby schema: %w", err)
+	}
+	if err := sbApp.Load(p, rand.New(rand.NewSource(spec.Seed))); err != nil {
+		return nil, fmt.Errorf("core: standby load: %w", err)
+	}
+	return standby.New(sbIn, standby.DefaultConfig(), startSCN), nil
+}

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/storage"
+)
+
+// Administrative surface: the operations a DBA performs, and therefore the
+// operations the operator-fault injector misuses. They mirror the Oracle
+// commands named in the paper's Table 2.
+
+// adminLatency is the fixed cost of processing an administrative command.
+const adminLatency = 500 * time.Millisecond
+
+// CreateTablespace allocates a tablespace with one datafile per disk.
+func (in *Instance) CreateTablespace(p *sim.Proc, name string, disks []string, blocksPerFile int) (*storage.Tablespace, error) {
+	ts, err := in.db.CreateTablespace(name, disks, blocksPerFile)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(adminLatency)
+	return ts, nil
+}
+
+// CreateUser registers a database account.
+func (in *Instance) CreateUser(p *sim.Proc, name, defaultTablespace string) error {
+	_, err := in.cat.CreateUser(name, defaultTablespace)
+	return err
+}
+
+// CreateTable allocates a table segment in the named tablespace.
+func (in *Instance) CreateTable(p *sim.Proc, table, owner, tablespace string, numBlocks int) error {
+	return in.CreateTableClustered(p, table, owner, tablespace, numBlocks, 1)
+}
+
+// CreateTableClustered allocates a table segment whose rows are clustered
+// in runs of `cluster` consecutive keys per block.
+func (in *Instance) CreateTableClustered(p *sim.Proc, table, owner, tablespace string, numBlocks, cluster int) error {
+	ts, err := in.db.Tablespace(tablespace)
+	if err != nil {
+		return err
+	}
+	_, err = in.cat.CreateTableClustered(table, owner, ts, numBlocks, cluster)
+	return err
+}
+
+// logDDL records a DDL operation in the redo stream and forces it to disk
+// (DDL commits implicitly).
+func (in *Instance) logDDL(p *sim.Proc, statement string) error {
+	if err := in.log.Reserve(p, int64(256+len(statement))); err != nil {
+		return err
+	}
+	scn := in.log.Append(redo.Record{Op: redo.OpDDL, Meta: statement})
+	return in.log.WaitFlushed(p, scn)
+}
+
+// DropTable removes a table (DDL; implicitly committed). The segment's
+// rows become unreachable immediately — this is the paper's "delete
+// user's object" fault when executed by mistake.
+func (in *Instance) DropTable(p *sim.Proc, table string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	if _, err := in.cat.Table(table); err != nil {
+		return err
+	}
+	if err := in.logDDL(p, "DROP TABLE "+table); err != nil {
+		return err
+	}
+	p.Sleep(adminLatency)
+	return in.cat.DropTable(table)
+}
+
+// DropTablespace removes a tablespace including contents: all tables in it
+// are dropped and its datafiles deleted.
+func (in *Instance) DropTablespace(p *sim.Proc, name string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	ts, err := in.db.Tablespace(name)
+	if err != nil {
+		return err
+	}
+	if ts.System() {
+		return fmt.Errorf("engine: cannot drop SYSTEM tablespace")
+	}
+	if err := in.logDDL(p, "DROP TABLESPACE "+name+" INCLUDING CONTENTS"); err != nil {
+		return err
+	}
+	for _, tbl := range in.cat.TablesIn(name) {
+		if err := in.cat.DropTable(tbl); err != nil {
+			return err
+		}
+	}
+	for _, f := range ts.Files {
+		in.cache.InvalidateFile(f)
+	}
+	p.Sleep(adminLatency)
+	return in.db.DropTablespace(name)
+}
+
+// DropUser removes an account and cascades to its tables.
+func (in *Instance) DropUser(p *sim.Proc, name string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	if err := in.logDDL(p, "DROP USER "+name+" CASCADE"); err != nil {
+		return err
+	}
+	_, err := in.cat.DropUser(name)
+	return err
+}
+
+// OfflineDatafile takes one datafile offline immediately (ALTER DATABASE
+// DATAFILE ... OFFLINE): no checkpoint is taken, so bringing it back
+// online requires media recovery from the file's checkpoint SCN.
+func (in *Instance) OfflineDatafile(p *sim.Proc, name string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	f, err := in.db.Datafile(name)
+	if err != nil {
+		return err
+	}
+	in.cache.InvalidateFile(f)
+	f.SetOnline(false)
+	f.NeedsRecovery = true
+	p.Sleep(adminLatency)
+	return nil
+}
+
+// OnlineDatafile brings a recovered datafile back online. The file must
+// have been caught up to the database checkpoint first (the recovery
+// manager's RecoverDatafile does this); otherwise the command fails like
+// Oracle's ORA-01113 "file needs media recovery".
+func (in *Instance) OnlineDatafile(p *sim.Proc, name string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	f, err := in.db.Datafile(name)
+	if err != nil {
+		return err
+	}
+	if f.Lost() {
+		return fmt.Errorf("engine: datafile %q lost, restore it first", name)
+	}
+	if f.NeedsRecovery {
+		return fmt.Errorf("engine: datafile %q needs media recovery (file ckpt %d, db ckpt %d)",
+			name, f.CkptSCN, in.db.Control.CheckpointSCN)
+	}
+	f.SetOnline(true)
+	p.Sleep(adminLatency)
+	return nil
+}
+
+// OfflineTablespace takes a tablespace offline cleanly (ALTER TABLESPACE
+// ... OFFLINE NORMAL): its dirty buffers are checkpointed first, so
+// bringing it back online needs no recovery — the paper measures this
+// fault's recovery at about a second.
+func (in *Instance) OfflineTablespace(p *sim.Proc, name string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	ts, err := in.db.Tablespace(name)
+	if err != nil {
+		return err
+	}
+	if ts.System() {
+		return fmt.Errorf("engine: cannot offline SYSTEM tablespace")
+	}
+	// Offline NORMAL: stop DML on the files first, then flush their
+	// remaining dirty buffers (a tablespace checkpoint) so no change —
+	// committed or in flight — is lost; only then drop the buffers.
+	// Doing the checkpoint before going offline would race concurrent
+	// transactions and lose whatever they wrote after the snapshot.
+	ts.SetOnline(false)
+	for _, f := range ts.Files {
+		if err := in.cache.FlushFileForce(p, f); err != nil {
+			ts.SetOnline(true)
+			return err
+		}
+	}
+	for _, f := range ts.Files {
+		in.cache.InvalidateFile(f)
+		f.CkptSCN = in.log.FlushedSCN()
+	}
+	p.Sleep(adminLatency)
+	return nil
+}
+
+// OnlineTablespace brings a cleanly-offlined tablespace back.
+func (in *Instance) OnlineTablespace(p *sim.Proc, name string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	ts, err := in.db.Tablespace(name)
+	if err != nil {
+		return err
+	}
+	for _, f := range ts.Files {
+		if f.Lost() {
+			return fmt.Errorf("engine: tablespace %q datafile %q lost", name, f.Name)
+		}
+		if f.NeedsRecovery {
+			return fmt.Errorf("engine: tablespace %q needs recovery", name)
+		}
+	}
+	ts.SetOnline(true)
+	p.Sleep(adminLatency)
+	return nil
+}
+
+// ForceLogSwitch performs ALTER SYSTEM SWITCH LOGFILE.
+func (in *Instance) ForceLogSwitch(p *sim.Proc) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	return in.log.ForceSwitch(p)
+}

@@ -1,0 +1,378 @@
+// Package engine implements the database instance: the coordinator that
+// wires the redo log, buffer cache, transaction manager, checkpoint and
+// archiver processes over the physical database, and exposes the DML and
+// administration surface the workload and the fault injector drive.
+//
+// The architecture mirrors Oracle 8i as described in the paper's §2.1:
+// LGWR (redo.Manager), DBWR (cache write-back), CKPT (checkpoint process),
+// ARCH (archivelog.Archiver), a control file, datafiles in tablespaces,
+// and an SGA-style buffer cache.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"dbench/internal/archivelog"
+	"dbench/internal/bufcache"
+	"dbench/internal/catalog"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/simdisk"
+	"dbench/internal/storage"
+	"dbench/internal/txn"
+)
+
+// State is the instance lifecycle state.
+type State uint8
+
+// Instance states.
+const (
+	StateDown State = iota + 1
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateDown:
+		return "down"
+	case StateOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Errors reported by the instance.
+var (
+	// ErrInstanceDown is returned by DML calls while the instance is not
+	// open; clients see it as a lost connection.
+	ErrInstanceDown = errors.New("engine: instance down")
+	// ErrCrashRecoveryNeeded is returned by Open when the database was
+	// not cleanly shut down and has not been recovered.
+	ErrCrashRecoveryNeeded = errors.New("engine: crash recovery required")
+)
+
+// Stats counts instance activity for the benchmark reports.
+type Stats struct {
+	Checkpoints        int
+	SwitchCheckpoints  int
+	TimeoutCheckpoints int
+	Crashes            int
+}
+
+// Instance is one database server instance plus its database.
+type Instance struct {
+	k   *sim.Kernel
+	fs  *simdisk.FS
+	cfg Config
+
+	db    *storage.DB
+	cat   *catalog.Catalog
+	log   *redo.Manager
+	cache *bufcache.Cache
+	tm    *txn.Manager
+	arch  *archivelog.Archiver
+	cpu   *sim.Resource
+
+	state     State
+	mounted   bool // instance started (SGA up, control file read), not yet open
+	crashed   bool // not cleanly shut down; recovery required before Open
+	recovered bool // recovery manager completed instance recovery
+
+	ckpt      *ckptProcess
+	pmon      *pmonProcess
+	stats     Stats
+	openedAt  sim.Time
+	downSince sim.Time
+
+	// OnStateChange, when set, observes lifecycle transitions (the
+	// benchmark driver uses it to timestamp outages).
+	OnStateChange func(now sim.Time, s State)
+}
+
+// New builds an instance over fs. The database starts empty and down;
+// callers create tablespaces/tables (or restore a backup), then Open.
+func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
+	db, err := storage.NewDB(fs, cfg.ControlDisk)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	log, err := redo.NewManager(k, fs, cfg.Redo)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	inst := &Instance{
+		k:     k,
+		fs:    fs,
+		cfg:   cfg,
+		db:    db,
+		cat:   catalog.New(),
+		log:   log,
+		cache: bufcache.New(k, cfg.CacheBlocks),
+		cpu:   sim.NewResource(1),
+		state: StateDown,
+	}
+	inst.cache.FlushLog = func(p *sim.Proc, scn redo.SCN) error {
+		if !inst.log.Running() {
+			return fmt.Errorf("engine: log writer down")
+		}
+		return inst.log.WaitFlushed(p, scn)
+	}
+	inst.tm = txn.NewManager(k, log, inst.cache, inst.cat, inst.cpu, txn.Config{
+		LockTimeout: cfg.Cost.LockTimeout,
+		CPUPerOp:    cfg.Cost.CPUPerOp,
+	})
+	if cfg.Redo.ArchiveMode {
+		inst.arch = archivelog.NewArchiver(k, fs, log, cfg.ArchiveDisk)
+	}
+	log.OnSwitch = inst.onLogSwitch
+	log.OnFatal = func(err error) { inst.Crash() }
+	log.UndoFloor = inst.tm.OldestActiveFirstSCN
+	inst.tm.OnTxnFinished = log.NotifyUndoFloorChanged
+	return inst, nil
+}
+
+// Accessors used by the workload, fault injector, backup and recovery
+// layers.
+
+// Kernel returns the simulation kernel.
+func (in *Instance) Kernel() *sim.Kernel { return in.k }
+
+// FS returns the simulated file system.
+func (in *Instance) FS() *simdisk.FS { return in.fs }
+
+// DB returns the physical database.
+func (in *Instance) DB() *storage.DB { return in.db }
+
+// Catalog returns the data dictionary.
+func (in *Instance) Catalog() *catalog.Catalog { return in.cat }
+
+// Log returns the redo log manager.
+func (in *Instance) Log() *redo.Manager { return in.log }
+
+// Cache returns the buffer cache.
+func (in *Instance) Cache() *bufcache.Cache { return in.cache }
+
+// Txns returns the transaction manager.
+func (in *Instance) Txns() *txn.Manager { return in.tm }
+
+// Archiver returns the ARCH process, or nil when archive mode is off.
+func (in *Instance) Archiver() *archivelog.Archiver { return in.arch }
+
+// Config returns the instance configuration.
+func (in *Instance) Config() Config { return in.cfg }
+
+// Stats returns a copy of the instance counters.
+func (in *Instance) Stats() Stats { return in.stats }
+
+// State returns the lifecycle state.
+func (in *Instance) State() State { return in.state }
+
+// Crashed reports whether the last stop was unclean (recovery needed).
+func (in *Instance) Crashed() bool { return in.crashed }
+
+// MarkRecovered is called by the recovery manager once instance recovery
+// has completed, unblocking Open.
+func (in *Instance) MarkRecovered() { in.recovered = true }
+
+// DownSince reports when the instance last left the open state.
+func (in *Instance) DownSince() sim.Time { return in.downSince }
+
+// Mount starts the instance without opening the database: the SGA is
+// allocated, background process slots created and the control file read.
+// Recovery runs against a mounted instance; Open completes the startup.
+func (in *Instance) Mount(p *sim.Proc) error {
+	if in.state == StateOpen {
+		return fmt.Errorf("engine: already open")
+	}
+	if in.mounted {
+		return nil
+	}
+	if in.db.Control.Lost() {
+		return storage.ErrControlLost
+	}
+	p.Sleep(in.cfg.Cost.InstanceStartup)
+	// A fresh instance starts with a fresh SGA: drop anything a process
+	// racing the previous crash may have smuggled into the cache.
+	in.cache.InvalidateAll()
+	in.tm.AbandonAll()
+	in.mounted = true
+	return nil
+}
+
+// Open starts the instance: charges startup cost (unless already
+// mounted), verifies the control file, starts background processes and
+// accepts work. A crashed database must be recovered first
+// (recovery.InstanceRecovery does this and calls MarkRecovered).
+func (in *Instance) Open(p *sim.Proc) error {
+	if in.state == StateOpen {
+		return nil
+	}
+	if err := in.Mount(p); err != nil {
+		return err
+	}
+	if in.crashed && !in.recovered {
+		return ErrCrashRecoveryNeeded
+	}
+	in.log.Start()
+	if in.arch != nil {
+		in.arch.Start()
+	}
+	in.ckpt = newCkptProcess(in)
+	in.ckpt.start()
+	in.pmon = newPmon(in)
+	in.pmon.start()
+	in.crashed = false
+	in.recovered = false
+	in.state = StateOpen
+	in.openedAt = in.k.Now()
+	// Mark the control file "in use": a crash leaves this mark behind.
+	in.db.Control.StopSCN = -1
+	if err := in.db.Control.Update(p); err != nil {
+		return err
+	}
+	if in.OnStateChange != nil {
+		in.OnStateChange(in.k.Now(), StateOpen)
+	}
+	return nil
+}
+
+// Crash kills the instance without any cleanup: SHUTDOWN ABORT and fatal
+// internal errors land here. The buffer cache and redo buffer vanish;
+// in-flight transactions are abandoned to recovery.
+func (in *Instance) Crash() {
+	if in.state == StateDown {
+		return
+	}
+	in.state = StateDown
+	in.mounted = false
+	in.crashed = true
+	in.downSince = in.k.Now()
+	in.stats.Crashes++
+	in.log.Stop()
+	if in.arch != nil {
+		in.arch.Stop()
+	}
+	if in.ckpt != nil {
+		in.ckpt.stop()
+	}
+	if in.pmon != nil {
+		in.pmon.stop()
+	}
+	in.cache.InvalidateAll()
+	in.tm.AbandonAll()
+	if in.OnStateChange != nil {
+		in.OnStateChange(in.k.Now(), StateDown)
+	}
+}
+
+// ShutdownImmediate closes the instance cleanly: active transactions are
+// rolled back, a final checkpoint is taken, and the control file is marked
+// clean so the next Open skips recovery.
+func (in *Instance) ShutdownImmediate(p *sim.Proc) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	if err := in.tm.RollbackAllActive(p); err != nil {
+		return fmt.Errorf("engine: shutdown: %w", err)
+	}
+	if err := in.checkpoint(p); err != nil {
+		return fmt.Errorf("engine: shutdown checkpoint: %w", err)
+	}
+	in.db.Control.StopSCN = in.log.FlushedSCN()
+	if err := in.db.Control.Update(p); err != nil {
+		return err
+	}
+	in.state = StateDown
+	in.mounted = false
+	in.crashed = false
+	in.downSince = in.k.Now()
+	in.log.Stop()
+	if in.arch != nil {
+		in.arch.Stop()
+	}
+	if in.ckpt != nil {
+		in.ckpt.stop()
+	}
+	if in.pmon != nil {
+		in.pmon.stop()
+	}
+	in.cache.InvalidateAll() // cache is clean after the checkpoint
+	if in.OnStateChange != nil {
+		in.OnStateChange(in.k.Now(), StateDown)
+	}
+	return nil
+}
+
+// onLogSwitch runs on the LGWR process at every log switch: it hands the
+// switched-out group to the archiver and requests a checkpoint so the
+// group can be reused.
+func (in *Instance) onLogSwitch(p *sim.Proc, old *redo.Group) {
+	if in.arch != nil && in.cfg.Redo.ArchiveMode {
+		in.arch.Enqueue(old)
+	}
+	if in.ckpt != nil {
+		in.ckpt.request(reasonSwitch)
+	}
+}
+
+// RequestCheckpoint asks the CKPT process for an asynchronous checkpoint.
+func (in *Instance) RequestCheckpoint() {
+	if in.ckpt != nil {
+		in.ckpt.request(reasonManual)
+	}
+}
+
+// Checkpoint performs a full synchronous checkpoint on the calling
+// process.
+func (in *Instance) Checkpoint(p *sim.Proc) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	return in.checkpoint(p)
+}
+
+// checkpoint is the core procedure: force the log, drain dirty buffers,
+// log the checkpoint record, persist the checkpoint SCN and release log
+// groups for reuse.
+func (in *Instance) checkpoint(p *sim.Proc) error {
+	// Capture the checkpoint position and the undo low-watermark first:
+	// all changes at or below scn are covered by the dirty-buffer
+	// snapshot written below.
+	scn := in.log.NextSCN() - 1
+	undoSCN := in.tm.OldestActiveFirstSCN()
+	if undoSCN == 0 {
+		undoSCN = scn + 1
+	}
+	if _, err := in.cache.Checkpoint(p); err != nil {
+		return err
+	}
+	// The durable checkpoint position cannot exceed what is flushed:
+	// redo beyond FlushedSCN would be lost in a crash, so recovery must
+	// still scan from there. (Oracle records the position in the file
+	// headers and control file; no redo record is needed, which also
+	// keeps checkpoints deadlock-free while the log is stalled.)
+	if flushed := in.log.FlushedSCN(); flushed < scn {
+		scn = flushed
+	}
+	if undoSCN > scn+1 {
+		undoSCN = scn + 1
+	}
+	in.db.Control.CheckpointSCN = scn
+	in.db.Control.UndoSCN = undoSCN
+	for _, f := range in.db.Datafiles() {
+		if f.Online() && !f.Lost() {
+			f.CkptSCN = scn
+			f.UndoSCN = undoSCN
+		}
+	}
+	if err := in.db.Control.Update(p); err != nil {
+		// Losing the control file kills the instance.
+		in.Crash()
+		return err
+	}
+	in.log.CheckpointCompleted(scn)
+	in.stats.Checkpoints++
+	return nil
+}

@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dbench/internal/sim"
+	"dbench/internal/simdisk"
+)
+
+func newInstance(t *testing.T, mutate func(*Config)) (*sim.Kernel, *simdisk.FS, *Instance) {
+	t.Helper()
+	k := sim.NewKernel(7)
+	fs := simdisk.NewFS(
+		simdisk.DefaultSpec(DiskData1),
+		simdisk.DefaultSpec(DiskData2),
+		simdisk.DefaultSpec(DiskRedo),
+		simdisk.DefaultSpec(DiskArch),
+	)
+	cfg := DefaultConfig()
+	cfg.Redo.GroupSizeBytes = 1 << 20
+	cfg.CheckpointTimeout = 0
+	cfg.CacheBlocks = 64
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	in, err := New(k, fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, fs, in
+}
+
+func setupAndOpen(p *sim.Proc, in *Instance) error {
+	if _, err := in.CreateTablespace(p, "USERS", []string{DiskData1}, 32); err != nil {
+		return err
+	}
+	if err := in.CreateUser(p, "u", "USERS"); err != nil {
+		return err
+	}
+	if err := in.Open(p); err != nil {
+		return err
+	}
+	return in.CreateTable(p, "t", "u", "USERS", 8)
+}
+
+func runErr(t *testing.T, k *sim.Kernel, fn func(p *sim.Proc) error) {
+	t.Helper()
+	var got error
+	k.Go("test", func(p *sim.Proc) {
+		got = fn(p)
+	})
+	k.Run(sim.Time(100 * time.Hour))
+	if got != nil {
+		t.Fatal(got)
+	}
+}
+
+func TestOpenChargesStartupTime(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	var opened sim.Time
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		opened = p.Now()
+		return nil
+	})
+	if opened < sim.Time(in.cfg.Cost.InstanceStartup) {
+		t.Fatalf("opened at %v, startup cost is %v", opened, in.cfg.Cost.InstanceStartup)
+	}
+	if in.State() != StateOpen {
+		t.Fatalf("state = %v", in.State())
+	}
+}
+
+func TestDMLFailsWhenDown(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if _, err := in.Begin(); !errors.Is(err, ErrInstanceDown) {
+			return fmt.Errorf("Begin while down: %v", err)
+		}
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		tx, err := in.Begin()
+		if err != nil {
+			return err
+		}
+		if err := in.Insert(p, tx, "t", 1, []byte("v")); err != nil {
+			return err
+		}
+		in.Crash()
+		if err := in.Commit(p, tx); !errors.Is(err, ErrInstanceDown) {
+			return fmt.Errorf("Commit after crash: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestCheckpointTimeoutFires(t *testing.T) {
+	k, _, in := newInstance(t, func(c *Config) {
+		c.CheckpointTimeout = 60 * time.Second
+	})
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		p.Sleep(10 * time.Minute)
+		if got := in.Stats().TimeoutCheckpoints; got < 8 || got > 11 {
+			return fmt.Errorf("timeout checkpoints in 10min = %d, want ~10", got)
+		}
+		return in.ShutdownImmediate(p)
+	})
+}
+
+func TestLogSwitchTriggersCheckpoint(t *testing.T) {
+	k, _, in := newInstance(t, func(c *Config) {
+		c.Redo.GroupSizeBytes = 16 << 10
+	})
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		for i := 0; i < 300; i++ {
+			tx, err := in.Begin()
+			if err != nil {
+				return err
+			}
+			if err := in.Insert(p, tx, "t", int64(i), make([]byte, 100)); err != nil {
+				return err
+			}
+			if err := in.Commit(p, tx); err != nil {
+				return err
+			}
+		}
+		p.Sleep(time.Second) // let CKPT drain
+		if in.Stats().SwitchCheckpoints == 0 {
+			return fmt.Errorf("no switch checkpoints after %d switches", in.Log().Stats().Switches)
+		}
+		return nil
+	})
+}
+
+func TestCleanShutdownAndReopenWithoutRecovery(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		tx, _ := in.Begin()
+		if err := in.Insert(p, tx, "t", 1, []byte("v")); err != nil {
+			return err
+		}
+		if err := in.Commit(p, tx); err != nil {
+			return err
+		}
+		if err := in.ShutdownImmediate(p); err != nil {
+			return err
+		}
+		if in.Crashed() {
+			return fmt.Errorf("clean shutdown marked crashed")
+		}
+		if err := in.Open(p); err != nil {
+			return err
+		}
+		tx2, _ := in.Begin()
+		v, err := in.Read(p, tx2, "t", 1)
+		if err != nil {
+			return err
+		}
+		if string(v) != "v" {
+			return fmt.Errorf("value = %q", v)
+		}
+		return in.Commit(p, tx2)
+	})
+}
+
+func TestShutdownImmediateRollsBackActive(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		tx, _ := in.Begin()
+		if err := in.Insert(p, tx, "t", 42, []byte("inflight")); err != nil {
+			return err
+		}
+		if err := in.ShutdownImmediate(p); err != nil {
+			return err
+		}
+		if err := in.Open(p); err != nil {
+			return err
+		}
+		check, _ := in.Begin()
+		if _, err := in.Read(p, check, "t", 42); err == nil {
+			return fmt.Errorf("in-flight insert survived clean shutdown")
+		}
+		return in.Commit(p, check)
+	})
+}
+
+func TestDropTableMakesRowsUnreachable(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		tx, _ := in.Begin()
+		_ = in.Insert(p, tx, "t", 1, []byte("v"))
+		if err := in.Commit(p, tx); err != nil {
+			return err
+		}
+		if err := in.DropTable(p, "t"); err != nil {
+			return err
+		}
+		tx2, _ := in.Begin()
+		if _, err := in.Read(p, tx2, "t", 1); err == nil {
+			return fmt.Errorf("read from dropped table succeeded")
+		}
+		_ = in.Rollback(p, tx2)
+		if err := in.DropTable(p, "t"); err == nil {
+			return fmt.Errorf("double drop succeeded")
+		}
+		return nil
+	})
+}
+
+func TestDirectLoadThenScan(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		rows := make(map[int64][]byte)
+		for i := int64(0); i < 200; i++ {
+			rows[i] = []byte{byte(i)}
+		}
+		if err := in.DirectLoad(p, "t", rows); err != nil {
+			return err
+		}
+		n := 0
+		if err := in.Scan(p, "t", func(k int64, v []byte) bool {
+			n++
+			return true
+		}); err != nil {
+			return err
+		}
+		if n != 200 {
+			return fmt.Errorf("scanned %d rows", n)
+		}
+		// Loaded rows are readable transactionally too.
+		tx, _ := in.Begin()
+		v, err := in.Read(p, tx, "t", 77)
+		if err != nil {
+			return err
+		}
+		if v[0] != 77 {
+			return fmt.Errorf("row 77 = %v", v)
+		}
+		return in.Commit(p, tx)
+	})
+}
+
+func TestControlFileLossCrashesOnCheckpoint(t *testing.T) {
+	k, fs, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		if err := fs.Delete("control.ctl"); err != nil {
+			return err
+		}
+		if err := in.Checkpoint(p); err == nil {
+			return fmt.Errorf("checkpoint with lost control file succeeded")
+		}
+		if in.State() != StateDown {
+			return fmt.Errorf("instance still %v after control file loss", in.State())
+		}
+		return nil
+	})
+}
+
+func TestCrashStopsBackgroundProcesses(t *testing.T) {
+	k, _, in := newInstance(t, func(c *Config) {
+		c.Redo.ArchiveMode = true
+		c.CheckpointTimeout = 30 * time.Second
+	})
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		in.Crash()
+		p.Sleep(time.Minute)
+		if in.Log().Running() {
+			return fmt.Errorf("LGWR still running after crash")
+		}
+		if in.Archiver().Running() {
+			return fmt.Errorf("ARCH still running after crash")
+		}
+		return nil
+	})
+	// The kernel should quiesce (no leaked busy processes).
+	k.RunAll()
+	if k.Procs() != 0 {
+		t.Fatalf("leaked processes: %d", k.Procs())
+	}
+}

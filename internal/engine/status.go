@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Status reporting: the V$-view-style introspection a DBA (and the
+// benchmark driver) uses to observe the instance. Each report is a
+// point-in-time text snapshot.
+
+// StatusReport is a structured snapshot of the instance.
+type StatusReport struct {
+	State       State
+	Crashed     bool
+	Checkpoints int
+	CkptSCN     int64
+	UndoSCN     int64
+	FlushedSCN  int64
+	NextSCN     int64
+
+	ActiveTxns  int
+	ZombieTxns  int
+	CacheLen    int
+	CacheDirty  int
+	CacheHits   int64
+	CacheMisses int64
+
+	LogSwitches   int
+	LogStallTime  time.Duration
+	RedoWritten   int64
+	ArchiveQueue  int
+	ArchivedLogs  int
+	DatafileLines []string
+	LogLines      []string
+}
+
+// Status collects a snapshot.
+func (in *Instance) Status() StatusReport {
+	r := StatusReport{
+		State:       in.state,
+		Crashed:     in.crashed,
+		Checkpoints: in.stats.Checkpoints,
+		CkptSCN:     int64(in.db.Control.CheckpointSCN),
+		UndoSCN:     int64(in.db.Control.UndoSCN),
+		FlushedSCN:  int64(in.log.FlushedSCN()),
+		NextSCN:     int64(in.log.NextSCN()),
+		ActiveTxns:  in.tm.ActiveCount(),
+		ZombieTxns:  in.tm.ZombieCount(),
+		CacheLen:    in.cache.Len(),
+		CacheDirty:  in.cache.DirtyCount(),
+	}
+	cs := in.cache.Stats()
+	r.CacheHits, r.CacheMisses = cs.Hits, cs.Misses
+	ls := in.log.Stats()
+	r.LogSwitches = ls.Switches
+	r.LogStallTime = ls.StallTime
+	r.RedoWritten = ls.FlushedBytes
+	if in.arch != nil {
+		r.ArchiveQueue = in.arch.QueueLen()
+		r.ArchivedLogs = in.arch.Archived()
+	}
+	for _, f := range in.db.Datafiles() {
+		status := "ONLINE"
+		switch {
+		case f.Lost():
+			status = "LOST"
+		case f.NeedsRecovery:
+			status = "RECOVER"
+		case !f.Online():
+			status = "OFFLINE"
+		}
+		r.DatafileLines = append(r.DatafileLines,
+			fmt.Sprintf("%-16s %-12s %-8s ckpt=%d", f.Name, f.Tablespace, status, f.CkptSCN))
+	}
+	for _, g := range in.log.Groups() {
+		status := "INACTIVE"
+		switch {
+		case g.Current():
+			status = "CURRENT"
+		case !g.Archived():
+			status = "ACTIVE" // awaiting archive
+		}
+		r.LogLines = append(r.LogLines,
+			fmt.Sprintf("group %d seq=%-5d %-8s %5.1f%% full", g.ID, g.Seq, status,
+				100*float64(g.Bytes())/float64(g.Capacity())))
+	}
+	return r
+}
+
+// String renders the snapshot like a status screen.
+func (r StatusReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance: %v (crashed=%v)\n", r.State, r.Crashed)
+	fmt.Fprintf(&b, "scn: ckpt=%d undo=%d flushed=%d next=%d\n", r.CkptSCN, r.UndoSCN, r.FlushedSCN, r.NextSCN)
+	fmt.Fprintf(&b, "txns: active=%d zombie=%d\n", r.ActiveTxns, r.ZombieTxns)
+	fmt.Fprintf(&b, "cache: %d buffers (%d dirty), hits=%d misses=%d\n", r.CacheLen, r.CacheDirty, r.CacheHits, r.CacheMisses)
+	fmt.Fprintf(&b, "redo: %d switches, %s written, stalls=%v; archive queue=%d done=%d\n",
+		r.LogSwitches, byteSize(r.RedoWritten), r.LogStallTime.Round(time.Millisecond), r.ArchiveQueue, r.ArchivedLogs)
+	fmt.Fprintf(&b, "checkpoints: %d\n", r.Checkpoints)
+	fmt.Fprintf(&b, "datafiles:\n")
+	for _, l := range r.DatafileLines {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	fmt.Fprintf(&b, "redo logs:\n")
+	for _, l := range r.LogLines {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	return b.String()
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,133 @@
+// Package faults implements the paper's operator-fault machinery: the
+// classification of DBA mistakes (Tables 1 and 2), the injector that
+// reproduces the six fault types selected in §4 through the same
+// administrative interface a real DBA uses, and the automated recovery
+// procedure appropriate for each fault (§3.2).
+package faults
+
+import "fmt"
+
+// Class is a major group of database administration operations (paper
+// Table 1).
+type Class uint8
+
+// Operator-fault classes.
+const (
+	ClassMemoryProcesses Class = iota + 1
+	ClassSecurity
+	ClassStorage
+	ClassObjects
+	ClassRecoveryMechanisms
+)
+
+var classNames = map[Class]string{
+	ClassMemoryProcesses:    "Memory & processes administration",
+	ClassSecurity:           "Security management",
+	ClassStorage:            "Storage administration",
+	ClassObjects:            "Database object administration",
+	ClassRecoveryMechanisms: "Recovery mechanisms administration",
+}
+
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Portability says whether a fault type carries to other DBMS (paper
+// Table 2, right column).
+type Portability uint8
+
+// Portability levels.
+const (
+	PortYes Portability = iota + 1
+	PortEquivalent
+	PortOracleSpecific
+)
+
+func (p Portability) String() string {
+	switch p {
+	case PortYes:
+		return "Yes"
+	case PortEquivalent:
+		return "Equivalent"
+	case PortOracleSpecific:
+		return "Oracle"
+	default:
+		return fmt.Sprintf("port(%d)", uint8(p))
+	}
+}
+
+// TypeInfo describes one concrete operator-fault type (one row of the
+// paper's Table 2).
+type TypeInfo struct {
+	Class       Class
+	Description string
+	Portability Portability
+	// InFaultload marks the six types injected in the paper's
+	// experiments (§4).
+	InFaultload bool
+}
+
+// Classification reproduces the paper's Table 2 for Oracle 8i.
+var Classification = []TypeInfo{
+	{ClassMemoryProcesses, "Making a database instance shutdown", PortYes, true},
+	{ClassMemoryProcesses, "Removing or corrupting the initialization file", PortYes, false},
+	{ClassMemoryProcesses, "Incorrect configuration of the SGA parameters", PortYes, false},
+	{ClassMemoryProcesses, "Incorrect configuration of max. number of user sessions", PortYes, false},
+	{ClassMemoryProcesses, "Killing a user session", PortYes, false},
+
+	{ClassSecurity, "Database access level faults (passwords)", PortYes, false},
+	{ClassSecurity, "Incorrect attribution of system and object privileges", PortEquivalent, false},
+	{ClassSecurity, "Attribution of incorrect disk quotas to users", PortEquivalent, false},
+	{ClassSecurity, "Attribution of incorrect profiles to users", PortEquivalent, false},
+	{ClassSecurity, "Incorrect attribution of tablespaces to users", PortOracleSpecific, false},
+
+	{ClassStorage, "Delete a controlfile, tablespace or rollback segment", PortOracleSpecific, true},
+	{ClassStorage, "Delete a datafile", PortEquivalent, true},
+	{ClassStorage, "Incorrect distribution of datafiles through disks", PortYes, false},
+	{ClassStorage, "Insufficient number of rollback segments", PortOracleSpecific, false},
+	{ClassStorage, "Set a tablespace offline", PortOracleSpecific, true},
+	{ClassStorage, "Set a datafile offline", PortEquivalent, true},
+	{ClassStorage, "Set a rollback segment offline", PortOracleSpecific, false},
+	{ClassStorage, "Allow a tablespace to run out of space", PortOracleSpecific, false},
+	{ClassStorage, "Allow a rollback segment to run out of space", PortOracleSpecific, false},
+
+	{ClassObjects, "Delete a database user", PortYes, false},
+	{ClassObjects, "Delete any user's database object", PortYes, true},
+	{ClassObjects, "Incorrect configuration of object's storage parameters", PortEquivalent, false},
+	{ClassObjects, "Set the NOLOGGING option in tables", PortOracleSpecific, false},
+	{ClassObjects, "Incorrect use of optimization structures", PortYes, false},
+
+	{ClassRecoveryMechanisms, "Delete a redo log file or group", PortEquivalent, false},
+	{ClassRecoveryMechanisms, "Store all redo log group members in same disk", PortEquivalent, false},
+	{ClassRecoveryMechanisms, "Insufficient redo log groups to support archive", PortEquivalent, false},
+	{ClassRecoveryMechanisms, "Inexistence of archive logs", PortEquivalent, false},
+	{ClassRecoveryMechanisms, "Delete an archive log file", PortEquivalent, false},
+	{ClassRecoveryMechanisms, "Store archive files in the same disk as data files", PortEquivalent, false},
+	{ClassRecoveryMechanisms, "Backups missing to allow recovery", PortEquivalent, false},
+}
+
+// ByClass returns the classification rows for one class.
+func ByClass(c Class) []TypeInfo {
+	var out []TypeInfo
+	for _, t := range Classification {
+		if t.Class == c {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Faultload returns the rows marked as injected in the paper's
+// experiments.
+func Faultload() []TypeInfo {
+	var out []TypeInfo
+	for _, t := range Classification {
+		if t.InFaultload {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dbench/internal/sim"
+)
+
+// The extension fault kinds (other paper Table 2 rows) and negative
+// failure-injection scenarios beyond the six-type faultload.
+
+func TestCorruptDatafileRecovers(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		o, err := r.inj.InjectAndRecover(p, Fault{Kind: CorruptDatafile, Target: "USERS_01.dbf"})
+		if err != nil {
+			return err
+		}
+		if o.Report == nil || !o.Report.Complete {
+			return fmt.Errorf("report = %+v", o.Report)
+		}
+		return r.verifyData(p, 40)
+	})
+}
+
+func TestKillUserSessionRolledBackByPMON(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		// A session with an in-flight transaction.
+		tx, err := r.in.Begin()
+		if err != nil {
+			return err
+		}
+		if err := r.in.Insert(p, tx, "t", 999, []byte("in-flight")); err != nil {
+			return err
+		}
+		o, err := r.inj.InjectAndRecover(p, Fault{Kind: KillUserSession})
+		if err != nil {
+			return err
+		}
+		if d := o.RecoveryDuration(); d > 10*time.Second {
+			return fmt.Errorf("PMON cleanup took %v", d)
+		}
+		// The killed transaction's work is gone; committed data intact.
+		check, _ := r.in.Begin()
+		if _, err := r.in.Read(p, check, "t", 999); err == nil {
+			return fmt.Errorf("killed session's insert survived")
+		}
+		_ = r.in.Rollback(p, check)
+		return r.verifyData(p, 40)
+	})
+}
+
+func TestKillSessionWithNoActiveTxnIsNoop(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		if _, err := r.inj.InjectAndRecover(p, Fault{Kind: KillUserSession}); err != nil {
+			return err
+		}
+		return r.verifyData(p, 40)
+	})
+}
+
+// TestDeletedArchiveLogBreaksMediaRecovery is the consequence of the
+// Table 2 "delete an archive log file" mistake: a media recovery that
+// needs the deleted archive fails with a diagnosable error instead of
+// silently losing data.
+func TestDeletedArchiveLogBreaksMediaRecovery(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		// Generate enough redo to archive a few logs.
+		for i := int64(100); i < 4000; i++ {
+			tx, err := r.in.Begin()
+			if err != nil {
+				return err
+			}
+			if err := r.in.Insert(p, tx, "t", i, make([]byte, 64)); err != nil {
+				return err
+			}
+			if err := r.in.Commit(p, tx); err != nil {
+				return err
+			}
+		}
+		p.Sleep(5 * time.Second) // drain ARCH
+		logs := r.in.Archiver().Inventory().Logs()
+		if len(logs) < 2 {
+			return fmt.Errorf("need archived logs, got %d", len(logs))
+		}
+		// Second operator mistake: delete the first archived log.
+		if err := r.in.FS().Delete(logs[0].File().Name()); err != nil {
+			return err
+		}
+		// Now the "delete datafile" fault cannot be recovered.
+		if err := r.in.FS().Delete("USERS_01.dbf"); err != nil {
+			return err
+		}
+		o, err := r.inj.Inject(p, Fault{Kind: DeleteDatafile, Target: "USERS_01.dbf"})
+		if err == nil {
+			err = r.inj.Recover(p, o)
+		}
+		if err == nil {
+			return fmt.Errorf("media recovery succeeded despite a lost archive log")
+		}
+		return nil
+	})
+}
+
+// TestControlFileLossIsFatal is the Table 2 "delete a controlfile"
+// mistake: the instance dies and cannot restart without the control file.
+func TestControlFileLossIsFatal(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		if err := r.in.FS().Delete("control.ctl"); err != nil {
+			return err
+		}
+		// The next checkpoint hits the control file and crashes the
+		// instance.
+		if err := r.in.Checkpoint(p); err == nil {
+			return fmt.Errorf("checkpoint survived control file loss")
+		}
+		if err := r.in.Open(p); err == nil {
+			return fmt.Errorf("open succeeded without control file")
+		}
+		return nil
+	})
+}
+
+// TestDoubleFaultDatafileThenCrash exercises a fault during an outage
+// window: the datafile is deleted, and before the DBA reacts the instance
+// also crashes. Crash recovery skips the lost file; media recovery then
+// brings it back, and no committed data is lost.
+func TestDoubleFaultDatafileThenCrash(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		if err := r.in.FS().Delete("USERS_01.dbf"); err != nil {
+			return err
+		}
+		r.in.Crash()
+		if _, err := r.inj.rm.InstanceRecovery(p); err != nil {
+			return err
+		}
+		// Media recovery of the deleted file.
+		if _, err := r.inj.rm.RestoreAndRecoverDatafile(p, "USERS_01.dbf"); err != nil {
+			return err
+		}
+		return r.verifyData(p, 40)
+	})
+}

@@ -1,0 +1,134 @@
+// Package metrics provides the small time-series and summary helpers the
+// benchmark reports are built from.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"dbench/internal/sim"
+)
+
+// Point is one timestamped sample.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is an append-only sequence of timestamped samples.
+type Series struct {
+	points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(at sim.Time, v float64) {
+	s.points = append(s.points, Point{At: at, Value: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the samples (callers must not modify).
+func (s *Series) Points() []Point { return s.points }
+
+// CountBetween returns the number of samples with from <= At < to.
+func (s *Series) CountBetween(from, to sim.Time) int {
+	n := 0
+	for _, pt := range s.points {
+		if pt.At >= from && pt.At < to {
+			n++
+		}
+	}
+	return n
+}
+
+// RatePerMinute returns CountBetween scaled to events per minute.
+func (s *Series) RatePerMinute(from, to sim.Time) float64 {
+	d := to.Sub(from)
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.CountBetween(from, to)) / d.Minutes()
+}
+
+// Buckets splits [from, to) into fixed-width windows and returns the
+// event count in each (for throughput-over-time plots).
+func (s *Series) Buckets(from, to sim.Time, width time.Duration) []int {
+	if width <= 0 || to <= from {
+		return nil
+	}
+	n := int(to.Sub(from)/width) + 1
+	out := make([]int, n)
+	for _, pt := range s.points {
+		if pt.At < from || pt.At >= to {
+			continue
+		}
+		idx := int(pt.At.Sub(from) / width)
+		if idx >= 0 && idx < n {
+			out[idx]++
+		}
+	}
+	return out
+}
+
+// FirstAfter returns the earliest sample time at or after t, or ok=false.
+func (s *Series) FirstAfter(t sim.Time) (sim.Time, bool) {
+	best := sim.Time(-1)
+	for _, pt := range s.points {
+		if pt.At >= t && (best < 0 || pt.At < best) {
+			best = pt.At
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	StdDev float64
+}
+
+// Summarize computes order statistics over vals.
+func Summarize(vals []float64) Summary {
+	var s Summary
+	s.Count = len(vals)
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	s.Mean = sum / float64(s.Count)
+	s.Min = sorted[0]
+	s.Max = sorted[s.Count-1]
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	variance := sumSq/float64(s.Count) - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	return s
+}
+
+// percentile returns the q-th percentile of the sorted slice (nearest
+// rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

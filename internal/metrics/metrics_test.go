@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dbench/internal/sim"
+)
+
+func at(sec int) sim.Time { return sim.Time(time.Duration(sec) * time.Second) }
+
+func TestSeriesCountsAndRates(t *testing.T) {
+	var s Series
+	for _, sec := range []int{1, 5, 30, 59, 60, 61, 120} {
+		s.Add(at(sec), 1)
+	}
+	if s.Len() != 7 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.CountBetween(at(0), at(60)); got != 4 {
+		t.Fatalf("count [0,60) = %d, want 4", got)
+	}
+	if got := s.RatePerMinute(at(0), at(60)); got != 4 {
+		t.Fatalf("rate = %v, want 4/min", got)
+	}
+	if got := s.RatePerMinute(at(60), at(60)); got != 0 {
+		t.Fatalf("empty window rate = %v", got)
+	}
+}
+
+func TestSeriesBuckets(t *testing.T) {
+	var s Series
+	for _, sec := range []int{0, 10, 29, 30, 31, 95} {
+		s.Add(at(sec), 1)
+	}
+	b := s.Buckets(at(0), at(120), 30*time.Second)
+	want := []int{3, 2, 0, 1, 0}
+	if len(b) != len(want) {
+		t.Fatalf("buckets = %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+	if s.Buckets(at(10), at(0), time.Second) != nil {
+		t.Fatal("inverted window should return nil")
+	}
+}
+
+func TestFirstAfter(t *testing.T) {
+	var s Series
+	s.Add(at(10), 1)
+	s.Add(at(5), 1)
+	s.Add(at(20), 1)
+	got, ok := s.FirstAfter(at(6))
+	if !ok || got != at(10) {
+		t.Fatalf("FirstAfter = %v ok=%v", got, ok)
+	}
+	if _, ok := s.FirstAfter(at(21)); ok {
+		t.Fatal("FirstAfter past end should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 2 { // nearest-rank on sorted [1 2 3 4]
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(1.25)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+// Property: bucket counts always sum to CountBetween over the same window.
+func TestQuickBucketsSumMatchesCount(t *testing.T) {
+	f := func(secs []uint16) bool {
+		var s Series
+		for _, v := range secs {
+			s.Add(at(int(v%300)), 1)
+		}
+		total := 0
+		for _, b := range s.Buckets(at(0), at(300), 20*time.Second) {
+			total += b
+		}
+		return total == s.CountBetween(at(0), at(300))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

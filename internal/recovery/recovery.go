@@ -1,0 +1,616 @@
+// Package recovery implements the three Oracle recovery paths the paper
+// exercises:
+//
+//   - Instance (crash) recovery: forward redo from the last checkpoint
+//     plus rollback of in-flight transactions. Complete — no committed
+//     work is lost. Used after SHUTDOWN ABORT.
+//   - Datafile media recovery: restore one file from backup (or pick up
+//     an offlined file), roll it forward using archived + online redo.
+//     Complete. Used after "delete datafile" / "set datafile offline".
+//   - Point-in-time (incomplete) recovery: restore the whole database
+//     from the last backup and stop applying redo just before a
+//     destructive command. Committed transactions after the stop point
+//     are lost — the paper's Table 4 faults ("delete user's object",
+//     "delete tablespace") land here.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dbench/internal/backup"
+	"dbench/internal/engine"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/storage"
+)
+
+// Kind classifies a recovery.
+type Kind uint8
+
+// Recovery kinds.
+const (
+	KindInstance Kind = iota + 1
+	KindDatafile
+	KindPointInTime
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInstance:
+		return "instance"
+	case KindDatafile:
+		return "datafile media"
+	case KindPointInTime:
+		return "point-in-time"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Report summarises one recovery for the benchmark's measures.
+type Report struct {
+	Kind Kind
+	// Complete is false for point-in-time recovery (committed work may
+	// be lost).
+	Complete bool
+	// Started/Finished bound the recovery in virtual time.
+	Started, Finished sim.Time
+	// RecordsApplied counts data-change records replayed.
+	RecordsApplied int
+	// RecordsScanned counts redo records examined.
+	RecordsScanned int
+	// ArchivesProcessed counts archived logs opened.
+	ArchivesProcessed int
+	// LosersRolledBack counts in-flight transactions undone.
+	LosersRolledBack int
+	// LostCommits counts committed transactions discarded by incomplete
+	// recovery (always zero for complete recovery).
+	LostCommits int
+}
+
+// Duration returns the recovery's elapsed virtual time.
+func (r *Report) Duration() time.Duration { return r.Finished.Sub(r.Started) }
+
+// Manager drives recoveries against one instance.
+type Manager struct {
+	in      *engine.Instance
+	backups *backup.Manager
+}
+
+// NewManager returns a recovery manager. backups may be nil when only
+// instance recovery is needed.
+func NewManager(in *engine.Instance, backups *backup.Manager) *Manager {
+	return &Manager{in: in, backups: backups}
+}
+
+// chunkedSleep accumulates per-record CPU charges and sleeps in chunks so
+// huge redo streams do not flood the event queue.
+type chunkedSleep struct {
+	p       *sim.Proc
+	pending time.Duration
+}
+
+func (c *chunkedSleep) add(d time.Duration) {
+	c.pending += d
+	if c.pending >= 50*time.Millisecond {
+		c.p.Sleep(c.pending)
+		c.pending = 0
+	}
+}
+
+func (c *chunkedSleep) flush() {
+	if c.pending > 0 {
+		c.p.Sleep(c.pending)
+		c.pending = 0
+	}
+}
+
+// InstanceRecovery performs crash recovery and opens the database:
+// startup/mount, forward redo pass from the last checkpoint, rollback of
+// transactions without a commit/abort record, and open. Datafiles that
+// were offline at crash time are left to their own media recovery.
+func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
+	in := m.in
+	if in.State() == engine.StateOpen {
+		return nil, fmt.Errorf("recovery: instance is open")
+	}
+	if !in.Crashed() {
+		return nil, fmt.Errorf("recovery: database was cleanly shut down")
+	}
+	rep := &Report{Kind: KindInstance, Complete: true, Started: p.Now()}
+	if err := in.Mount(p); err != nil {
+		return nil, err
+	}
+
+	log := in.Log()
+	ctl := in.DB().Control
+	from := ctl.CheckpointSCN + 1
+	if ctl.UndoSCN > 0 && ctl.UndoSCN < from {
+		// Transactions in flight at the last checkpoint may have had
+		// uncommitted changes flushed; scan from their first record
+		// so the undo pass can see them.
+		from = ctl.UndoSCN
+	}
+	recs, err := m.redoRange(p, rep, from)
+	if err != nil && from <= ctl.CheckpointSCN {
+		// The undo extension below the checkpoint was overwritten.
+		// That is safe to clamp: the log's reuse undo-floor keeps the
+		// records of every transaction still active at crash time
+		// online, so whatever is missing belonged to transactions
+		// that finished (and need no undo). The redo pass itself only
+		// needs records after the checkpoint.
+		if lowest := log.LowestOnlineSCN(); lowest >= 0 && lowest <= ctl.CheckpointSCN+1 {
+			recs, err = m.redoRange(p, rep, lowest)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := m.applyAndUndo(p, rep, recs, false, log.FlushedSCN()); err != nil {
+		return nil, err
+	}
+	if err := m.finishRecovery(p, log.FlushedSCN(), false); err != nil {
+		return nil, err
+	}
+	in.MarkRecovered()
+	if err := in.Open(p); err != nil {
+		return nil, err
+	}
+	rep.Finished = p.Now()
+	return rep, nil
+}
+
+// RecoverDatafile rolls one restored or offlined datafile forward to the
+// current end of redo and brings it online, while the instance stays open
+// (online media recovery). If the file was lost it must have been
+// restored from backup first (RestoreAndRecoverDatafile does both).
+//
+// Changes of transactions that are still in flight are rolled forward and
+// left in place: those transactions finish through the normal commit or
+// rollback path once the file is back. Transactions that vanished without
+// a commit or abort record (crashed sessions) are undone here.
+func (m *Manager) RecoverDatafile(p *sim.Proc, name string) (*Report, error) {
+	in := m.in
+	f, err := in.DB().Datafile(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.Lost() {
+		return nil, fmt.Errorf("recovery: datafile %q lost; restore it first", name)
+	}
+	rep := &Report{Kind: KindDatafile, Complete: true, Started: p.Now()}
+
+	from := f.CkptSCN + 1
+	if f.UndoSCN > 0 && f.UndoSCN < from {
+		from = f.UndoSCN
+	}
+	end := in.Log().FlushedSCN()
+	recs, err := m.redoRange(p, rep, from)
+	if err != nil {
+		return nil, err
+	}
+
+	cs := &chunkedSleep{p: p}
+	cost := in.Config().Cost
+
+	finished := make(map[redo.TxnID]bool)
+	for i := range recs {
+		if recs[i].Op == redo.OpCommit || recs[i].Op == redo.OpAbort {
+			finished[recs[i].Txn] = true
+		}
+	}
+	touched := make(map[storage.BlockRef]bool)
+	losers := make(map[redo.TxnID]bool)
+	var loserRecs []redo.Record
+	for i := range recs {
+		rec := &recs[i]
+		rep.RecordsScanned++
+		cs.add(cost.RedoApplyPerRecord / 4)
+		if !rec.IsDataChange() {
+			continue
+		}
+		ref, ok := m.refFor(rec)
+		if !ok || ref.File != f {
+			continue
+		}
+		if m.applyToImage(rec, ref) {
+			rep.RecordsApplied++
+			touched[ref] = true
+			cs.add(cost.RedoApplyPerRecord)
+		}
+		if !finished[rec.Txn] && !in.Txns().IsActive(rec.Txn) {
+			losers[rec.Txn] = true
+			loserRecs = append(loserRecs, *rec)
+		}
+	}
+	for i := len(loserRecs) - 1; i >= 0; i-- {
+		rec := &loserRecs[i]
+		ref, ok := m.refFor(rec)
+		if !ok || ref.File != f {
+			continue
+		}
+		m.undoToImage(rec, ref, end)
+		touched[ref] = true
+		cs.add(cost.RedoApplyPerRecord)
+	}
+	rep.LosersRolledBack = len(losers)
+	cs.flush()
+	if err := m.chargeBlockPasses(p, touched); err != nil {
+		return nil, err
+	}
+	f.CkptSCN = end
+	f.NeedsRecovery = false
+	if err := in.OnlineDatafile(p, name); err != nil {
+		return nil, err
+	}
+	rep.Finished = p.Now()
+	return rep, nil
+}
+
+// RestoreAndRecoverDatafile is the full "delete datafile" procedure: take
+// the file offline, restore it from the latest backup, media-recover it,
+// bring it online.
+func (m *Manager) RestoreAndRecoverDatafile(p *sim.Proc, name string) (*Report, error) {
+	in := m.in
+	f, err := in.DB().Datafile(name)
+	if err != nil {
+		return nil, err
+	}
+	in.Cache().InvalidateFile(f)
+	f.SetOnline(false)
+	b, err := m.latestBackup()
+	if err != nil {
+		return nil, err
+	}
+	if !b.HasFile(name) {
+		return nil, fmt.Errorf("recovery: datafile %q missing from backup %d", name, b.ID)
+	}
+	p.Sleep(in.Config().Cost.BackupRestoreOverhead)
+	if err := b.RestoreDatafile(p, in.FS(), name); err != nil {
+		return nil, err
+	}
+	return m.RecoverDatafile(p, name)
+}
+
+// PointInTime performs incomplete recovery: crash the instance if needed,
+// restore the whole database from the latest backup, apply redo up to
+// (and including) untilSCN, roll back transactions in flight at that
+// point, open RESETLOGS. Committed transactions beyond untilSCN are lost
+// and counted in the report.
+func (m *Manager) PointInTime(p *sim.Proc, untilSCN redo.SCN) (*Report, error) {
+	in := m.in
+	rep := &Report{Kind: KindPointInTime, Complete: false, Started: p.Now()}
+	b, err := m.latestBackup()
+	if err != nil {
+		return nil, err
+	}
+	if untilSCN < b.SCN {
+		return nil, fmt.Errorf("recovery: until SCN %d precedes backup SCN %d", untilSCN, b.SCN)
+	}
+	// The DBA shuts the instance down before a full restore.
+	if in.State() == engine.StateOpen {
+		in.Crash()
+	}
+	if err := in.Mount(p); err != nil {
+		return nil, err
+	}
+	p.Sleep(in.Config().Cost.BackupRestoreOverhead)
+	if err := b.RestoreAll(p, in.FS(), in.DB(), in.Catalog()); err != nil {
+		return nil, err
+	}
+
+	// Gather redo from the backup SCN forward and count what will be
+	// lost beyond the stop point.
+	recs, err := m.redoRange(p, rep, b.SCN+1)
+	if err != nil {
+		return nil, err
+	}
+	var apply []redo.Record
+	for _, rec := range recs {
+		if rec.SCN <= untilSCN {
+			apply = append(apply, rec)
+		} else if rec.Op == redo.OpCommit {
+			rep.LostCommits++
+		}
+	}
+	if err := m.applyAndUndo(p, rep, apply, true, untilSCN); err != nil {
+		return nil, err
+	}
+	// Open RESETLOGS: discard post-untilSCN redo, new log incarnation.
+	if err := in.Log().ResetLogs(untilSCN + 1); err != nil {
+		return nil, err
+	}
+	if err := m.finishRecovery(p, untilSCN, true); err != nil {
+		return nil, err
+	}
+	in.MarkRecovered()
+	if err := in.Open(p); err != nil {
+		return nil, err
+	}
+	rep.Finished = p.Now()
+	return rep, nil
+}
+
+// latestBackup returns the most recent backup or a helpful error.
+func (m *Manager) latestBackup() (*backup.Backup, error) {
+	if m.backups == nil {
+		return nil, backup.ErrNoBackup
+	}
+	return m.backups.Latest()
+}
+
+// redoRange collects the redo stream from SCN `from` to the end of redo,
+// reading archived logs as needed (charged per file) and topping up from
+// the online logs.
+func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN) ([]redo.Record, error) {
+	in := m.in
+	log := in.Log()
+	cost := in.Config().Cost
+
+	// Fast path: everything still online.
+	if recs, ok := log.OnlineRecords(from); ok {
+		m.chargeLogScan(p, recs)
+		return recs, nil
+	}
+	arch := in.Archiver()
+	if arch == nil {
+		return nil, fmt.Errorf("recovery: redo before SCN %d overwritten and no archive logs", from)
+	}
+	var recs []redo.Record
+	next := from
+	for _, al := range arch.Inventory().From(from) {
+		if al.Lost() {
+			return nil, fmt.Errorf("recovery: archived log seq %d lost", al.Seq)
+		}
+		// Opening, validating and repositioning each archived log has
+		// a fixed cost — the reason many small archive files recover
+		// slower than few big ones (paper §5.2).
+		p.Sleep(cost.ArchiveOpenOverhead)
+		if err := al.File().ReadAll(p); err != nil {
+			return nil, fmt.Errorf("recovery: read archive: %w", err)
+		}
+		rep.ArchivesProcessed++
+		for _, rec := range al.Records() {
+			if rec.SCN >= next {
+				recs = append(recs, rec)
+				next = rec.SCN + 1
+			}
+		}
+	}
+	online, ok := log.OnlineRecords(next)
+	if !ok && len(online) > 0 {
+		return nil, fmt.Errorf("recovery: gap between archived and online redo at SCN %d", next)
+	}
+	m.chargeLogScan(p, online)
+	recs = append(recs, online...)
+	return recs, nil
+}
+
+// chargeLogScan charges a sequential read of the given records' bytes
+// against the online redo disk.
+func (m *Manager) chargeLogScan(p *sim.Proc, recs []redo.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	var bytes int64
+	for i := range recs {
+		bytes += recs[i].Size()
+	}
+	disk := m.in.FS().Disk(m.in.Config().Redo.Disk)
+	if disk == nil {
+		return
+	}
+	disk.Use(p, bytes, false /* initial seek */, false)
+}
+
+// refFor maps a data record to its block, or ok=false when its table no
+// longer exists.
+func (m *Manager) refFor(rec *redo.Record) (storage.BlockRef, bool) {
+	tbl, err := m.in.Catalog().Table(rec.Table)
+	if err != nil {
+		return storage.BlockRef{}, false
+	}
+	return tbl.BlockFor(rec.Key), true
+}
+
+// applyToImage applies one data record to the durable image, honouring
+// the block-SCN idempotence guard. It reports whether the record was
+// applied.
+func (m *Manager) applyToImage(rec *redo.Record, ref storage.BlockRef) bool {
+	img := ref.File.PeekBlock(ref.No)
+	if img.SCN >= rec.SCN {
+		return false // change already present (written before the crash)
+	}
+	switch rec.Op {
+	case redo.OpInsert, redo.OpUpdate:
+		img.Rows[rec.Key] = append([]byte(nil), rec.After...)
+	case redo.OpDelete:
+		delete(img.Rows, rec.Key)
+	}
+	img.SCN = rec.SCN
+	return true
+}
+
+// undoToImage applies a before-image during the rollback pass, stamping
+// the image with the recovery end SCN.
+func (m *Manager) undoToImage(rec *redo.Record, ref storage.BlockRef, stamp redo.SCN) {
+	img := ref.File.PeekBlock(ref.No)
+	switch rec.Op {
+	case redo.OpInsert: // undo insert: remove the row
+		delete(img.Rows, rec.Key)
+	case redo.OpUpdate, redo.OpDelete: // restore the before image
+		img.Rows[rec.Key] = append([]byte(nil), rec.Before...)
+	}
+	if img.SCN < stamp {
+		img.SCN = stamp
+	}
+}
+
+// participates decides whether a file takes part in a whole-database
+// recovery pass. Offline files are skipped during crash recovery (their
+// own media recovery picks them up later) but included in point-in-time
+// recovery, which restored them itself.
+func participates(f *storage.Datafile, includeOffline bool) bool {
+	if f.Lost() {
+		return false
+	}
+	if includeOffline {
+		return true
+	}
+	return f.Online()
+}
+
+// applyAndUndo runs the forward pass over recs and then rolls back losers
+// — transactions with changes but no commit/abort record within recs.
+// stamp is the SCN recovery ends at (images touched by undo are stamped
+// with it).
+func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, includeOffline bool, stamp redo.SCN) error {
+	in := m.in
+	cost := in.Config().Cost
+	cs := &chunkedSleep{p: p}
+
+	finished := make(map[redo.TxnID]bool)
+	for i := range recs {
+		if recs[i].Op == redo.OpCommit || recs[i].Op == redo.OpAbort {
+			finished[recs[i].Txn] = true
+		}
+	}
+	touched := make(map[storage.BlockRef]bool)
+	var loserRecs []redo.Record
+	losers := make(map[redo.TxnID]bool)
+
+	// Forward pass: apply everything (DDL included).
+	for i := range recs {
+		rec := &recs[i]
+		rep.RecordsScanned++
+		if rec.Op == redo.OpDDL {
+			cs.add(cost.RedoApplyPerRecord)
+			m.replayDDL(rec.Meta)
+			continue
+		}
+		if !rec.IsDataChange() {
+			cs.add(cost.RedoApplyPerRecord / 4)
+			continue
+		}
+		ref, ok := m.refFor(rec)
+		if !ok {
+			continue
+		}
+		if !participates(ref.File, includeOffline) {
+			continue
+		}
+		if m.applyToImage(rec, ref) {
+			rep.RecordsApplied++
+			touched[ref] = true
+			cs.add(cost.RedoApplyPerRecord)
+		}
+		if !finished[rec.Txn] {
+			losers[rec.Txn] = true
+			loserRecs = append(loserRecs, *rec)
+		}
+	}
+	// Backward pass: undo losers in reverse SCN order.
+	for i := len(loserRecs) - 1; i >= 0; i-- {
+		rec := &loserRecs[i]
+		ref, ok := m.refFor(rec)
+		if !ok {
+			continue
+		}
+		if !participates(ref.File, includeOffline) {
+			continue
+		}
+		m.undoToImage(rec, ref, stamp)
+		touched[ref] = true
+		cs.add(cost.RedoApplyPerRecord)
+	}
+	rep.LosersRolledBack = len(losers)
+	cs.flush()
+	return m.chargeBlockPasses(p, touched)
+}
+
+// replayDDL re-executes a logged DDL statement against the dictionary
+// during roll-forward (e.g. a DROP TABLE that happened after the backup
+// but before the recovery target).
+func (m *Manager) replayDDL(stmt string) {
+	cat := m.in.Catalog()
+	switch {
+	case strings.HasPrefix(stmt, "DROP TABLE "):
+		name := firstWord(strings.TrimPrefix(stmt, "DROP TABLE "))
+		_ = cat.DropTable(name)
+	case strings.HasPrefix(stmt, "DROP TABLESPACE "):
+		name := firstWord(strings.TrimPrefix(stmt, "DROP TABLESPACE "))
+		for _, tbl := range cat.TablesIn(name) {
+			_ = cat.DropTable(tbl)
+		}
+		_ = m.in.DB().DropTablespace(name)
+	case strings.HasPrefix(stmt, "DROP USER "):
+		name := firstWord(strings.TrimPrefix(stmt, "DROP USER "))
+		_, _ = cat.DropUser(name)
+	}
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// chargeBlockPasses charges the recovery block I/O: one sorted sequential
+// read pass and one sorted sequential write pass over the touched blocks.
+func (m *Manager) chargeBlockPasses(p *sim.Proc, touched map[storage.BlockRef]bool) error {
+	refs := make([]storage.BlockRef, 0, len(touched))
+	for ref := range touched {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].File.Name != refs[j].File.Name {
+			return refs[i].File.Name < refs[j].File.Name
+		}
+		return refs[i].No < refs[j].No
+	})
+	for _, ref := range refs {
+		if ref.File.Lost() {
+			continue
+		}
+		if err := ref.File.File().Read(p, int64(ref.No)*storage.BlockSize, storage.BlockSize); err != nil {
+			return err
+		}
+	}
+	for _, ref := range refs {
+		if ref.File.Lost() {
+			continue
+		}
+		if err := ref.File.File().Write(p, int64(ref.No)*storage.BlockSize, storage.BlockSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishRecovery persists the recovery end point: participating
+// datafiles are stamped, the control file updated, and the log released.
+func (m *Manager) finishRecovery(p *sim.Proc, scn redo.SCN, includeOffline bool) error {
+	in := m.in
+	ctl := in.DB().Control
+	ctl.CheckpointSCN = scn
+	ctl.UndoSCN = scn + 1
+	ctl.StopSCN = scn // consistent as of scn: no crash recovery on open
+	for _, f := range in.DB().Datafiles() {
+		if !participates(f, includeOffline) {
+			continue
+		}
+		f.CkptSCN = scn
+		f.UndoSCN = scn + 1
+		f.NeedsRecovery = false
+		f.SetOnline(true)
+	}
+	if err := ctl.Update(p); err != nil {
+		return err
+	}
+	in.Log().CheckpointCompleted(scn)
+	return nil
+}

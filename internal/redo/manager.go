@@ -1,0 +1,574 @@
+package redo
+
+import (
+	"fmt"
+	"time"
+
+	"dbench/internal/sim"
+	"dbench/internal/simdisk"
+)
+
+// Group is one online redo log group: a fixed-size slot in the circular
+// log, backed by one or more member files (multiplexing).
+type Group struct {
+	// ID is the group number (1-based, stable).
+	ID int
+	// Seq is the log sequence number of the group's current content;
+	// zero means never written.
+	Seq int
+
+	members  []*simdisk.File
+	capacity int64
+	bytes    int64
+	records  []Record
+
+	archived bool
+	ckptDone bool
+	current  bool
+}
+
+// Members returns the group's member files.
+func (g *Group) Members() []*simdisk.File { return g.members }
+
+// Capacity returns the group's size limit in bytes.
+func (g *Group) Capacity() int64 { return g.capacity }
+
+// Bytes returns the bytes of flushed redo currently in the group.
+func (g *Group) Bytes() int64 { return g.bytes }
+
+// Records returns the flushed records in the group (callers must not
+// modify the slice).
+func (g *Group) Records() []Record { return g.records }
+
+// Archived reports whether the group's content has been archived.
+func (g *Group) Archived() bool { return g.archived }
+
+// Current reports whether the group is being written.
+func (g *Group) Current() bool { return g.current }
+
+// FirstSCN returns the SCN of the first record in the group, or -1 when
+// empty.
+func (g *Group) FirstSCN() SCN {
+	if len(g.records) == 0 {
+		return -1
+	}
+	return g.records[0].SCN
+}
+
+// LastSCN returns the SCN of the last record in the group, or -1.
+func (g *Group) LastSCN() SCN {
+	if len(g.records) == 0 {
+		return -1
+	}
+	return g.records[len(g.records)-1].SCN
+}
+
+// usable reports whether all member files are intact.
+func (g *Group) usable() bool {
+	for _, m := range g.members {
+		if !m.Deleted() && !m.Corrupted() {
+			return true
+		}
+	}
+	return false
+}
+
+// Config configures the redo log manager; it carries the paper's Table 3
+// knobs.
+type Config struct {
+	// GroupSizeBytes is the redo log file size (e.g. 1 MB .. 400 MB).
+	GroupSizeBytes int64
+	// Groups is the number of log groups (minimum 2).
+	Groups int
+	// MembersPerGroup multiplexes each group over this many files.
+	MembersPerGroup int
+	// Disk names the disk holding the log members.
+	Disk string
+	// ArchiveMode blocks group reuse until the group is archived.
+	ArchiveMode bool
+}
+
+// Stats exposes counters used by the benchmark reports.
+type Stats struct {
+	Switches        int
+	Flushes         int
+	FlushedBytes    int64
+	CheckpointWaits int
+	ArchiveWaits    int
+	StallTime       time.Duration
+}
+
+// Manager owns the online redo log: the record buffer, the group ring and
+// the LGWR process.
+type Manager struct {
+	k   *sim.Kernel
+	fs  *simdisk.FS
+	cfg Config
+
+	groups []*Group
+	cur    int
+
+	nextSCN    SCN
+	flushedSCN SCN
+
+	buffer      []Record
+	bufferBytes int64
+
+	wakeLGWR  sim.Cond
+	flushed   sim.Cond
+	reusable  sim.Cond
+	lgwr      *sim.Proc
+	running   bool
+	failed    bool
+	flushWant SCN
+
+	// OnSwitch is called (from the LGWR process) right after a log
+	// switch completes, with the group that was switched out. The engine
+	// uses it to trigger a checkpoint and to hand the group to the
+	// archiver.
+	OnSwitch func(p *sim.Proc, old *Group)
+	// OnFatal is called when the log becomes unusable (all members of
+	// the current group lost). The engine crashes the instance.
+	OnFatal func(err error)
+	// UndoFloor, when set, returns the first-record SCN of the oldest
+	// active transaction (0 when none). A group whose content is still
+	// needed to roll that transaction back must not be reused: with
+	// redo-carried undo this is the analogue of Oracle keeping undo in
+	// rollback segments. Transactions must therefore fit within the
+	// online log (TPC-C transactions are a few KB; groups are >= 1 MB).
+	UndoFloor func() SCN
+
+	stats Stats
+}
+
+// NewManager creates the group files on disk and returns a manager ready
+// for Start. The first group starts as current with sequence 1.
+func NewManager(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Manager, error) {
+	if cfg.Groups < 2 {
+		return nil, fmt.Errorf("redo: need at least 2 groups, got %d", cfg.Groups)
+	}
+	if cfg.MembersPerGroup < 1 {
+		cfg.MembersPerGroup = 1
+	}
+	if cfg.GroupSizeBytes <= 0 {
+		return nil, fmt.Errorf("redo: group size must be positive")
+	}
+	m := &Manager{k: k, fs: fs, cfg: cfg, nextSCN: 1}
+	for i := 0; i < cfg.Groups; i++ {
+		g := &Group{ID: i + 1, capacity: cfg.GroupSizeBytes, ckptDone: true, archived: true}
+		for j := 0; j < cfg.MembersPerGroup; j++ {
+			name := fmt.Sprintf("redo%02d_%d.log", i+1, j)
+			f, err := fs.Create(cfg.Disk, name, 0)
+			if err != nil {
+				return nil, fmt.Errorf("redo: create member: %w", err)
+			}
+			g.members = append(g.members, f)
+		}
+		m.groups = append(m.groups, g)
+	}
+	m.groups[0].current = true
+	m.groups[0].Seq = 1
+	return m, nil
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a copy of the manager's counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Groups returns the log groups (callers must not modify the slice).
+func (m *Manager) Groups() []*Group { return m.groups }
+
+// CurrentGroup returns the group being written.
+func (m *Manager) CurrentGroup() *Group { return m.groups[m.cur] }
+
+// NextSCN returns the SCN the next appended record will receive.
+func (m *Manager) NextSCN() SCN { return m.nextSCN }
+
+// FlushedSCN returns the highest SCN durably written to the log files.
+func (m *Manager) FlushedSCN() SCN { return m.flushedSCN }
+
+// Start launches the LGWR background process.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.failed = false
+	m.lgwr = m.k.Go("LGWR", m.lgwrLoop)
+}
+
+// Stop terminates LGWR without flushing (used by SHUTDOWN ABORT). Unflushed
+// buffer content is discarded, exactly like a crash.
+func (m *Manager) Stop() {
+	if !m.running {
+		return
+	}
+	m.running = false
+	if m.lgwr != nil {
+		m.lgwr.Kill()
+	}
+	m.buffer = nil
+	m.bufferBytes = 0
+	// Wake anything blocked on the log so it can observe the failure.
+	m.flushed.Broadcast(m.k)
+	m.reusable.Broadcast(m.k)
+}
+
+// Running reports whether LGWR is active.
+func (m *Manager) Running() bool { return m.running }
+
+// Failed reports whether the log hit a fatal media failure.
+func (m *Manager) Failed() bool { return m.failed }
+
+// reusableGroup reports whether g may be overwritten.
+func (m *Manager) reusableGroup(g *Group) bool {
+	if !g.ckptDone {
+		return false
+	}
+	if m.cfg.ArchiveMode && !g.archived {
+		return false
+	}
+	if m.UndoFloor != nil {
+		if floor := m.UndoFloor(); floor > 0 && floor <= g.LastSCN() {
+			return false
+		}
+	}
+	return true
+}
+
+// NotifyUndoFloorChanged wakes processes stalled on group reuse after the
+// oldest active transaction finishes (the undo floor advanced).
+func (m *Manager) NotifyUndoFloorChanged() {
+	m.reusable.Broadcast(m.k)
+}
+
+// Reserve blocks until the log can accept size more bytes of redo: either
+// the current group has room for everything buffered plus size, or the
+// next group is reusable (checkpointed and archived) so a switch will
+// succeed. This is Oracle's redo-allocation discipline: a process may not
+// modify a buffer before its redo has guaranteed space, which is also what
+// makes "checkpoint not complete" and "archival required" stalls hit the
+// workload instead of deadlocking the checkpoint itself.
+func (m *Manager) Reserve(p *sim.Proc, size int64) error {
+	stallStart := sim.Time(-1)
+	for {
+		if !m.running || m.failed {
+			return fmt.Errorf("redo: log writer down")
+		}
+		cur := m.groups[m.cur]
+		remaining := cur.capacity - cur.bytes - m.bufferBytes
+		if size <= remaining {
+			break
+		}
+		next := m.groups[(m.cur+1)%len(m.groups)]
+		if m.reusableGroup(next) {
+			break // a switch will make room
+		}
+		if stallStart < 0 {
+			stallStart = p.Now()
+		}
+		if !next.ckptDone {
+			m.stats.CheckpointWaits++
+		} else {
+			m.stats.ArchiveWaits++
+		}
+		m.reusable.Wait(p)
+	}
+	if stallStart >= 0 {
+		m.stats.StallTime += p.Now().Sub(stallStart)
+	}
+	return nil
+}
+
+// Append assigns the next SCN to rec and places it in the redo buffer. It
+// does not block; durability requires WaitFlushed. Appending while the log
+// is down still assigns an SCN but the record is lost, mirroring writes
+// into a crashed instance's buffer (callers are expected to notice the
+// instance is down before relying on it).
+func (m *Manager) Append(rec Record) SCN {
+	rec.SCN = m.nextSCN
+	m.nextSCN++
+	if !m.running || m.failed {
+		// The instance is down: the record goes nowhere, exactly like
+		// writing into a crashed instance's SGA. Callers discover the
+		// failure at WaitFlushed.
+		return rec.SCN
+	}
+	m.buffer = append(m.buffer, rec)
+	m.bufferBytes += rec.Size()
+	return rec.SCN
+}
+
+// WaitFlushed blocks p until all records up to scn are durable (or the log
+// has failed/stopped, which it reports as an error).
+func (m *Manager) WaitFlushed(p *sim.Proc, scn SCN) error {
+	if scn > m.flushWant {
+		m.flushWant = scn
+	}
+	m.wakeLGWR.Broadcast(m.k)
+	for m.flushedSCN < scn {
+		if !m.running || m.failed {
+			return fmt.Errorf("redo: log writer down")
+		}
+		m.flushed.Wait(p)
+	}
+	return nil
+}
+
+// CheckpointCompleted informs the log that a checkpoint at scn has been
+// durably recorded: every group whose content is entirely below scn becomes
+// eligible for reuse (subject to archiving).
+func (m *Manager) CheckpointCompleted(scn SCN) {
+	for _, g := range m.groups {
+		if g.current || g.ckptDone {
+			continue
+		}
+		if last := g.LastSCN(); last >= 0 && last <= scn {
+			g.ckptDone = true
+		}
+	}
+	m.reusable.Broadcast(m.k)
+}
+
+// MarkArchived records that g's content is safely archived, unblocking its
+// reuse.
+func (m *Manager) MarkArchived(g *Group) {
+	g.archived = true
+	m.reusable.Broadcast(m.k)
+}
+
+// lgwrLoop is the LGWR process body: it waits for flush demand, drains the
+// buffer into the current group (switching groups as they fill), charges
+// the member writes to disk, and wakes committers.
+func (m *Manager) lgwrLoop(p *sim.Proc) {
+	for m.running {
+		for m.running && (len(m.buffer) == 0 || m.flushWant <= m.flushedSCN) {
+			m.wakeLGWR.Wait(p)
+		}
+		if !m.running {
+			return
+		}
+		batch := m.buffer
+		m.buffer = nil
+		m.bufferBytes = 0
+		if err := m.writeBatch(p, batch); err != nil {
+			m.failed = true
+			m.running = false
+			m.flushed.Broadcast(m.k)
+			if m.OnFatal != nil {
+				m.OnFatal(err)
+			}
+			return
+		}
+		m.flushedSCN = batch[len(batch)-1].SCN
+		m.stats.Flushes++
+		m.flushed.Broadcast(m.k)
+	}
+}
+
+// writeBatch appends records to groups, switching when full, and charges
+// one sequential member write per contiguous segment.
+func (m *Manager) writeBatch(p *sim.Proc, batch []Record) error {
+	var segBytes int64
+	flushSeg := func() error {
+		if segBytes == 0 {
+			return nil
+		}
+		g := m.groups[m.cur]
+		if !g.usable() {
+			return fmt.Errorf("redo: group %d lost all members", g.ID)
+		}
+		for _, member := range g.members {
+			if member.Deleted() || member.Corrupted() {
+				continue
+			}
+			if err := member.Append(p, segBytes); err != nil {
+				return fmt.Errorf("redo: member write: %w", err)
+			}
+		}
+		m.stats.FlushedBytes += segBytes
+		segBytes = 0
+		return nil
+	}
+	for _, rec := range batch {
+		g := m.groups[m.cur]
+		if g.bytes+rec.Size() > g.capacity && g.bytes > 0 {
+			if err := flushSeg(); err != nil {
+				return err
+			}
+			if err := m.switchGroup(p); err != nil {
+				return err
+			}
+			g = m.groups[m.cur]
+		}
+		g.records = append(g.records, rec)
+		g.bytes += rec.Size()
+		segBytes += rec.Size()
+	}
+	return flushSeg()
+}
+
+// switchGroup advances to the next group in the ring, waiting until it is
+// checkpointed and archived (the paper's "checkpoint not complete" /
+// "archival required" stalls), then notifies OnSwitch with the old group.
+func (m *Manager) switchGroup(p *sim.Proc) error {
+	old := m.groups[m.cur]
+	old.current = false
+	old.ckptDone = false
+	if m.cfg.ArchiveMode {
+		old.archived = false
+	}
+
+	next := m.groups[(m.cur+1)%len(m.groups)]
+	stallStart := p.Now()
+	for {
+		if !next.usable() {
+			return fmt.Errorf("redo: next group %d unusable", next.ID)
+		}
+		if m.reusableGroup(next) {
+			break
+		}
+		if !next.ckptDone {
+			m.stats.CheckpointWaits++
+		} else {
+			m.stats.ArchiveWaits++
+		}
+		m.reusable.Wait(p)
+	}
+	m.stats.StallTime += p.Now().Sub(stallStart)
+
+	m.cur = (m.cur + 1) % len(m.groups)
+	next.current = true
+	next.Seq = old.Seq + 1
+	next.bytes = 0
+	next.records = nil
+	for _, member := range next.members {
+		member.Truncate(0) // reuse rewrites the file from the start
+	}
+	m.stats.Switches++
+	if m.OnSwitch != nil {
+		m.OnSwitch(p, old)
+	}
+	return nil
+}
+
+// ForceSwitch performs an administrative log switch (ALTER SYSTEM SWITCH
+// LOGFILE), used at backup time so the archive captures all redo.
+func (m *Manager) ForceSwitch(p *sim.Proc) error {
+	if !m.running {
+		return fmt.Errorf("redo: log writer down")
+	}
+	if m.groups[m.cur].bytes == 0 {
+		return nil
+	}
+	return m.switchGroup(p)
+}
+
+// OnlineRecords returns, in SCN order, the records with SCN >= from that
+// are still present in the online groups (not yet overwritten by reuse),
+// skipping groups whose members were all lost. ok reports whether the range
+// is contiguous from `from` (false means older redo was overwritten or
+// lost, so callers need the archive).
+func (m *Manager) OnlineRecords(from SCN) (recs []Record, ok bool) {
+	ordered := m.groupsBySeq()
+	lowest := SCN(-1)
+	for _, g := range ordered {
+		if !g.usable() {
+			continue
+		}
+		for i := range g.records {
+			r := g.records[i]
+			if r.SCN > m.flushedSCN {
+				break
+			}
+			if lowest < 0 {
+				lowest = r.SCN
+			}
+			if r.SCN >= from {
+				recs = append(recs, r)
+			}
+		}
+	}
+	ok = lowest >= 0 && lowest <= from
+	if from <= 0 {
+		ok = lowest <= 1
+	}
+	if m.flushedSCN == 0 {
+		ok = true // nothing ever flushed: empty range is contiguous
+	}
+	return recs, ok
+}
+
+// LowestOnlineSCN returns the smallest SCN still present in the online
+// groups, or -1 when nothing is flushed.
+func (m *Manager) LowestOnlineSCN() SCN {
+	for _, g := range m.groupsBySeq() {
+		if !g.usable() {
+			continue
+		}
+		if s := g.FirstSCN(); s >= 0 {
+			return s
+		}
+	}
+	return -1
+}
+
+// groupsBySeq returns groups with content ordered by sequence number.
+func (m *Manager) groupsBySeq() []*Group {
+	var used []*Group
+	for _, g := range m.groups {
+		if g.Seq > 0 && len(g.records) > 0 {
+			used = append(used, g)
+		}
+	}
+	for i := 1; i < len(used); i++ {
+		for j := i; j > 0 && used[j-1].Seq > used[j].Seq; j-- {
+			used[j-1], used[j] = used[j], used[j-1]
+		}
+	}
+	return used
+}
+
+// BufferedBytes reports the unflushed redo buffer size.
+func (m *Manager) BufferedBytes() int64 { return m.bufferBytes }
+
+// ResetLogs reinitialises the online log after incomplete recovery (ALTER
+// DATABASE OPEN RESETLOGS): all group content is discarded and the SCN
+// stream resumes at nextSCN. The manager must be stopped.
+func (m *Manager) ResetLogs(nextSCN SCN) error {
+	if m.running {
+		return fmt.Errorf("redo: cannot reset a running log")
+	}
+	if nextSCN < m.nextSCN {
+		nextSCN = m.nextSCN
+	}
+	for _, g := range m.groups {
+		g.records = nil
+		g.bytes = 0
+		g.Seq = 0
+		g.archived = true
+		g.ckptDone = true
+		g.current = false
+		for _, member := range g.members {
+			if member.Deleted() || member.Corrupted() {
+				// Recreate lost members as part of the reset.
+				if _, err := m.fs.Restore(member.Name(), 0); err != nil {
+					return fmt.Errorf("redo: reset member: %w", err)
+				}
+			}
+			member.Truncate(0)
+		}
+	}
+	m.cur = 0
+	m.groups[0].current = true
+	m.groups[0].Seq = 1
+	m.nextSCN = nextSCN
+	m.flushedSCN = nextSCN - 1
+	m.buffer = nil
+	m.bufferBytes = 0
+	m.flushWant = 0
+	m.failed = false
+	return nil
+}

@@ -1,0 +1,122 @@
+package redo
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Record{
+		{SCN: 1, Txn: 7, Op: OpInsert, Table: "warehouse", Key: 3, After: []byte("row")},
+		{SCN: 2, Txn: 7, Op: OpUpdate, Table: "stock", Key: -9, Before: []byte("old"), After: []byte("new")},
+		{SCN: 3, Txn: 8, Op: OpDelete, Table: "t", Key: 0, Before: []byte("gone")},
+		{SCN: 4, Txn: 8, Op: OpCommit},
+		{SCN: 5, Txn: 9, Op: OpAbort},
+		{SCN: 6, Txn: 0, Op: OpCheckpoint, Meta: "ckpt"},
+		{SCN: 7, Txn: 1, Op: OpDDL, Meta: "DROP TABLE stock"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.Op.String(), func(t *testing.T) {
+			enc := tt.Encode()
+			if int64(len(enc)) != tt.Size() {
+				t.Fatalf("len(enc) = %d, Size() = %d", len(enc), tt.Size())
+			}
+			got, n, err := Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(enc) {
+				t.Fatalf("consumed %d of %d", n, len(enc))
+			}
+			if got.SCN != tt.SCN || got.Txn != tt.Txn || got.Op != tt.Op ||
+				got.Table != tt.Table || got.Key != tt.Key || got.Meta != tt.Meta ||
+				!bytes.Equal(got.Before, tt.Before) || !bytes.Equal(got.After, tt.After) {
+				t.Fatalf("round trip: got %+v, want %+v", got, tt)
+			}
+		})
+	}
+}
+
+func TestDecodeTruncatedFails(t *testing.T) {
+	r := Record{SCN: 1, Txn: 2, Op: OpUpdate, Table: "t", Before: []byte("abc"), After: []byte("defg")}
+	enc := r.Encode()
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(enc))
+		}
+	}
+}
+
+func TestIsDataChange(t *testing.T) {
+	data := []Op{OpInsert, OpUpdate, OpDelete}
+	other := []Op{OpCommit, OpAbort, OpCheckpoint, OpDDL}
+	for _, op := range data {
+		if !(&Record{Op: op}).IsDataChange() {
+			t.Errorf("%v should be a data change", op)
+		}
+	}
+	for _, op := range other {
+		if (&Record{Op: op}).IsDataChange() {
+			t.Errorf("%v should not be a data change", op)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary records and Size matches.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(scn, txn int64, op uint8, table string, key int64, before, after []byte, meta string) bool {
+		r := Record{
+			SCN: SCN(scn), Txn: TxnID(txn), Op: Op(op%7 + 1),
+			Table: table, Key: key, Before: before, After: after, Meta: meta,
+		}
+		enc := r.Encode()
+		if int64(len(enc)) != r.Size() {
+			return false
+		}
+		got, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		return got.SCN == r.SCN && got.Txn == r.Txn && got.Op == r.Op &&
+			got.Table == r.Table && got.Key == r.Key && got.Meta == r.Meta &&
+			bytes.Equal(got.Before, r.Before) && bytes.Equal(got.After, r.After)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding a stream of concatenated records recovers all of them.
+func TestQuickRecordStream(t *testing.T) {
+	f := func(keys []int64) bool {
+		var stream []byte
+		var want []Record
+		for i, k := range keys {
+			r := Record{SCN: SCN(i + 1), Txn: 1, Op: OpUpdate, Table: "t", Key: k, After: []byte{byte(k)}}
+			want = append(want, r)
+			stream = append(stream, r.Encode()...)
+		}
+		var got []Record
+		for len(stream) > 0 {
+			r, n, err := Decode(stream)
+			if err != nil {
+				return false
+			}
+			got = append(got, r)
+			stream = stream[n:]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].SCN != want[i].SCN || got[i].Key != want[i].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

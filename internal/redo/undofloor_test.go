@@ -1,0 +1,86 @@
+package redo
+
+import (
+	"testing"
+	"time"
+
+	"dbench/internal/sim"
+)
+
+// TestUndoFloorBlocksReuse verifies the redo-carried-undo reuse rule: a
+// group holding an active transaction's first record must not be
+// overwritten, even once checkpointed and archived; reuse resumes when the
+// transaction finishes (NotifyUndoFloorChanged).
+func TestUndoFloorBlocksReuse(t *testing.T) {
+	k, _, m := newTestLog(t, 2048, 2, false)
+	floor := SCN(0)
+	m.UndoFloor = func() SCN { return floor }
+	m.OnSwitch = func(p *sim.Proc, old *Group) { m.CheckpointCompleted(old.LastSCN()) }
+	m.Start()
+
+	var wrote int
+	k.Go("w", func(p *sim.Proc) {
+		// First record belongs to a long-running transaction.
+		scn := m.Append(dataRec(99, 0, 100))
+		floor = scn
+		if err := m.WaitFlushed(p, scn); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 60; i++ {
+			if err := m.Reserve(p, 300); err != nil {
+				return
+			}
+			s := m.Append(dataRec(1, int64(i), 100))
+			if err := m.WaitFlushed(p, s); err != nil {
+				return
+			}
+			wrote++
+		}
+	})
+	k.Go("committer", func(p *sim.Proc) {
+		// The long transaction finishes after 5 seconds; until then the
+		// writer must stall once the ring would wrap over its record.
+		p.Sleep(5 * time.Second)
+		floor = 0
+		m.NotifyUndoFloorChanged()
+	})
+	k.Run(sim.Time(time.Minute))
+	if wrote != 60 {
+		t.Fatalf("wrote %d of 60", wrote)
+	}
+	if m.Stats().StallTime < 4*time.Second {
+		t.Fatalf("stall = %v, want ~5s while the undo floor pinned group 1", m.Stats().StallTime)
+	}
+	m.Stop()
+	k.RunAll()
+}
+
+// TestLowestOnlineSCN pins the helper recovery uses to clamp a stale undo
+// watermark.
+func TestLowestOnlineSCN(t *testing.T) {
+	k, _, m := newTestLog(t, 2048, 3, false)
+	if m.LowestOnlineSCN() != -1 {
+		t.Fatalf("fresh log lowest = %d, want -1", m.LowestOnlineSCN())
+	}
+	m.OnSwitch = func(p *sim.Proc, old *Group) { m.CheckpointCompleted(old.LastSCN()) }
+	m.Start()
+	k.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			s := m.Append(dataRec(1, int64(i), 100))
+			if err := m.WaitFlushed(p, s); err != nil {
+				return
+			}
+		}
+	})
+	k.Run(sim.Time(time.Minute))
+	lowest := m.LowestOnlineSCN()
+	if lowest <= 1 {
+		t.Fatalf("lowest = %d; early records should be overwritten", lowest)
+	}
+	if _, ok := m.OnlineRecords(lowest); !ok {
+		t.Fatal("range from lowest online SCN should be contiguous")
+	}
+	m.Stop()
+	k.RunAll()
+}

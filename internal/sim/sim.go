@@ -1,0 +1,374 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock and runs simulated processes. A
+// process is an ordinary Go function executing on its own goroutine, but
+// exactly one process (or the kernel itself) runs at any instant: control is
+// handed off explicitly whenever a process blocks on Sleep, a Cond, or a
+// Resource. Events at equal virtual times fire in scheduling order, so runs
+// are fully reproducible.
+//
+// The kernel is the substrate for everything else in this repository: the
+// simulated disks, the database engine's background processes, the TPC-C
+// terminals, and the fault injector are all sim processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is an instant of virtual time, measured as a duration since the
+// start of the simulation.
+type Time time.Duration
+
+// Duration re-exports time.Duration for callers that configure the kernel.
+type Duration = time.Duration
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	procs   int
+	live    map[*Proc]struct{}
+	nextPID uint64
+	stopped bool
+}
+
+// NewKernel returns a kernel with its clock at zero and a deterministic
+// random source derived from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:  rand.New(rand.NewSource(seed)),
+		live: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from simulation processes (never concurrently).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling in
+// the past panics: it indicates a logic error in the caller.
+func (k *Kernel) Schedule(at Time, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// After registers fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.Schedule(k.now.Add(d), fn)
+}
+
+// Stop makes Run return once the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in time order until the event queue drains, the
+// clock would pass until, or Stop is called. It returns the virtual time at
+// which it stopped. Events scheduled exactly at until still run.
+func (k *Kernel) Run(until Time) Time {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		next := k.events[0]
+		if next.at > until {
+			k.now = until
+			return k.now
+		}
+		heap.Pop(&k.events)
+		k.now = next.at
+		next.fn()
+	}
+	if k.now < until && !k.stopped {
+		k.now = until
+	}
+	return k.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (k *Kernel) RunAll() Time {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		next := heap.Pop(&k.events).(*event)
+		k.now = next.at
+		next.fn()
+	}
+	return k.now
+}
+
+// KillAll terminates every live process (in creation order) and runs the
+// kernel until they have unwound. Call it when a simulation ends so that
+// blocked process goroutines — and everything their closures retain — can
+// be collected; otherwise each finished simulation leaks its whole state.
+func (k *Kernel) KillAll() {
+	procs := make([]*Proc, 0, len(k.live))
+	for p := range k.live {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].pid < procs[j].pid })
+	for _, p := range procs {
+		p.Kill()
+	}
+	k.RunAll()
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Procs reports the number of live processes (started and not finished).
+func (k *Kernel) Procs() int { return k.procs }
+
+// Proc is a simulated process: a goroutine that runs only when the kernel
+// hands it control and that yields control back whenever it blocks.
+type Proc struct {
+	k      *Kernel
+	name   string
+	pid    uint64
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	killed bool
+}
+
+// Go starts fn as a simulated process. fn begins executing at the current
+// virtual time (as a scheduled event) and may call the blocking primitives
+// on its Proc. Go itself never blocks.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	k.nextPID++
+	p := &Proc{
+		k:      k,
+		name:   name,
+		pid:    k.nextPID,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs++
+	k.live[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			p.done = true
+			k.procs--
+			delete(k.live, p)
+			if r := recover(); r != nil {
+				if _, ok := r.(killSignal); ok {
+					p.yield <- struct{}{}
+					return
+				}
+				panic(r)
+			}
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.After(0, func() { p.step() })
+	return p
+}
+
+type killSignal struct{}
+
+// step transfers control to the process goroutine and waits for it to block
+// or finish. It runs on the kernel's goroutine.
+func (p *Proc) step() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block suspends the process goroutine and returns control to the kernel.
+// It must be called from the process goroutine. The process resumes when
+// some event calls step.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.Schedule(p.k.now.Add(d), p.step)
+	p.block()
+}
+
+// Yield suspends the process until all events already scheduled for the
+// current instant have run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill terminates the process the next time it would resume. A killed
+// process unwinds via panic/recover, so its deferred functions run. Killing
+// a finished process is a no-op. Kill must be called from the kernel
+// goroutine or another process, never from the target process itself.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	p.k.After(0, p.step)
+}
+
+// Cond is a condition variable for simulated processes. The zero value is
+// ready to use once associated with a kernel via Wait's process argument.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait suspends p until another process calls Signal or Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+// Signal wakes the earliest waiter, if any, scheduling it at the current
+// instant on k.
+func (c *Cond) Signal(k *Kernel) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	k.After(0, w.step)
+}
+
+// Broadcast wakes all waiters in FIFO order.
+func (c *Cond) Broadcast(k *Kernel) {
+	for _, w := range c.waiters {
+		k.After(0, w.step)
+	}
+	c.waiters = nil
+}
+
+// Waiting reports the number of processes blocked on c.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Resource is a FIFO server with fixed capacity, used to model contended
+// devices such as disks or a CPU. Acquire blocks while all slots are busy.
+type Resource struct {
+	capacity int
+	inUse    int
+	queue    Cond
+
+	// Busy accumulates total busy time across slots, for utilisation
+	// reporting.
+	busySince map[*Proc]Time
+	busyTotal Duration
+}
+
+// NewResource returns a resource with the given number of slots.
+func NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{capacity: capacity, busySince: make(map[*Proc]Time)}
+}
+
+// Acquire obtains a slot, blocking in FIFO order while none is free.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.queue.Wait(p)
+	}
+	r.inUse++
+	r.busySince[p] = p.Now()
+}
+
+// Release frees the slot held by p and wakes the next waiter.
+func (r *Resource) Release(p *Proc) {
+	if since, ok := r.busySince[p]; ok {
+		r.busyTotal += p.Now().Sub(since)
+		delete(r.busySince, p)
+	}
+	r.inUse--
+	r.queue.Signal(p.k)
+}
+
+// Use acquires the resource, holds it for service virtual time, and
+// releases it. It models a single FIFO-queued service demand. The release
+// is deferred so that a killed process (instance crash) does not leak the
+// slot and wedge the device forever.
+func (r *Resource) Use(p *Proc, service Duration) {
+	r.Acquire(p)
+	defer r.Release(p)
+	p.Sleep(service)
+}
+
+// InUse reports the number of busy slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of blocked acquirers.
+func (r *Resource) QueueLen() int { return r.queue.Waiting() }
+
+// BusyTotal reports accumulated busy time (completed holds only).
+func (r *Resource) BusyTotal() Duration { return r.busyTotal }

@@ -1,0 +1,31 @@
+package sim
+
+// WaitGroup lets a simulated process wait for a set of other processes (or
+// operations) to finish, analogous to sync.WaitGroup but in virtual time.
+type WaitGroup struct {
+	count int
+	cond  Cond
+}
+
+// Add increments the outstanding-operation count by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Done marks one operation complete, waking waiters when the count reaches
+// zero. k is the kernel to schedule wakeups on.
+func (wg *WaitGroup) Done(k *Kernel) {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: WaitGroup count below zero")
+	}
+	if wg.count == 0 {
+		wg.cond.Broadcast(k)
+	}
+}
+
+// Wait blocks p until the count reaches zero. A zero count returns
+// immediately.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.cond.Wait(p)
+	}
+}

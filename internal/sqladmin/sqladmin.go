@@ -1,0 +1,280 @@
+// Package sqladmin implements the administrative command interface of the
+// engine: a small SQL-style language covering the commands a DBA (and
+// therefore the operator-fault injector) uses. The paper's method is to
+// reproduce operator faults "using exactly the same means used by the real
+// database administrator in the field" — this package is that surface.
+//
+// Supported statements:
+//
+//	SHUTDOWN ABORT | SHUTDOWN IMMEDIATE
+//	STARTUP
+//	ALTER SYSTEM CHECKPOINT
+//	ALTER SYSTEM SWITCH LOGFILE
+//	ALTER DATABASE DATAFILE '<file>' OFFLINE|ONLINE
+//	ALTER TABLESPACE <name> OFFLINE|ONLINE
+//	DROP TABLE <name>
+//	DROP TABLESPACE <name> INCLUDING CONTENTS
+//	DROP USER <name> CASCADE
+//	RECOVER DATAFILE '<file>'
+//	RECOVER DATABASE UNTIL SCN <n>
+//	BACKUP DATABASE
+//	SHOW STATUS
+package sqladmin
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dbench/internal/backup"
+	"dbench/internal/engine"
+	"dbench/internal/recovery"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+)
+
+// ErrSyntax reports an unparsable statement.
+var ErrSyntax = errors.New("sqladmin: syntax error")
+
+// Executor runs administrative statements against one instance.
+type Executor struct {
+	in *engine.Instance
+	rm *recovery.Manager
+	bk *backup.Manager
+}
+
+// NewExecutor wires an executor. rm and bk may be nil if RECOVER/BACKUP
+// statements are not needed.
+func NewExecutor(in *engine.Instance, rm *recovery.Manager, bk *backup.Manager) *Executor {
+	return &Executor{in: in, rm: rm, bk: bk}
+}
+
+// tokenize splits a statement into upper-cased tokens, keeping quoted
+// strings intact (and case-preserved).
+func tokenize(stmt string) []string {
+	var toks []string
+	s := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	for len(s) > 0 {
+		s = strings.TrimLeft(s, " \t\n")
+		if len(s) == 0 {
+			break
+		}
+		if s[0] == '\'' {
+			end := strings.IndexByte(s[1:], '\'')
+			if end < 0 {
+				toks = append(toks, s[1:])
+				return toks
+			}
+			toks = append(toks, s[1:1+end])
+			s = s[end+2:]
+			continue
+		}
+		sp := strings.IndexAny(s, " \t\n")
+		if sp < 0 {
+			toks = append(toks, strings.ToUpper(s))
+			break
+		}
+		toks = append(toks, strings.ToUpper(s[:sp]))
+		s = s[sp:]
+	}
+	return toks
+}
+
+// Execute parses and runs one statement, returning a human-readable
+// result line.
+func (e *Executor) Execute(p *sim.Proc, stmt string) (string, error) {
+	toks := tokenize(stmt)
+	if len(toks) == 0 {
+		return "", fmt.Errorf("%w: empty statement", ErrSyntax)
+	}
+	switch toks[0] {
+	case "SHUTDOWN":
+		return e.shutdown(p, toks)
+	case "STARTUP":
+		return e.startup(p)
+	case "ALTER":
+		return e.alter(p, toks)
+	case "DROP":
+		return e.drop(p, toks)
+	case "RECOVER":
+		return e.recover(p, toks)
+	case "BACKUP":
+		return e.backupDB(p, toks)
+	case "SHOW":
+		if len(toks) >= 2 && toks[1] == "STATUS" {
+			return e.in.Status().String(), nil
+		}
+		return "", fmt.Errorf("%w: SHOW STATUS", ErrSyntax)
+	default:
+		return "", fmt.Errorf("%w: unknown statement %q", ErrSyntax, toks[0])
+	}
+}
+
+func (e *Executor) shutdown(p *sim.Proc, toks []string) (string, error) {
+	if len(toks) < 2 {
+		return "", fmt.Errorf("%w: SHUTDOWN needs ABORT or IMMEDIATE", ErrSyntax)
+	}
+	switch toks[1] {
+	case "ABORT":
+		e.in.Crash()
+		return "instance aborted", nil
+	case "IMMEDIATE":
+		if err := e.in.ShutdownImmediate(p); err != nil {
+			return "", err
+		}
+		return "instance shut down", nil
+	default:
+		return "", fmt.Errorf("%w: SHUTDOWN %s", ErrSyntax, toks[1])
+	}
+}
+
+func (e *Executor) startup(p *sim.Proc) (string, error) {
+	err := e.in.Open(p)
+	if errors.Is(err, engine.ErrCrashRecoveryNeeded) && e.rm != nil {
+		rep, rerr := e.rm.InstanceRecovery(p)
+		if rerr != nil {
+			return "", rerr
+		}
+		return fmt.Sprintf("database opened after crash recovery (%d records, %v)",
+			rep.RecordsApplied, rep.Duration()), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return "database opened", nil
+}
+
+func (e *Executor) alter(p *sim.Proc, toks []string) (string, error) {
+	if len(toks) < 3 {
+		return "", fmt.Errorf("%w: incomplete ALTER", ErrSyntax)
+	}
+	switch toks[1] {
+	case "SYSTEM":
+		switch {
+		case toks[2] == "CHECKPOINT":
+			if err := e.in.Checkpoint(p); err != nil {
+				return "", err
+			}
+			return "checkpoint completed", nil
+		case toks[2] == "SWITCH" && len(toks) >= 4 && toks[3] == "LOGFILE":
+			if err := e.in.ForceLogSwitch(p); err != nil {
+				return "", err
+			}
+			return "log switched", nil
+		}
+	case "DATABASE":
+		if len(toks) >= 5 && toks[2] == "DATAFILE" {
+			file, mode := toks[3], toks[4]
+			switch mode {
+			case "OFFLINE":
+				if err := e.in.OfflineDatafile(p, file); err != nil {
+					return "", err
+				}
+				return "datafile offline", nil
+			case "ONLINE":
+				if err := e.in.OnlineDatafile(p, file); err != nil {
+					return "", err
+				}
+				return "datafile online", nil
+			}
+		}
+	case "TABLESPACE":
+		if len(toks) >= 4 {
+			name, mode := toks[2], toks[3]
+			switch mode {
+			case "OFFLINE":
+				if err := e.in.OfflineTablespace(p, name); err != nil {
+					return "", err
+				}
+				return "tablespace offline", nil
+			case "ONLINE":
+				if err := e.in.OnlineTablespace(p, name); err != nil {
+					return "", err
+				}
+				return "tablespace online", nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%w: unsupported ALTER", ErrSyntax)
+}
+
+func (e *Executor) drop(p *sim.Proc, toks []string) (string, error) {
+	if len(toks) < 3 {
+		return "", fmt.Errorf("%w: incomplete DROP", ErrSyntax)
+	}
+	switch toks[1] {
+	case "TABLE":
+		// Table names are stored lower-case by the TPC-C schema; admin
+		// SQL is case-insensitive, so try as-given then lower.
+		name := toks[2]
+		err := e.in.DropTable(p, strings.ToLower(name))
+		if err != nil {
+			err = e.in.DropTable(p, name)
+		}
+		if err != nil {
+			return "", err
+		}
+		return "table dropped", nil
+	case "TABLESPACE":
+		if err := e.in.DropTablespace(p, toks[2]); err != nil {
+			return "", err
+		}
+		return "tablespace dropped", nil
+	case "USER":
+		if err := e.in.DropUser(p, strings.ToLower(toks[2])); err != nil {
+			return "", err
+		}
+		return "user dropped", nil
+	default:
+		return "", fmt.Errorf("%w: DROP %s", ErrSyntax, toks[1])
+	}
+}
+
+func (e *Executor) recover(p *sim.Proc, toks []string) (string, error) {
+	if e.rm == nil {
+		return "", errors.New("sqladmin: no recovery manager configured")
+	}
+	if len(toks) >= 3 && toks[1] == "DATAFILE" {
+		rep, err := e.rm.RecoverDatafile(p, toks[2])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("datafile recovered (%d records, %v)", rep.RecordsApplied, rep.Duration()), nil
+	}
+	if len(toks) >= 5 && toks[1] == "DATABASE" && toks[2] == "UNTIL" && toks[3] == "SCN" {
+		scn, err := strconv.ParseInt(toks[4], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("%w: bad SCN %q", ErrSyntax, toks[4])
+		}
+		rep, err := e.rm.PointInTime(p, redo.SCN(scn))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("database recovered until SCN %d (%d commits lost, %v)",
+			scn, rep.LostCommits, rep.Duration()), nil
+	}
+	return "", fmt.Errorf("%w: unsupported RECOVER", ErrSyntax)
+}
+
+func (e *Executor) backupDB(p *sim.Proc, toks []string) (string, error) {
+	if e.bk == nil {
+		return "", errors.New("sqladmin: no backup manager configured")
+	}
+	if len(toks) < 2 || toks[1] != "DATABASE" {
+		return "", fmt.Errorf("%w: BACKUP DATABASE", ErrSyntax)
+	}
+	if err := e.in.Checkpoint(p); err != nil {
+		return "", err
+	}
+	b, err := e.bk.TakeFull(p, e.in.DB(), e.in.Catalog(), e.in.DB().Control.CheckpointSCN)
+	if err != nil {
+		return "", err
+	}
+	if e.in.Config().Redo.ArchiveMode {
+		if err := e.in.ForceLogSwitch(p); err != nil {
+			return "", err
+		}
+	}
+	return fmt.Sprintf("backup %d taken at SCN %d", b.ID, b.SCN), nil
+}

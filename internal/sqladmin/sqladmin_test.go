@@ -1,0 +1,276 @@
+package sqladmin
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dbench/internal/backup"
+	"dbench/internal/engine"
+	"dbench/internal/recovery"
+	"dbench/internal/sim"
+	"dbench/internal/simdisk"
+)
+
+type rig struct {
+	k   *sim.Kernel
+	in  *engine.Instance
+	ex  *Executor
+	err error
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel(3)
+	fs := simdisk.NewFS(
+		simdisk.DefaultSpec(engine.DiskData1),
+		simdisk.DefaultSpec(engine.DiskData2),
+		simdisk.DefaultSpec(engine.DiskRedo),
+		simdisk.DefaultSpec(engine.DiskArch),
+	)
+	cfg := engine.DefaultConfig()
+	cfg.Redo.GroupSizeBytes = 1 << 20
+	cfg.Redo.ArchiveMode = true
+	cfg.CheckpointTimeout = 0
+	cfg.CacheBlocks = 64
+	in, err := engine.New(k, fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := backup.NewManager(k, fs, engine.DiskArch)
+	rm := recovery.NewManager(in, bk)
+	return &rig{k: k, in: in, ex: NewExecutor(in, rm, bk)}
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc) error) {
+	t.Helper()
+	r.k.Go("t", func(p *sim.Proc) {
+		if err := fn(p); err != nil {
+			r.err = err
+		}
+	})
+	r.k.Run(sim.Time(100 * time.Hour))
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+}
+
+func (r *rig) setup(p *sim.Proc) error {
+	if _, err := r.in.CreateTablespace(p, "USERS", []string{engine.DiskData1}, 64); err != nil {
+		return err
+	}
+	if err := r.in.CreateUser(p, "app", "USERS"); err != nil {
+		return err
+	}
+	if err := r.in.Open(p); err != nil {
+		return err
+	}
+	return r.in.CreateTable(p, "t", "app", "USERS", 8)
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		give string
+		want []string
+	}{
+		{"shutdown abort", []string{"SHUTDOWN", "ABORT"}},
+		{"ALTER DATABASE DATAFILE 'USERS_01.dbf' OFFLINE;", []string{"ALTER", "DATABASE", "DATAFILE", "USERS_01.dbf", "OFFLINE"}},
+		{"  drop   table  orders ", []string{"DROP", "TABLE", "ORDERS"}},
+		{"recover database until scn 42", []string{"RECOVER", "DATABASE", "UNTIL", "SCN", "42"}},
+	}
+	for _, tt := range tests {
+		got := tokenize(tt.give)
+		if len(got) != len(tt.want) {
+			t.Fatalf("tokenize(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("tokenize(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestShutdownAbortAndStartupRecovers(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		tx, _ := r.in.Begin()
+		if err := r.in.Insert(p, tx, "t", 1, []byte("v")); err != nil {
+			return err
+		}
+		if err := r.in.Commit(p, tx); err != nil {
+			return err
+		}
+		if _, err := r.ex.Execute(p, "SHUTDOWN ABORT"); err != nil {
+			return err
+		}
+		if r.in.State() != engine.StateDown {
+			return fmt.Errorf("state = %v", r.in.State())
+		}
+		msg, err := r.ex.Execute(p, "STARTUP")
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(msg, "crash recovery") {
+			return fmt.Errorf("startup msg = %q", msg)
+		}
+		tx2, _ := r.in.Begin()
+		if _, err := r.in.Read(p, tx2, "t", 1); err != nil {
+			return err
+		}
+		return r.in.Commit(p, tx2)
+	})
+}
+
+func TestCheckpointAndSwitchStatements(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		if _, err := r.ex.Execute(p, "ALTER SYSTEM CHECKPOINT"); err != nil {
+			return err
+		}
+		if r.in.Stats().Checkpoints == 0 {
+			return fmt.Errorf("no checkpoint recorded")
+		}
+		tx, _ := r.in.Begin()
+		_ = r.in.Insert(p, tx, "t", 1, []byte("v"))
+		if err := r.in.Commit(p, tx); err != nil {
+			return err
+		}
+		seq := r.in.Log().CurrentGroup().Seq
+		if _, err := r.ex.Execute(p, "ALTER SYSTEM SWITCH LOGFILE"); err != nil {
+			return err
+		}
+		if r.in.Log().CurrentGroup().Seq != seq+1 {
+			return fmt.Errorf("no switch")
+		}
+		return nil
+	})
+}
+
+func TestDatafileOfflineRecoverOnline(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		tx, _ := r.in.Begin()
+		_ = r.in.Insert(p, tx, "t", 1, []byte("v"))
+		if err := r.in.Commit(p, tx); err != nil {
+			return err
+		}
+		if _, err := r.ex.Execute(p, "ALTER DATABASE DATAFILE 'USERS_01.dbf' OFFLINE"); err != nil {
+			return err
+		}
+		// Direct ONLINE fails (needs recovery); RECOVER then works.
+		if _, err := r.ex.Execute(p, "ALTER DATABASE DATAFILE 'USERS_01.dbf' ONLINE"); err == nil {
+			return fmt.Errorf("online without recovery succeeded")
+		}
+		if _, err := r.ex.Execute(p, "RECOVER DATAFILE 'USERS_01.dbf'"); err != nil {
+			return err
+		}
+		tx2, _ := r.in.Begin()
+		if _, err := r.in.Read(p, tx2, "t", 1); err != nil {
+			return err
+		}
+		return r.in.Commit(p, tx2)
+	})
+}
+
+func TestBackupAndPITRStatements(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		for i := int64(0); i < 20; i++ {
+			tx, _ := r.in.Begin()
+			_ = r.in.Insert(p, tx, "t", i, []byte("v"))
+			if err := r.in.Commit(p, tx); err != nil {
+				return err
+			}
+		}
+		if _, err := r.ex.Execute(p, "BACKUP DATABASE"); err != nil {
+			return err
+		}
+		target := r.in.Log().NextSCN() - 1
+		if _, err := r.ex.Execute(p, "DROP TABLE t"); err != nil {
+			return err
+		}
+		msg, err := r.ex.Execute(p, fmt.Sprintf("RECOVER DATABASE UNTIL SCN %d", target))
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(msg, "recovered until") {
+			return fmt.Errorf("msg = %q", msg)
+		}
+		tx, _ := r.in.Begin()
+		if _, err := r.in.Read(p, tx, "t", 5); err != nil {
+			return err
+		}
+		return r.in.Commit(p, tx)
+	})
+}
+
+func TestTablespaceOfflineOnline(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		if _, err := r.ex.Execute(p, "ALTER TABLESPACE USERS OFFLINE"); err != nil {
+			return err
+		}
+		if _, err := r.ex.Execute(p, "ALTER TABLESPACE USERS ONLINE"); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		bad := []string{
+			"", "FROB", "SHUTDOWN", "SHUTDOWN NOW", "ALTER", "ALTER SYSTEM REBOOT",
+			"DROP", "DROP INDEX x", "RECOVER DATABASE UNTIL SCN xyz",
+		}
+		for _, stmt := range bad {
+			if _, err := r.ex.Execute(p, stmt); err == nil {
+				return fmt.Errorf("statement %q accepted", stmt)
+			} else if stmt != "RECOVER DATABASE UNTIL SCN xyz" && !errors.Is(err, ErrSyntax) {
+				return fmt.Errorf("statement %q: err = %v, want ErrSyntax", stmt, err)
+			}
+		}
+		return nil
+	})
+}
+
+func TestShowStatus(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		out, err := r.ex.Execute(p, "SHOW STATUS")
+		if err != nil {
+			return err
+		}
+		for _, want := range []string{"instance: open", "datafiles:", "redo logs:", "USERS_01.dbf", "CURRENT"} {
+			if !strings.Contains(out, want) {
+				return fmt.Errorf("status missing %q:\n%s", want, out)
+			}
+		}
+		if _, err := r.ex.Execute(p, "SHOW TABLES"); err == nil {
+			return fmt.Errorf("SHOW TABLES accepted")
+		}
+		return nil
+	})
+}

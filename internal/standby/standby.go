@@ -1,0 +1,344 @@
+// Package standby implements the stand-by database of the paper's §5.3: a
+// second server kept in permanent recovery, applying the primary's
+// archived redo logs as they are shipped over the network. On a primary
+// failure the stand-by is activated and takes over; its recovery time is
+// roughly constant (it only finishes applying what it already received),
+// and the transactions whose redo sat in the primary's current,
+// not-yet-archived online log group are lost — the effect the paper's
+// Figure 7 measures against redo log size and group count.
+package standby
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dbench/internal/archivelog"
+	"dbench/internal/engine"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/storage"
+)
+
+// Config tunes the stand-by machinery.
+type Config struct {
+	// ShipBytesPerSec is the archive shipping bandwidth between the
+	// servers (the paper used dedicated fast Ethernet).
+	ShipBytesPerSec int64
+	// ApplyPerRecord is the managed-recovery CPU cost per redo record.
+	ApplyPerRecord time.Duration
+	// ActivationOverhead is the fixed cost of activating the stand-by
+	// (terminating managed recovery, opening the database).
+	ActivationOverhead time.Duration
+}
+
+// DefaultConfig returns costs for a dedicated 100 Mbit/s link.
+func DefaultConfig() Config {
+	return Config{
+		ShipBytesPerSec:    12 << 20,
+		ApplyPerRecord:     110 * time.Microsecond,
+		ActivationOverhead: 8 * time.Second,
+	}
+}
+
+// Stats counts stand-by activity.
+type Stats struct {
+	Shipped     int
+	Applied     int
+	RecordsDone int64
+}
+
+// Standby is the stand-by database server.
+type Standby struct {
+	k   *sim.Kernel
+	in  *engine.Instance
+	cfg Config
+
+	queue      []*archivelog.ArchivedLog
+	wake       sim.Cond
+	mrp        *sim.Proc
+	running    bool
+	activated  bool
+	appliedSCN redo.SCN
+
+	// pending tracks data records of transactions not yet known to be
+	// finished, for the rollback pass at activation.
+	pending map[redo.TxnID][]redo.Record
+
+	stats Stats
+}
+
+// New wraps a prepared stand-by instance. The instance must contain a
+// physical copy of the primary as of startSCN (the backup the stand-by
+// was instantiated from); it stays unopened until activation.
+func New(in *engine.Instance, cfg Config, startSCN redo.SCN) *Standby {
+	return &Standby{
+		k:          in.Kernel(),
+		in:         in,
+		cfg:        cfg,
+		appliedSCN: startSCN,
+		pending:    make(map[redo.TxnID][]redo.Record),
+	}
+}
+
+// Instance returns the stand-by's engine instance.
+func (s *Standby) Instance() *engine.Instance { return s.in }
+
+// AppliedSCN returns the managed-recovery watermark: every change at or
+// below it is applied on the stand-by.
+func (s *Standby) AppliedSCN() redo.SCN { return s.appliedSCN }
+
+// Activated reports whether the stand-by has taken over.
+func (s *Standby) Activated() bool { return s.activated }
+
+// Stats returns a copy of the counters.
+func (s *Standby) Stats() Stats { return s.stats }
+
+// QueueLen reports shipped-but-unapplied logs.
+func (s *Standby) QueueLen() int { return len(s.queue) }
+
+// Start mounts the stand-by instance and launches the managed recovery
+// process.
+func (s *Standby) Start(p *sim.Proc) error {
+	if s.running {
+		return nil
+	}
+	if err := s.in.Mount(p); err != nil {
+		return err
+	}
+	s.running = true
+	s.mrp = s.k.Go("MRP", s.mrpLoop)
+	return nil
+}
+
+// Stop halts managed recovery (without activating).
+func (s *Standby) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	if s.mrp != nil {
+		s.mrp.Kill()
+	}
+}
+
+// Ship transfers one archived log to the stand-by. It is called from the
+// primary's ARCH process (via archivelog.Archiver.OnArchived) and charges
+// the network transfer to that process — the shipping overhead the paper
+// notes for the stand-by configuration.
+func (s *Standby) Ship(p *sim.Proc, al *archivelog.ArchivedLog) {
+	if s.cfg.ShipBytesPerSec > 0 {
+		p.Sleep(time.Duration(al.Bytes * int64(time.Second) / s.cfg.ShipBytesPerSec))
+	}
+	s.stats.Shipped++
+	s.queue = append(s.queue, al)
+	s.wake.Broadcast(s.k)
+}
+
+// mrpLoop is the managed recovery process: it applies shipped logs in
+// order, forever.
+func (s *Standby) mrpLoop(p *sim.Proc) {
+	for s.running {
+		for s.running && len(s.queue) == 0 {
+			s.wake.Wait(p)
+		}
+		if !s.running {
+			return
+		}
+		al := s.queue[0]
+		s.queue = s.queue[1:]
+		s.applyLog(p, al)
+	}
+}
+
+// applyLog replays one archived log on the stand-by's physical database.
+func (s *Standby) applyLog(p *sim.Proc, al *archivelog.ArchivedLog) {
+	cs := time.Duration(0)
+	touched := make(map[storage.BlockRef]bool)
+	for _, rec := range al.Records() {
+		if rec.SCN <= s.appliedSCN {
+			continue
+		}
+		cs += s.cfg.ApplyPerRecord
+		s.applyRecord(rec, touched)
+		s.appliedSCN = rec.SCN
+		s.stats.RecordsDone++
+	}
+	p.Sleep(cs)
+	s.chargeTouched(p, touched)
+	s.stats.Applied++
+}
+
+// applyRecord applies one record to the stand-by images and maintains the
+// pending-transaction table.
+func (s *Standby) applyRecord(rec redo.Record, touched map[storage.BlockRef]bool) {
+	switch rec.Op {
+	case redo.OpCommit, redo.OpAbort:
+		delete(s.pending, rec.Txn)
+		return
+	case redo.OpDDL:
+		s.replayDDL(rec.Meta)
+		return
+	case redo.OpCheckpoint:
+		return
+	}
+	tbl, err := s.in.Catalog().Table(rec.Table)
+	if err != nil {
+		return
+	}
+	ref := tbl.BlockFor(rec.Key)
+	if ref.File.Lost() {
+		return
+	}
+	img := ref.File.PeekBlock(ref.No)
+	if img.SCN >= rec.SCN {
+		return
+	}
+	switch rec.Op {
+	case redo.OpInsert, redo.OpUpdate:
+		img.Rows[rec.Key] = append([]byte(nil), rec.After...)
+	case redo.OpDelete:
+		delete(img.Rows, rec.Key)
+	}
+	img.SCN = rec.SCN
+	touched[ref] = true
+	s.pending[rec.Txn] = append(s.pending[rec.Txn], rec)
+}
+
+// replayDDL mirrors dictionary changes on the stand-by.
+func (s *Standby) replayDDL(stmt string) {
+	cat := s.in.Catalog()
+	trim := func(prefix string) (string, bool) {
+		if len(stmt) <= len(prefix) || stmt[:len(prefix)] != prefix {
+			return "", false
+		}
+		rest := stmt[len(prefix):]
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == ' ' {
+				return rest[:i], true
+			}
+		}
+		return rest, true
+	}
+	if name, ok := trim("DROP TABLE "); ok {
+		_ = cat.DropTable(name)
+	} else if name, ok := trim("DROP TABLESPACE "); ok {
+		for _, tbl := range cat.TablesIn(name) {
+			_ = cat.DropTable(tbl)
+		}
+		_ = s.in.DB().DropTablespace(name)
+	} else if name, ok := trim("DROP USER "); ok {
+		_, _ = cat.DropUser(name)
+	}
+}
+
+// chargeTouched charges standby block I/O for the applied changes.
+func (s *Standby) chargeTouched(p *sim.Proc, touched map[storage.BlockRef]bool) {
+	// Managed recovery writes blocks lazily and mostly sequentially;
+	// charge one write per touched block at the sequential rate on the
+	// file's disk. Sorted for determinism.
+	refs := make([]storage.BlockRef, 0, len(touched))
+	for ref := range touched {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].File.Name != refs[j].File.Name {
+			return refs[i].File.Name < refs[j].File.Name
+		}
+		return refs[i].No < refs[j].No
+	})
+	for _, ref := range refs {
+		if ref.File.Lost() {
+			continue
+		}
+		ref.File.File().Disk().Use(p, storage.BlockSize, true, true)
+	}
+}
+
+// Activate fails the stand-by over: managed recovery finishes the shipped
+// queue, transactions with no commit record in the applied stream are
+// rolled back, and the database opens as the new primary. It returns the
+// number of transactions rolled back.
+func (s *Standby) Activate(p *sim.Proc) (int, error) {
+	if s.activated {
+		return 0, fmt.Errorf("standby: already activated")
+	}
+	s.Stop()
+	p.Sleep(s.cfg.ActivationOverhead)
+	// Finish applying everything already shipped.
+	for _, al := range s.queue {
+		s.applyLog(p, al)
+	}
+	s.queue = nil
+	// Roll back in-flight transactions (reverse order).
+	losers := 0
+	cs := time.Duration(0)
+	touched := make(map[storage.BlockRef]bool)
+	ids := make([]redo.TxnID, 0, len(s.pending))
+	for id := range s.pending {
+		ids = append(ids, id)
+	}
+	sortTxnIDs(ids)
+	for _, id := range ids {
+		recs := s.pending[id]
+		losers++
+		for i := len(recs) - 1; i >= 0; i-- {
+			rec := recs[i]
+			tbl, err := s.in.Catalog().Table(rec.Table)
+			if err != nil {
+				continue
+			}
+			ref := tbl.BlockFor(rec.Key)
+			if ref.File.Lost() {
+				continue
+			}
+			img := ref.File.PeekBlock(ref.No)
+			switch rec.Op {
+			case redo.OpInsert:
+				delete(img.Rows, rec.Key)
+			case redo.OpUpdate, redo.OpDelete:
+				img.Rows[rec.Key] = append([]byte(nil), rec.Before...)
+			}
+			if img.SCN < s.appliedSCN {
+				img.SCN = s.appliedSCN
+			}
+			touched[ref] = true
+			cs += s.cfg.ApplyPerRecord
+		}
+	}
+	p.Sleep(cs)
+	s.chargeTouched(p, touched)
+	s.pending = make(map[redo.TxnID][]redo.Record)
+
+	// Stamp the physical database consistent and open.
+	ctl := s.in.DB().Control
+	ctl.CheckpointSCN = s.appliedSCN
+	ctl.StopSCN = s.appliedSCN
+	for _, f := range s.in.DB().Datafiles() {
+		if f.Lost() {
+			continue
+		}
+		f.CkptSCN = s.appliedSCN
+		f.NeedsRecovery = false
+		f.SetOnline(true)
+	}
+	if err := ctl.Update(p); err != nil {
+		return losers, err
+	}
+	if err := s.in.Log().ResetLogs(s.appliedSCN + 1); err != nil {
+		return losers, err
+	}
+	if err := s.in.Open(p); err != nil {
+		return losers, err
+	}
+	s.activated = true
+	return losers, nil
+}
+
+func sortTxnIDs(ids []redo.TxnID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package standby
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dbench/internal/engine"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/simdisk"
+)
+
+// pair is a primary + stand-by rig sharing one simulation kernel, with
+// archive shipping wired between them.
+type pair struct {
+	k       *sim.Kernel
+	primary *engine.Instance
+	sb      *Standby
+	err     error
+}
+
+func machineFS() *simdisk.FS {
+	return simdisk.NewFS(
+		simdisk.DefaultSpec(engine.DiskData1),
+		simdisk.DefaultSpec(engine.DiskData2),
+		simdisk.DefaultSpec(engine.DiskRedo),
+		simdisk.DefaultSpec(engine.DiskArch),
+	)
+}
+
+func newPair(t *testing.T, groupSize int64, groups int) *pair {
+	t.Helper()
+	k := sim.NewKernel(11)
+	cfg := engine.DefaultConfig()
+	cfg.Redo.GroupSizeBytes = groupSize
+	cfg.Redo.Groups = groups
+	cfg.Redo.ArchiveMode = true
+	cfg.CheckpointTimeout = 0
+	cfg.CacheBlocks = 256
+
+	pri, err := engine.New(k, machineFS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbCfg := cfg
+	sbCfg.Name = "standby"
+	sbIn, err := engine.New(k, machineFS(), sbCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := New(sbIn, DefaultConfig(), 0)
+	pr := &pair{k: k, primary: pri, sb: sb}
+	return pr
+}
+
+// schema creates the same tablespace/table layout on an instance.
+func schema(p *sim.Proc, in *engine.Instance) error {
+	if _, err := in.CreateTablespace(p, "USERS", []string{engine.DiskData1, engine.DiskData2}, 64); err != nil {
+		return err
+	}
+	if err := in.CreateUser(p, "u", "USERS"); err != nil {
+		return err
+	}
+	if err := in.Open(p); err != nil {
+		return err
+	}
+	return in.CreateTable(p, "acct", "u", "USERS", 16)
+}
+
+// schemaStandby prepares the stand-by physical copy without opening it.
+func schemaStandby(p *sim.Proc, in *engine.Instance) error {
+	if _, err := in.CreateTablespace(p, "USERS", []string{engine.DiskData1, engine.DiskData2}, 64); err != nil {
+		return err
+	}
+	if err := in.CreateUser(p, "u", "USERS"); err != nil {
+		return err
+	}
+	ts, err := in.DB().Tablespace("USERS")
+	if err != nil {
+		return err
+	}
+	_, err = in.Catalog().CreateTable("acct", "u", ts, 16)
+	return err
+}
+
+func (pr *pair) run(t *testing.T, fn func(p *sim.Proc) error) {
+	t.Helper()
+	pr.k.Go("test", func(p *sim.Proc) {
+		if err := fn(p); err != nil {
+			pr.err = err
+		}
+	})
+	pr.k.Run(sim.Time(100 * time.Hour))
+	if pr.err != nil {
+		t.Fatal(pr.err)
+	}
+}
+
+func (pr *pair) put(p *sim.Proc, in *engine.Instance, key int64, val string) error {
+	tx, err := in.Begin()
+	if err != nil {
+		return err
+	}
+	if _, err := in.Read(p, tx, "acct", key); err != nil {
+		if err := in.Insert(p, tx, "acct", key, []byte(val)); err != nil {
+			return err
+		}
+	} else {
+		if err := in.Update(p, tx, "acct", key, []byte(val)); err != nil {
+			return err
+		}
+	}
+	return in.Commit(p, tx)
+}
+
+func TestStandbyAppliesShippedLogsAndActivates(t *testing.T) {
+	pr := newPair(t, 64<<10, 3)
+	pr.run(t, func(p *sim.Proc) error {
+		if err := schema(p, pr.primary); err != nil {
+			return err
+		}
+		if err := schemaStandby(p, pr.sb.Instance()); err != nil {
+			return err
+		}
+		pr.primary.Archiver().OnArchived = pr.sb.Ship
+		if err := pr.sb.Start(p); err != nil {
+			return err
+		}
+		// Generate enough redo to archive several logs.
+		lastAcked := int64(-1)
+		for i := int64(0); i < 600; i++ {
+			if err := pr.put(p, pr.primary, i%200, fmt.Sprintf("v%d", i)); err != nil {
+				return err
+			}
+			lastAcked = i
+		}
+		p.Sleep(5 * time.Second) // let ARCH/MRP drain
+		if pr.sb.Stats().Shipped == 0 || pr.sb.Stats().Applied == 0 {
+			return fmt.Errorf("shipped=%d applied=%d", pr.sb.Stats().Shipped, pr.sb.Stats().Applied)
+		}
+		if pr.sb.AppliedSCN() == 0 {
+			return fmt.Errorf("applied SCN still zero")
+		}
+		_ = lastAcked
+
+		// Primary dies; stand-by takes over.
+		appliedBefore := pr.sb.AppliedSCN()
+		pr.primary.Crash()
+		start := p.Now()
+		if _, err := pr.sb.Activate(p); err != nil {
+			return err
+		}
+		took := p.Now().Sub(start)
+		if took <= 0 || took > 2*time.Minute {
+			return fmt.Errorf("activation took %v", took)
+		}
+		if !pr.sb.Activated() {
+			return fmt.Errorf("not activated")
+		}
+		// The new primary serves reads; rows applied before failover
+		// must be present with correct values.
+		newPri := pr.sb.Instance()
+		found := 0
+		for i := int64(0); i < 200; i++ {
+			tx, err := newPri.Begin()
+			if err != nil {
+				return err
+			}
+			if _, err := newPri.Read(p, tx, "acct", i); err == nil {
+				found++
+			}
+			if err := newPri.Commit(p, tx); err != nil {
+				return err
+			}
+		}
+		if found == 0 {
+			return fmt.Errorf("no rows on activated standby")
+		}
+		// And accepts writes.
+		if err := pr.put(p, newPri, 9999, "post-failover"); err != nil {
+			return err
+		}
+		if pr.sb.AppliedSCN() < appliedBefore {
+			return fmt.Errorf("applied SCN went backwards")
+		}
+		return nil
+	})
+}
+
+func TestStandbyLostTransactionsGrowWithLogSize(t *testing.T) {
+	lost := func(groupSize int64) int {
+		pr := newPair(t, groupSize, 3)
+		var lostCount int
+		pr.run(t, func(p *sim.Proc) error {
+			if err := schema(p, pr.primary); err != nil {
+				return err
+			}
+			if err := schemaStandby(p, pr.sb.Instance()); err != nil {
+				return err
+			}
+			pr.primary.Archiver().OnArchived = pr.sb.Ship
+			if err := pr.sb.Start(p); err != nil {
+				return err
+			}
+			// Track acked commit SCNs on the primary.
+			var acked []redo.SCN
+			for i := int64(0); i < 800; i++ {
+				tx, err := pr.primary.Begin()
+				if err != nil {
+					return err
+				}
+				key := i % 200
+				if _, err := pr.primary.Read(p, tx, "acct", key); err != nil {
+					if err := pr.primary.Insert(p, tx, "acct", key, make([]byte, 64)); err != nil {
+						return err
+					}
+				} else {
+					if err := pr.primary.Update(p, tx, "acct", key, make([]byte, 64)); err != nil {
+						return err
+					}
+				}
+				if err := pr.primary.Commit(p, tx); err != nil {
+					return err
+				}
+				acked = append(acked, tx.CommitSCN)
+			}
+			p.Sleep(2 * time.Second)
+			pr.primary.Crash()
+			if _, err := pr.sb.Activate(p); err != nil {
+				return err
+			}
+			for _, scn := range acked {
+				if scn > pr.sb.AppliedSCN() {
+					lostCount++
+				}
+			}
+			return nil
+		})
+		return lostCount
+	}
+	small := lost(32 << 10)
+	large := lost(512 << 10)
+	if small >= large {
+		t.Fatalf("lost(small logs)=%d >= lost(large logs)=%d; want growth with log size", small, large)
+	}
+}
+
+func TestStandbyActivateTwiceFails(t *testing.T) {
+	pr := newPair(t, 64<<10, 3)
+	pr.run(t, func(p *sim.Proc) error {
+		if err := schemaStandby(p, pr.sb.Instance()); err != nil {
+			return err
+		}
+		if err := pr.sb.Start(p); err != nil {
+			return err
+		}
+		if _, err := pr.sb.Activate(p); err != nil {
+			return err
+		}
+		if _, err := pr.sb.Activate(p); err == nil {
+			return fmt.Errorf("second activation succeeded")
+		}
+		return nil
+	})
+}

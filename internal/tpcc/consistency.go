@@ -1,0 +1,175 @@
+package tpcc
+
+import (
+	"fmt"
+	"math"
+
+	"dbench/internal/sim"
+)
+
+// Violation is one failed consistency condition.
+type Violation struct {
+	Condition string
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Condition + ": " + v.Detail }
+
+// CheckConsistency runs the TPC-C consistency conditions (spec §3.3.2)
+// against the database, returning every violation found. The paper uses
+// these checks to decide whether a fault caused data-integrity
+// violations. The checks scan tables directly (outside any transaction),
+// so they must run on a quiesced database.
+//
+// Conditions checked:
+//
+//	C1: W_YTD = sum(D_YTD) per warehouse.
+//	C2: D_NEXT_O_ID - 1 = max(O_ID) per district.
+//	C3: every NEW_ORDER row has a matching ORDERS row.
+//	C4: per order, count(ORDER_LINE rows) = O_OL_CNT.
+//	C5: every undelivered order (carrier = 0) has a NEW_ORDER row and
+//	    vice versa (modulo delivered ones).
+type checker struct {
+	a *App
+	p *sim.Proc
+
+	violations []Violation
+}
+
+// CheckConsistency runs all conditions.
+func (a *App) CheckConsistency(p *sim.Proc) ([]Violation, error) {
+	c := &checker{a: a, p: p}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return c.violations, nil
+}
+
+func (c *checker) addf(cond, format string, args ...any) {
+	c.violations = append(c.violations, Violation{Condition: cond, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) run() error {
+	in := c.a.In
+
+	// Gather per-district aggregates in one pass per table.
+	dYTD := make(map[int64]float64)
+	dNext := make(map[int64]int)
+	if err := in.Scan(c.p, TableDistrict, func(k int64, v []byte) bool {
+		d, err := DecodeDistrict(v)
+		if err != nil {
+			c.addf("decode", "district[%d]: %v", k, err)
+			return true
+		}
+		dYTD[DKey(d.WID, d.ID)] = d.YTD
+		dNext[DKey(d.WID, d.ID)] = d.NextOID
+		return true
+	}); err != nil {
+		return err
+	}
+
+	wYTD := make(map[int]float64)
+	if err := in.Scan(c.p, TableWarehouse, func(k int64, v []byte) bool {
+		w, err := DecodeWarehouse(v)
+		if err != nil {
+			c.addf("decode", "warehouse[%d]: %v", k, err)
+			return true
+		}
+		wYTD[w.ID] = w.YTD
+		return true
+	}); err != nil {
+		return err
+	}
+
+	type orderInfo struct {
+		olCnt     int
+		carrier   int
+		lineCount int
+	}
+	orders := make(map[int64]*orderInfo)
+	maxOID := make(map[int64]int)
+	if err := in.Scan(c.p, TableOrder, func(k int64, v []byte) bool {
+		o, err := DecodeOrder(v)
+		if err != nil {
+			c.addf("decode", "orders[%d]: %v", k, err)
+			return true
+		}
+		orders[OKey(o.WID, o.DID, o.ID)] = &orderInfo{olCnt: o.OLCnt, carrier: o.CarrierID}
+		dk := DKey(o.WID, o.DID)
+		if o.ID > maxOID[dk] {
+			maxOID[dk] = o.ID
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+
+	if err := in.Scan(c.p, TableOrderLine, func(k int64, v []byte) bool {
+		l, err := DecodeOrderLine(v)
+		if err != nil {
+			c.addf("decode", "order_line[%d]: %v", k, err)
+			return true
+		}
+		if oi, ok := orders[OKey(l.WID, l.DID, l.OID)]; ok {
+			oi.lineCount++
+		} else {
+			c.addf("C4", "order_line %s#%d has no order", fmtOrderKey(l.WID, l.DID, l.OID), l.Number)
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+
+	newOrders := make(map[int64]bool)
+	if err := in.Scan(c.p, TableNewOrder, func(k int64, v []byte) bool {
+		n, err := DecodeNewOrder(v)
+		if err != nil {
+			c.addf("decode", "new_order[%d]: %v", k, err)
+			return true
+		}
+		newOrders[OKey(n.WID, n.DID, n.OID)] = true
+		return true
+	}); err != nil {
+		return err
+	}
+
+	// C1: warehouse YTD equals the sum of its districts' YTD.
+	for w, ytd := range wYTD {
+		var sum float64
+		for d := 1; d <= c.a.Cfg.Districts; d++ {
+			sum += dYTD[DKey(w, d)]
+		}
+		if math.Abs(sum-ytd) > 0.01 {
+			c.addf("C1", "warehouse %d: W_YTD=%.2f sum(D_YTD)=%.2f", w, ytd, sum)
+		}
+	}
+
+	// C2: district order counter matches the maximum order id.
+	for dk, next := range dNext {
+		if got := maxOID[dk]; got != next-1 {
+			c.addf("C2", "district %d: next_o_id-1=%d max(o_id)=%d", dk, next-1, got)
+		}
+	}
+
+	// C3: every NEW_ORDER row has an order.
+	for ok := range newOrders {
+		if _, found := orders[ok]; !found {
+			c.addf("C3", "new_order %d has no order", ok)
+		}
+	}
+
+	// C4 + C5 over all orders.
+	for okey, oi := range orders {
+		if oi.lineCount != oi.olCnt {
+			c.addf("C4", "order %d: ol_cnt=%d lines=%d", okey, oi.olCnt, oi.lineCount)
+		}
+		undelivered := oi.carrier == 0
+		if undelivered && !newOrders[okey] {
+			c.addf("C5", "undelivered order %d missing from new_order", okey)
+		}
+		if !undelivered && newOrders[okey] {
+			c.addf("C5", "delivered order %d still in new_order", okey)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dbench/internal/engine"
+	"dbench/internal/sim"
+)
+
+// Config scales and tunes the workload.
+type Config struct {
+	// Warehouses is the scale factor W.
+	Warehouses int
+	// Districts per warehouse (the spec fixes 10).
+	Districts int
+	// CustomersPerDistrict (spec: 3000; scaled down by default here).
+	CustomersPerDistrict int
+	// Items in the catalogue (spec: 100000; scaled down by default).
+	Items int
+	// TerminalsPerWarehouse drives concurrency (spec: 10).
+	TerminalsPerWarehouse int
+	// ThinkTimeMean is the mean keying+think delay between transactions
+	// per terminal (exponentially distributed). Zero disables pacing.
+	ThinkTimeMean sim.Duration
+	// Tablespace is where the TPC-C tables live.
+	Tablespace string
+	// Owner is the schema owner account.
+	Owner string
+}
+
+// DefaultConfig returns the scaled-down default used by the benchmark.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:            2,
+		Districts:             10,
+		CustomersPerDistrict:  300,
+		Items:                 10000,
+		TerminalsPerWarehouse: 10,
+		ThinkTimeMean:         0,
+		Tablespace:            "TPCC",
+		Owner:                 "tpcc",
+	}
+}
+
+// nuRandCLast, nuRandCID, nuRandOLID are the NURand constants (spec
+// §2.1.6); fixed per benchmark run.
+const (
+	nuRandCLast = 123
+	nuRandCID   = 259
+	nuRandOLID  = 1009
+)
+
+// nuRand is the spec's non-uniform random function NURand(A, x, y).
+func nuRand(r *rand.Rand, a, c, x, y int) int {
+	return (((r.Intn(a+1) | (x + r.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+// scaledA shrinks a NURand A constant proportionally when the key range is
+// smaller than the spec's, keeping the skew (and thus lock contention)
+// comparable instead of degenerate. The result is of the form 2^k - 1.
+func scaledA(specA, specRange, actualRange int) int {
+	if actualRange >= specRange {
+		return specA
+	}
+	target := (specA + 1) * actualRange / specRange
+	a := 1
+	for a*2 <= target {
+		a *= 2
+	}
+	return a - 1
+}
+
+// lastNameSyllables are the spec's §4.3.2.3 name fragments.
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName builds the spec customer last name for a number 0..999.
+func LastName(num int) string {
+	return lastNameSyllables[num/100%10] + lastNameSyllables[num/10%10] + lastNameSyllables[num%10]
+}
+
+// randLastNameNum returns the last-name number used at load (uniform over
+// the scaled name space) and run time (NURand).
+func randLastNameNum(r *rand.Rand) int { return nuRand(r, 255, nuRandCLast, 0, 999) }
+
+func randString(r *rand.Rand, minLen, maxLen int) string {
+	const chars = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	n := minLen
+	if maxLen > minLen {
+		n += r.Intn(maxLen - minLen + 1)
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(chars[r.Intn(len(chars))])
+	}
+	return sb.String()
+}
+
+func randZip(r *rand.Rand) string {
+	return fmt.Sprintf("%04d11111", r.Intn(10000))
+}
+
+// App binds the TPC-C schema and workload to one engine instance. It also
+// holds the driver-side structures the paper's external driver system
+// keeps: the customer name index and the new-order queues.
+type App struct {
+	In  *engine.Instance
+	Cfg Config
+
+	// byName maps (w, d, lastname) to the customer IDs sharing that
+	// name, sorted by first name then ID (spec's midpoint rule input).
+	byName map[string][]int
+	// noQueue holds undelivered order IDs per district (driver-side
+	// view of the NEW_ORDER table, FIFO).
+	noQueue map[int64][]int
+	// histSeq numbers runtime history rows uniquely.
+	histSeq int64
+}
+
+// NewApp returns an unloaded application.
+func NewApp(in *engine.Instance, cfg Config) *App {
+	return &App{
+		In:      in,
+		Cfg:     cfg,
+		byName:  make(map[string][]int),
+		noQueue: make(map[int64][]int),
+	}
+}
+
+func nameKey(w, d int, last string) string {
+	return fmt.Sprintf("%d/%d/%s", w, d, last)
+}
+
+// tableSpec is the physical sizing of one table: segment blocks plus the
+// key-clustering factor (consecutive keys per block).
+type tableSpec struct {
+	blocks  int
+	cluster int
+}
+
+// tableSpecs sizes each table's segment for the configured scale, leaving
+// room for run-time growth of orders/order-lines/history, and clusters
+// sequential keys so hot insert paths stay cache-resident (like B-tree
+// right edges in a real DBMS).
+func (a *App) tableSpecs() map[string]tableSpec {
+	w := a.Cfg.Warehouses
+	dist := w * a.Cfg.Districts
+	cust := dist * a.Cfg.CustomersPerDistrict
+	stock := w * a.Cfg.Items
+	at := func(n, per int) int { return 1 + n/per }
+	return map[string]tableSpec{
+		TableWarehouse: {at(w, 16), 1},
+		TableDistrict:  {at(dist, 16), 1},
+		TableCustomer:  {at(cust, 24), 24},
+		TableHistory:   {at(2*cust, 64), 64}, // grows: one row per Payment
+		TableOrder:     {at(4*cust, 64), 64}, // grows
+		TableNewOrder:  {at(cust, 32), 64},
+		TableOrderLine: {at(30*cust, 100), 100}, // grows: ~10 lines per order
+		TableItem:      {at(a.Cfg.Items, 64), 64},
+		TableStock:     {at(stock, 24), 24},
+	}
+}
+
+// CreateSchema creates the tablespace (sized with headroom over the
+// segments, like a real installation) and the nine tables.
+func (a *App) CreateSchema(p *sim.Proc, disks []string) error {
+	specs := a.tableSpecs()
+	total := 0
+	for _, sp := range specs {
+		total += sp.blocks
+	}
+	perFile := total/len(disks) + total/(4*len(disks)) + 16 // ~25% headroom
+	if _, err := a.In.CreateTablespace(p, a.Cfg.Tablespace, disks, perFile); err != nil {
+		return err
+	}
+	if err := a.In.CreateUser(p, a.Cfg.Owner, a.Cfg.Tablespace); err != nil {
+		return err
+	}
+	for _, tbl := range Tables {
+		sp := specs[tbl]
+		if err := a.In.CreateTableClustered(p, tbl, a.Cfg.Owner, a.Cfg.Tablespace, sp.blocks, sp.cluster); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load populates the database per TPC-C §4.3 (scaled), using direct-path
+// loads, and builds the driver-side indexes. The engine must be open.
+func (a *App) Load(p *sim.Proc, r *rand.Rand) error {
+	cfg := a.Cfg
+
+	items := make(map[int64][]byte, cfg.Items)
+	for i := 1; i <= cfg.Items; i++ {
+		it := Item{
+			ID:    i,
+			ImID:  1 + r.Intn(10000),
+			Name:  randString(r, 14, 24),
+			Price: 1 + float64(r.Intn(9900))/100,
+			Data:  randString(r, 26, 50),
+		}
+		items[IKey(i)] = it.Encode()
+	}
+	if err := a.In.DirectLoad(p, TableItem, items); err != nil {
+		return err
+	}
+
+	warehouses := make(map[int64][]byte, cfg.Warehouses)
+	districts := make(map[int64][]byte, cfg.Warehouses*cfg.Districts)
+	customers := make(map[int64][]byte)
+	history := make(map[int64][]byte)
+	orders := make(map[int64][]byte)
+	newOrders := make(map[int64][]byte)
+	orderLines := make(map[int64][]byte)
+	stocks := make(map[int64][]byte)
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		wh := Warehouse{
+			ID:     w,
+			Name:   randString(r, 6, 10),
+			Street: randString(r, 10, 20),
+			City:   randString(r, 10, 20),
+			State:  randString(r, 2, 2),
+			Zip:    randZip(r),
+			Tax:    float64(r.Intn(2000)) / 10000,
+			YTD:    300000,
+		}
+		warehouses[WKey(w)] = wh.Encode()
+
+		for i := 1; i <= cfg.Items; i++ {
+			st := Stock{
+				ItemID:   i,
+				WID:      w,
+				Quantity: 10 + r.Intn(91),
+				Data:     randString(r, 26, 50),
+			}
+			for di := range st.Dists {
+				st.Dists[di] = randString(r, 24, 24)
+			}
+			stocks[SKey(w, i)] = st.Encode()
+		}
+
+		for d := 1; d <= cfg.Districts; d++ {
+			// Every customer starts with exactly one order, so
+			// next_o_id is customers+1.
+			dist := District{
+				ID:      d,
+				WID:     w,
+				Name:    randString(r, 6, 10),
+				Street:  randString(r, 10, 20),
+				City:    randString(r, 10, 20),
+				State:   randString(r, 2, 2),
+				Zip:     randZip(r),
+				Tax:     float64(r.Intn(2000)) / 10000,
+				YTD:     30000,
+				NextOID: cfg.CustomersPerDistrict + 1,
+			}
+			districts[DKey(w, d)] = dist.Encode()
+
+			// Customers: the first third get names from the
+			// name-number space, the rest random names too (the
+			// spec uses NURand names for the first 1000).
+			perm := r.Perm(cfg.CustomersPerDistrict) // customer -> order permutation
+			for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+				last := LastName(randLastNameNum(r))
+				credit := "GC"
+				if r.Intn(10) == 0 {
+					credit = "BC"
+				}
+				cust := Customer{
+					ID:        c,
+					DID:       d,
+					WID:       w,
+					First:     randString(r, 8, 16),
+					Middle:    "OE",
+					Last:      last,
+					Street:    randString(r, 10, 20),
+					City:      randString(r, 10, 20),
+					State:     randString(r, 2, 2),
+					Zip:       randZip(r),
+					Phone:     randString(r, 16, 16),
+					Credit:    credit,
+					CreditLim: 50000,
+					Discount:  float64(r.Intn(5000)) / 10000,
+					Balance:   -10,
+					Data:      randString(r, 200, 400),
+				}
+				customers[CKey(w, d, c)] = cust.Encode()
+				a.byName[nameKey(w, d, last)] = append(a.byName[nameKey(w, d, last)], c)
+
+				h := History{
+					CID: c, CDID: d, CWID: w, DID: d, WID: w,
+					Amount: 10, Data: randString(r, 12, 24),
+				}
+				history[CKey(w, d, c)] = h.Encode()
+
+				// One initial order per customer, order id from
+				// the permutation.
+				o := perm[c-1] + 1
+				olCnt := 5 + r.Intn(11)
+				delivered := o < cfg.CustomersPerDistrict*2/3+1
+				ord := Order{
+					ID: o, DID: d, WID: w, CID: c,
+					OLCnt: olCnt, AllLocal: 1,
+				}
+				if delivered {
+					ord.CarrierID = 1 + r.Intn(10)
+				}
+				orders[OKey(w, d, o)] = ord.Encode()
+				if !delivered {
+					no := NewOrderRow{OID: o, DID: d, WID: w}
+					newOrders[OKey(w, d, o)] = no.Encode()
+				}
+				for ol := 1; ol <= olCnt; ol++ {
+					line := OrderLine{
+						OID: o, DID: d, WID: w, Number: ol,
+						ItemID:    1 + r.Intn(cfg.Items),
+						SupplyWID: w,
+						Quantity:  5,
+						DistInfo:  randString(r, 24, 24),
+					}
+					if delivered {
+						line.DeliveryTime = 1
+						line.Amount = float64(r.Intn(999999)) / 100
+					}
+					orderLines[OLKey(w, d, o, ol)] = line.Encode()
+				}
+			}
+		}
+	}
+
+	loads := []struct {
+		table string
+		rows  map[int64][]byte
+	}{
+		{TableWarehouse, warehouses},
+		{TableDistrict, districts},
+		{TableCustomer, customers},
+		{TableHistory, history},
+		{TableOrder, orders},
+		{TableNewOrder, newOrders},
+		{TableOrderLine, orderLines},
+		{TableStock, stocks},
+	}
+	for _, l := range loads {
+		if err := a.In.DirectLoad(p, l.table, l.rows); err != nil {
+			return fmt.Errorf("tpcc: load %s: %w", l.table, err)
+		}
+	}
+
+	// Sort the name index deterministically and seed the new-order
+	// queues from the loaded NEW_ORDER rows.
+	for k := range a.byName {
+		sort.Ints(a.byName[k])
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		for d := 1; d <= cfg.Districts; d++ {
+			var pendingIDs []int
+			for o := 1; o <= cfg.CustomersPerDistrict; o++ {
+				if _, ok := newOrders[OKey(w, d, o)]; ok {
+					pendingIDs = append(pendingIDs, o)
+				}
+			}
+			sort.Ints(pendingIDs)
+			a.noQueue[DKey(w, d)] = pendingIDs
+		}
+	}
+	a.histSeq = int64(cfg.Warehouses*cfg.Districts*cfg.CustomersPerDistrict) * 4
+	return nil
+}

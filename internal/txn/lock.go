@@ -1,0 +1,155 @@
+// Package txn implements transactions: row-level two-phase locking, undo
+// tracking for rollback, and the data access path that funnels every
+// change through the redo log and the buffer cache (write-ahead logging).
+package txn
+
+import (
+	"errors"
+	"time"
+
+	"dbench/internal/sim"
+)
+
+// ErrLockTimeout reports that a lock wait exceeded the configured timeout;
+// callers abort and retry the transaction (this also resolves deadlocks).
+var ErrLockTimeout = errors.New("txn: lock wait timeout")
+
+// lockKey identifies one row lock.
+type lockKey struct {
+	table string
+	key   int64
+}
+
+type lockWaiter struct {
+	txn      *Txn
+	proc     *sim.Proc
+	granted  bool
+	timeout  bool
+	wakeCond *sim.Cond
+}
+
+type lockState struct {
+	holder  *Txn
+	waiters []*lockWaiter
+}
+
+// lockTable grants exclusive row locks in FIFO order with a wait timeout.
+type lockTable struct {
+	k       *sim.Kernel
+	timeout time.Duration
+	locks   map[lockKey]*lockState
+
+	waits    int64
+	timeouts int64
+}
+
+func newLockTable(k *sim.Kernel, timeout time.Duration) *lockTable {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &lockTable{k: k, timeout: timeout, locks: make(map[lockKey]*lockState)}
+}
+
+// acquire obtains the exclusive lock on (table, key) for t, blocking p
+// until granted or timed out. Re-acquiring a held lock is a no-op.
+func (lt *lockTable) acquire(p *sim.Proc, t *Txn, table string, key int64) error {
+	lk := lockKey{table: table, key: key}
+	st, ok := lt.locks[lk]
+	if !ok {
+		st = &lockState{}
+		lt.locks[lk] = st
+	}
+	if st.holder == t {
+		return nil
+	}
+	if st.holder == nil && len(st.waiters) == 0 {
+		st.holder = t
+		t.locks = append(t.locks, lk)
+		return nil
+	}
+	w := &lockWaiter{txn: t, proc: p}
+	st.waiters = append(st.waiters, w)
+	lt.waits++
+	lt.k.After(lt.timeout, func() {
+		if w.granted || w.timeout {
+			return
+		}
+		w.timeout = true
+		lt.k.After(0, w.wake)
+	})
+	for !w.granted && !w.timeout {
+		w.block()
+	}
+	if w.timeout {
+		lt.timeouts++
+		// Remove ourselves from the queue.
+		for i, q := range st.waiters {
+			if q == w {
+				st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+				break
+			}
+		}
+		return ErrLockTimeout
+	}
+	if t.state != StateActive {
+		// The transaction was abandoned (instance crash) while we were
+		// waiting; pass the lock on and fail the operation.
+		st.holder = nil
+		lt.grantNext(st)
+		return ErrTxnDone
+	}
+	t.locks = append(t.locks, lk)
+	return nil
+}
+
+// grantNext hands a free lock to the next live waiter.
+func (lt *lockTable) grantNext(st *lockState) {
+	for len(st.waiters) > 0 {
+		w := st.waiters[0]
+		st.waiters = st.waiters[1:]
+		if w.timeout {
+			continue
+		}
+		st.holder = w.txn
+		w.granted = true
+		lt.k.After(0, w.wake)
+		return
+	}
+}
+
+// block/wake adapt a waiter to the kernel's handoff protocol via a private
+// condition: the waiter parks on its own proc.
+func (w *lockWaiter) block() {
+	var c sim.Cond
+	w.wakeCond = &c
+	c.Wait(w.proc)
+}
+
+func (w *lockWaiter) wake() {
+	if w.wakeCond != nil {
+		w.wakeCond.Broadcast(w.proc.Kernel())
+		w.wakeCond = nil
+	}
+}
+
+// releaseAll frees every lock held by t, handing each to its next waiter.
+func (lt *lockTable) releaseAll(t *Txn) {
+	for _, lk := range t.locks {
+		st, ok := lt.locks[lk]
+		if !ok || st.holder != t {
+			continue
+		}
+		st.holder = nil
+		lt.grantNext(st)
+		if st.holder == nil && len(st.waiters) == 0 {
+			delete(lt.locks, lk)
+		}
+	}
+	t.locks = nil
+}
+
+// held reports whether t holds the lock (used by tests).
+func (lt *lockTable) held(t *Txn, table string, key int64) bool {
+	st, ok := lt.locks[lockKey{table: table, key: key}]
+	return ok && st.holder == t
+}

@@ -1,0 +1,101 @@
+package txn
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"dbench/internal/bufcache"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+)
+
+// TestStressNoLostUpdates hunts lost updates: workers increment disjoint
+// counters through full transactions while a tiny cache forces constant
+// eviction and reload, interleaving miss reads, write-backs and log
+// flushes. Any lost update shows up as a wrong final counter.
+func TestStressNoLostUpdates(t *testing.T) {
+	f, err := makeFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.shutdown()
+	// Replace the cache with a tiny one to force eviction churn.
+	f.c = bufcache.New(f.k, 2)
+	f.c.FlushLog = func(p *sim.Proc, scn redo.SCN) error { return f.log.WaitFlushed(p, scn) }
+	f.m = NewManager(f.k, f.log, f.c, f.cat, nil, Config{LockTimeout: 2 * time.Second})
+
+	const workers = 8
+	const rounds = 40
+	enc := func(v int64) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, uint64(v))
+		return b
+	}
+	dec := func(b []byte) int64 { return int64(binary.BigEndian.Uint64(b)) }
+
+	f.k.Go("setup", func(p *sim.Proc) {
+		tx := f.m.Begin()
+		for w := int64(0); w < workers; w++ {
+			if err := f.m.Insert(p, tx, "acct", w, enc(0)); err != nil {
+				t.Error(err)
+			}
+		}
+		for k := int64(100); k < 400; k++ {
+			if err := f.m.Insert(p, tx, "acct", k, enc(k)); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := f.m.Commit(p, tx); err != nil {
+			t.Error(err)
+		}
+		for w := 0; w < workers; w++ {
+			w := int64(w)
+			f.k.Go("inc", func(p *sim.Proc) {
+				for i := 0; i < rounds; i++ {
+					tx := f.m.Begin()
+					v, err := f.m.ReadForUpdate(p, tx, "acct", w)
+					if err != nil {
+						t.Errorf("rfu: %v", err)
+						return
+					}
+					// Touch filler keys to churn the cache between
+					// the read and the write.
+					for j := int64(0); j < 10; j++ {
+						if _, err := f.m.Read(p, tx, "acct", 100+(w*37+int64(i)*11+j*7)%300); err != nil {
+							t.Errorf("filler: %v", err)
+							return
+						}
+					}
+					if err := f.m.Update(p, tx, "acct", w, enc(dec(v)+1)); err != nil {
+						t.Errorf("upd: %v", err)
+						return
+					}
+					if err := f.m.Commit(p, tx); err != nil {
+						t.Errorf("commit: %v", err)
+						return
+					}
+				}
+			})
+		}
+	})
+	f.k.Run(sim.Time(50 * time.Hour))
+	f.k.Go("check", func(p *sim.Proc) {
+		tx := f.m.Begin()
+		for w := int64(0); w < workers; w++ {
+			v, err := f.m.Read(p, tx, "acct", w)
+			if err != nil {
+				t.Error(err)
+				continue
+			}
+			if got := dec(v); got != rounds {
+				t.Errorf("counter %d = %d, want %d (lost updates)", w, got, rounds)
+			}
+		}
+		_ = f.m.Commit(p, tx)
+	})
+	f.k.Run(sim.Time(100 * time.Hour))
+	if f.c.Stats().Evictions == 0 {
+		t.Fatal("stress produced no evictions; cache too large to exercise the path")
+	}
+}

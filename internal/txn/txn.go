@@ -1,0 +1,545 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dbench/internal/bufcache"
+	"dbench/internal/catalog"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/storage"
+)
+
+// Errors reported by the transaction layer.
+var (
+	ErrTxnDone     = errors.New("txn: transaction already finished")
+	ErrRowExists   = errors.New("txn: row already exists")
+	ErrRowNotFound = errors.New("txn: row not found")
+)
+
+// State is a transaction's lifecycle state.
+type State uint8
+
+// Transaction states.
+const (
+	StateActive State = iota + 1
+	StateCommitted
+	StateAborted
+)
+
+// undoRec remembers how to compensate one change.
+type undoRec struct {
+	op     redo.Op
+	table  string
+	key    int64
+	before []byte
+}
+
+// Txn is one transaction.
+type Txn struct {
+	ID    redo.TxnID
+	state State
+
+	undo      []undoRec
+	locks     []lockKey
+	firstSCN  redo.SCN // SCN of the transaction's first redo record
+	CommitSCN redo.SCN
+	zombie    bool // client gave up after a failed rollback; PMON owns it
+}
+
+// State returns the transaction's lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// Writes returns the number of data changes made so far.
+func (t *Txn) Writes() int { return len(t.undo) }
+
+// Config tunes the transaction manager.
+type Config struct {
+	// LockTimeout bounds lock waits (also the deadlock breaker).
+	LockTimeout time.Duration
+	// CPUPerOp is the processing cost charged per row operation.
+	CPUPerOp time.Duration
+}
+
+// Stats counts transaction-layer activity.
+type Stats struct {
+	Begun        int64
+	Committed    int64
+	Aborted      int64
+	LockWaits    int64
+	LockTimeouts int64
+}
+
+// Manager coordinates transactions over a log, cache and catalog.
+type Manager struct {
+	k     *sim.Kernel
+	log   *redo.Manager
+	cache *bufcache.Cache
+	cat   *catalog.Catalog
+	locks *lockTable
+	cpu   *sim.Resource
+	cfg   Config
+
+	nextID redo.TxnID
+	active map[redo.TxnID]*Txn
+	stats  Stats
+
+	// OnTxnFinished, when set, fires after any transaction leaves the
+	// active set (commit, rollback, abandon): the redo log uses it to
+	// re-check group-reuse stalls against the undo floor.
+	OnTxnFinished func()
+}
+
+// NewManager wires a transaction manager. cpu may be nil to skip CPU
+// charging.
+func NewManager(k *sim.Kernel, log *redo.Manager, cache *bufcache.Cache, cat *catalog.Catalog, cpu *sim.Resource, cfg Config) *Manager {
+	return &Manager{
+		k:      k,
+		log:    log,
+		cache:  cache,
+		cat:    cat,
+		locks:  newLockTable(k, cfg.LockTimeout),
+		cpu:    cpu,
+		cfg:    cfg,
+		nextID: 1,
+		active: make(map[redo.TxnID]*Txn),
+	}
+}
+
+// Stats returns a copy of the counters, folding in lock-table numbers.
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	s.LockWaits = m.locks.waits
+	s.LockTimeouts = m.locks.timeouts
+	return s
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int { return len(m.active) }
+
+// OldestActiveFirstSCN returns the smallest first-record SCN among active
+// transactions, or 0 when no active transaction has written. Checkpoints
+// record it as the undo low-watermark: crash recovery must scan redo from
+// there to be able to roll back transactions that were in flight when the
+// checkpoint flushed their (uncommitted) changes.
+func (m *Manager) OldestActiveFirstSCN() redo.SCN {
+	var oldest redo.SCN
+	for _, t := range m.active {
+		if t.firstSCN == 0 {
+			continue
+		}
+		if oldest == 0 || t.firstSCN < oldest {
+			oldest = t.firstSCN
+		}
+	}
+	return oldest
+}
+
+// IsActive reports whether the transaction with the given ID is in flight
+// (used by online media recovery to leave live transactions to their own
+// commit or rollback).
+func (m *Manager) IsActive(id redo.TxnID) bool {
+	_, ok := m.active[id]
+	return ok
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	t := &Txn{ID: m.nextID, state: StateActive}
+	m.nextID++
+	m.active[t.ID] = t
+	m.stats.Begun++
+	return t
+}
+
+// charge models per-operation CPU cost.
+func (m *Manager) charge(p *sim.Proc) {
+	if m.cpu != nil && m.cfg.CPUPerOp > 0 {
+		m.cpu.Use(p, m.cfg.CPUPerOp)
+	}
+}
+
+// available fails fast when a block's datafile cannot serve DML — the
+// dictionary-level check a real DBMS applies before touching the buffer
+// cache (a cache hit must not hide an offline or lost file).
+func available(ref storage.BlockRef) error {
+	if ref.File.Lost() {
+		return fmt.Errorf("%w: %s", storage.ErrFileLost, ref.File.Name)
+	}
+	if !ref.File.Online() {
+		return fmt.Errorf("%w: %s", storage.ErrFileOffline, ref.File.Name)
+	}
+	return nil
+}
+
+// Read returns a copy of the row's value without locking (read committed
+// in spirit; see package doc for the anomaly discussion).
+func (m *Manager) Read(p *sim.Proc, t *Txn, table string, key int64) ([]byte, error) {
+	if t.state != StateActive {
+		return nil, ErrTxnDone
+	}
+	m.charge(p)
+	tbl, err := m.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := available(tbl.BlockFor(key)); err != nil {
+		return nil, err
+	}
+	blk, err := m.cache.Get(p, tbl.BlockFor(key))
+	if err != nil {
+		return nil, err
+	}
+	v, ok := blk.Rows[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s[%d]", ErrRowNotFound, table, key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// ReadForUpdate locks the row exclusively, then reads it (SELECT ... FOR
+// UPDATE). The lock is held until commit or rollback.
+func (m *Manager) ReadForUpdate(p *sim.Proc, t *Txn, table string, key int64) ([]byte, error) {
+	if t.state != StateActive {
+		return nil, ErrTxnDone
+	}
+	if err := m.locks.acquire(p, t, table, key); err != nil {
+		return nil, err
+	}
+	return m.Read(p, t, table, key)
+}
+
+// Insert adds a new row.
+func (m *Manager) Insert(p *sim.Proc, t *Txn, table string, key int64, value []byte) error {
+	return m.write(p, t, redo.OpInsert, table, key, value)
+}
+
+// Update replaces an existing row's value.
+func (m *Manager) Update(p *sim.Proc, t *Txn, table string, key int64, value []byte) error {
+	return m.write(p, t, redo.OpUpdate, table, key, value)
+}
+
+// Delete removes an existing row.
+func (m *Manager) Delete(p *sim.Proc, t *Txn, table string, key int64) error {
+	return m.write(p, t, redo.OpDelete, table, key, nil)
+}
+
+// write is the single mutation path: lock, reserve redo space, log (WAL),
+// apply to the cached block, remember undo.
+func (m *Manager) write(p *sim.Proc, t *Txn, op redo.Op, table string, key int64, value []byte) error {
+	if t.state != StateActive {
+		return ErrTxnDone
+	}
+	if err := m.locks.acquire(p, t, table, key); err != nil {
+		return err
+	}
+	m.charge(p)
+	tbl, err := m.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	// Reserve redo space before touching the buffer (Oracle's redo
+	// allocation order): this is where "checkpoint not complete" and
+	// "archival required" stalls hit the workload.
+	est := int64(256 + len(table) + 2*len(value))
+	if err := m.log.Reserve(p, est); err != nil {
+		return fmt.Errorf("txn: %w", err)
+	}
+	if t.state != StateActive {
+		return ErrTxnDone // instance crashed while stalled
+	}
+	ref := tbl.BlockFor(key)
+	if err := available(ref); err != nil {
+		return err
+	}
+	blk, err := m.cache.Get(p, ref)
+	if err != nil {
+		return err
+	}
+	if t.state != StateActive {
+		return ErrTxnDone // instance crashed during the miss read
+	}
+	before, exists := blk.Rows[key]
+	switch op {
+	case redo.OpInsert:
+		if exists {
+			return fmt.Errorf("%w: %s[%d]", ErrRowExists, table, key)
+		}
+	case redo.OpUpdate, redo.OpDelete:
+		if !exists {
+			return fmt.Errorf("%w: %s[%d]", ErrRowNotFound, table, key)
+		}
+	}
+	beforeCopy := append([]byte(nil), before...)
+	scn := m.log.Append(redo.Record{
+		Txn:    t.ID,
+		Op:     op,
+		Table:  table,
+		Key:    key,
+		Before: beforeCopy,
+		After:  append([]byte(nil), value...),
+	})
+	if t.firstSCN == 0 {
+		t.firstSCN = scn
+	}
+	if op == redo.OpDelete {
+		delete(blk.Rows, key)
+	} else {
+		blk.Rows[key] = append([]byte(nil), value...)
+	}
+	if cur, ok := m.cache.Peek(ref); !ok || cur != blk {
+		panic("txn: mutated stale block pointer in write")
+	}
+	m.cache.MarkDirty(ref, scn)
+	t.undo = append(t.undo, undoRec{op: op, table: table, key: key, before: beforeCopy})
+	return nil
+}
+
+// Commit appends the commit record, waits for the log flush (durability),
+// and releases locks.
+func (m *Manager) Commit(p *sim.Proc, t *Txn) error {
+	if t.state != StateActive {
+		return ErrTxnDone
+	}
+	if len(t.undo) == 0 {
+		// Read-only transaction: nothing to make durable.
+		t.state = StateCommitted
+		m.locks.releaseAll(t)
+		delete(m.active, t.ID)
+		m.stats.Committed++
+		m.finished()
+		return nil
+	}
+	if err := m.log.Reserve(p, 256); err != nil {
+		return fmt.Errorf("txn: commit: %w", err)
+	}
+	if t.state != StateActive {
+		return ErrTxnDone // instance crashed while stalled on the log
+	}
+	scn := m.log.Append(redo.Record{Txn: t.ID, Op: redo.OpCommit})
+	if err := m.log.WaitFlushed(p, scn); err != nil {
+		// The instance died under us; the transaction's fate is
+		// decided by recovery.
+		return fmt.Errorf("txn: commit: %w", err)
+	}
+	t.state = StateCommitted
+	t.CommitSCN = scn
+	m.locks.releaseAll(t)
+	delete(m.active, t.ID)
+	m.stats.Committed++
+	m.finished()
+	return nil
+}
+
+// finished fires the completion hook.
+func (m *Manager) finished() {
+	if m.OnTxnFinished != nil {
+		m.OnTxnFinished()
+	}
+}
+
+// Rollback undoes the transaction's changes in reverse order, logging the
+// compensating operations, then releases locks. Rollback never blocks on
+// locks (the transaction still holds them).
+func (m *Manager) Rollback(p *sim.Proc, t *Txn) error {
+	if t.state != StateActive {
+		return ErrTxnDone
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		if err := m.compensate(p, t, u); err != nil {
+			// A failed compensation (e.g. datafile lost mid-abort)
+			// leaves the transaction to crash recovery.
+			return fmt.Errorf("txn: rollback: %w", err)
+		}
+	}
+	m.log.Append(redo.Record{Txn: t.ID, Op: redo.OpAbort})
+	t.state = StateAborted
+	m.locks.releaseAll(t)
+	delete(m.active, t.ID)
+	m.stats.Aborted++
+	m.finished()
+	return nil
+}
+
+// compensate applies the inverse of one change, logging it as a normal
+// data record (compensation log record).
+func (m *Manager) compensate(p *sim.Proc, t *Txn, u undoRec) error {
+	m.charge(p)
+	tbl, err := m.cat.Table(u.table)
+	if err != nil {
+		// Table dropped since the change (DDL faultload): nothing to
+		// restore into; skip.
+		return nil
+	}
+	if err := m.log.Reserve(p, int64(256+len(u.table)+2*len(u.before))); err != nil {
+		return fmt.Errorf("txn: %w", err)
+	}
+	ref := tbl.BlockFor(u.key)
+	if err := available(ref); err != nil {
+		return err
+	}
+	blk, err := m.cache.Get(p, ref)
+	if err != nil {
+		return err
+	}
+	var rec redo.Record
+	switch u.op {
+	case redo.OpInsert: // compensate by delete
+		cur := append([]byte(nil), blk.Rows[u.key]...)
+		rec = redo.Record{Txn: t.ID, Op: redo.OpDelete, Table: u.table, Key: u.key, Before: cur, Meta: "clr"}
+		delete(blk.Rows, u.key)
+	case redo.OpUpdate: // compensate by restoring the before image
+		cur := append([]byte(nil), blk.Rows[u.key]...)
+		rec = redo.Record{Txn: t.ID, Op: redo.OpUpdate, Table: u.table, Key: u.key, Before: cur, After: append([]byte(nil), u.before...), Meta: "clr"}
+		blk.Rows[u.key] = append([]byte(nil), u.before...)
+	case redo.OpDelete: // compensate by re-insert
+		rec = redo.Record{Txn: t.ID, Op: redo.OpInsert, Table: u.table, Key: u.key, After: append([]byte(nil), u.before...), Meta: "clr"}
+		blk.Rows[u.key] = append([]byte(nil), u.before...)
+	default:
+		return fmt.Errorf("txn: cannot compensate op %v", u.op)
+	}
+	scn := m.log.Append(rec)
+	if cur, ok := m.cache.Peek(ref); !ok || cur != blk {
+		panic("txn: mutated stale block pointer in compensate")
+	}
+	m.cache.MarkDirty(ref, scn)
+	return nil
+}
+
+// KillOldestActive kills the longest-running in-flight transaction (the
+// victim of an ALTER SYSTEM KILL SESSION operator mistake): it is marked
+// zombie and PMON rolls it back. The killed client sees ErrTxnDone on its
+// next call.
+func (m *Manager) KillOldestActive() error {
+	var victim *Txn
+	for _, t := range m.active {
+		if t.state != StateActive {
+			continue
+		}
+		if victim == nil || t.ID < victim.ID {
+			victim = t
+		}
+	}
+	if victim == nil {
+		return nil // no session to kill; the mistake is a no-op
+	}
+	victim.zombie = true
+	return nil
+}
+
+// MarkZombie hands a transaction whose rollback failed (e.g. its datafile
+// is offline) to the background cleanup: RollbackZombies retries until the
+// compensation succeeds, like Oracle's PMON recovering dead sessions.
+func (m *Manager) MarkZombie(t *Txn) {
+	if t.state == StateActive {
+		t.zombie = true
+	}
+}
+
+// ZombieCount reports transactions awaiting background rollback.
+func (m *Manager) ZombieCount() int {
+	n := 0
+	for _, t := range m.active {
+		if t.zombie {
+			n++
+		}
+	}
+	return n
+}
+
+// RollbackZombies attempts to roll back every zombie transaction, in ID
+// order. Failures (media still unavailable) leave the zombie for the next
+// sweep. It reports how many were cleaned.
+func (m *Manager) RollbackZombies(p *sim.Proc) int {
+	ids := make([]redo.TxnID, 0, len(m.active))
+	for id, t := range m.active {
+		if t.zombie {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	cleaned := 0
+	for _, id := range ids {
+		t, ok := m.active[id]
+		if !ok || t.state != StateActive {
+			continue
+		}
+		if err := m.Rollback(p, t); err == nil {
+			cleaned++
+		}
+	}
+	return cleaned
+}
+
+// RollbackAllActive rolls back every in-flight transaction in ID order
+// (used by clean shutdown after the workload has been quiesced).
+func (m *Manager) RollbackAllActive(p *sim.Proc) error {
+	ids := make([]redo.TxnID, 0, len(m.active))
+	for id := range m.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t, ok := m.active[id]
+		if !ok || t.state != StateActive {
+			continue
+		}
+		if err := m.Rollback(p, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AbandonAll clears the active transaction set without undoing anything,
+// modelling an instance crash: in-flight transactions simply vanish and
+// recovery rolls them back from the log.
+func (m *Manager) AbandonAll() {
+	ids := make([]redo.TxnID, 0, len(m.active))
+	for id := range m.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := m.active[id]
+		t.state = StateAborted
+		m.locks.releaseAll(t)
+		delete(m.active, id)
+	}
+	m.finished()
+}
+
+// Scan iterates all rows of a table in unspecified order, reading cached
+// blocks where resident and durable images otherwise (charged as block
+// reads), without polluting the cache. fn returning false stops the scan.
+func (m *Manager) Scan(p *sim.Proc, table string, fn func(key int64, value []byte) bool) error {
+	tbl, err := m.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, ref := range tbl.Blocks() {
+		if err := available(ref); err != nil {
+			return fmt.Errorf("txn: scan %s: %w", table, err)
+		}
+		var rows map[int64][]byte
+		if blk, ok := m.cache.Peek(ref); ok {
+			rows = blk.Rows
+		} else {
+			blk, err := ref.File.ReadBlock(p, ref.No)
+			if err != nil {
+				return fmt.Errorf("txn: scan %s: %w", table, err)
+			}
+			rows = blk.Rows
+		}
+		for k, v := range rows {
+			if !fn(k, append([]byte(nil), v...)) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
