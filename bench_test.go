@@ -127,6 +127,31 @@ func BenchmarkFigure7LostTransactions(b *testing.B) {
 	}
 }
 
+// benchmarkCampaign runs the Table 3 configuration sweep (16 independent
+// runs) with the given worker count — the unit of comparison for the
+// campaign pool's speedup.
+func benchmarkCampaign(b *testing.B, parallel int) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Parallel = parallel
+		rows, err := core.RunTable3(sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(core.Workers(parallel, len(rows))), "workers")
+	}
+}
+
+// BenchmarkCampaignSequential is the single-worker baseline
+// (dbench -parallel 1, the pre-pool behavior).
+func BenchmarkCampaignSequential(b *testing.B) { benchmarkCampaign(b, 1) }
+
+// BenchmarkCampaignParallel runs the same campaign with one worker per
+// CPU (dbench -parallel 0). Runs are independent simulations, so on an
+// N-core machine wall clock shrinks close to N× (≥ 2× on 4 cores);
+// compare against BenchmarkCampaignSequential.
+func BenchmarkCampaignParallel(b *testing.B) { benchmarkCampaign(b, 0) }
+
 // BenchmarkSingleExperiment measures the cost of one complete benchmark
 // run (load + 20 simulated minutes of TPC-C), the unit everything above
 // is built from.

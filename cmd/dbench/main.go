@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	dbench [-scale quick|std|full] [-exp t3,f4,f5,t4,t5,f6,f7|all]
+//	dbench [-scale quick|std|full] [-exp t3,f4,f5,t4,t5,f6,f7|all] [-parallel N]
 //
 // Output is the paper-style text table for each experiment, preceded by
-// per-run progress lines on stderr.
+// per-run progress lines on stderr. -parallel sets the campaign worker
+// count (0 = one worker per CPU, 1 = sequential); results are identical
+// for every worker count.
 package main
 
 import (
@@ -19,6 +21,9 @@ import (
 	"dbench/internal/core"
 )
 
+// experiments is the known -exp token set, in campaign order.
+var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7"}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -26,10 +31,30 @@ func main() {
 	}
 }
 
+// parseExperiments validates a comma-separated -exp value against the
+// known experiment set. An unknown or empty token is an error (a typo
+// must not silently run nothing), listing the valid names.
+func parseExperiments(list string) (map[string]bool, error) {
+	valid := map[string]bool{"all": true}
+	for _, e := range experiments {
+		valid[e] = true
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(list, ",") {
+		tok := strings.TrimSpace(strings.ToLower(e))
+		if !valid[tok] {
+			return nil, fmt.Errorf("unknown experiment %q: valid names are all, %s", tok, strings.Join(experiments, ", "))
+		}
+		want[tok] = true
+	}
+	return want, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbench", flag.ContinueOnError)
 	scaleName := fs.String("scale", "std", "experiment scale: quick, std or full")
 	expList := fs.String("exp", "all", "comma-separated experiments: t3,f4,f5,t4,t5,f6,f7 or all")
+	parallel := fs.Int("parallel", 0, "campaign workers: 0 = one per CPU, 1 = sequential, N = exactly N")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,10 +70,14 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (got %d)", *parallel)
+	}
+	sc.Parallel = *parallel
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*expList, ",") {
-		want[strings.TrimSpace(strings.ToLower(e))] = true
+	want, err := parseExperiments(*expList)
+	if err != nil {
+		return err
 	}
 	all := want["all"]
 	progress := core.Progress(func(line string) {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExperimentsValid(t *testing.T) {
+	want, err := parseExperiments("t3, F4 ,t5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []string{"t3", "f4", "t5"} {
+		if !want[e] {
+			t.Errorf("token %q not selected: %v", e, want)
+		}
+	}
+	if want["all"] || want["f5"] {
+		t.Errorf("unexpected selections: %v", want)
+	}
+	if _, err := parseExperiments("all"); err != nil {
+		t.Errorf("all: %v", err)
+	}
+}
+
+// An unknown or misspelled -exp token must be an error listing the valid
+// names — dbench used to exit 0 having run nothing.
+func TestParseExperimentsUnknownToken(t *testing.T) {
+	for _, list := range []string{"f8", "t3,f44", "table3", "", "t3,,f4"} {
+		_, err := parseExperiments(list)
+		if err == nil {
+			t.Errorf("parseExperiments(%q): expected error", list)
+			continue
+		}
+		if !strings.Contains(err.Error(), "t3, f4, f5, t4, t5, f6, f7") {
+			t.Errorf("parseExperiments(%q): error does not list valid names: %v", list, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "huge"},
+		{"-exp", "f8"},
+		{"-exp", "t3,f44"},
+		{"-parallel", "-2"},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -23,6 +23,11 @@ type Scale struct {
 	// Tail ends fault runs this long after recovery completes.
 	Tail time.Duration
 	Seed int64
+	// Parallel is the campaign worker count: 0 = one worker per
+	// available CPU, 1 = sequential, N = exactly N workers. Each run
+	// owns its whole simulated platform, so results are identical for
+	// every worker count (see pool.go).
+	Parallel int
 }
 
 // FullScale is the paper-faithful setup: 20-minute experiments, operator
@@ -81,14 +86,10 @@ func (sc Scale) spec(name string, cfg RecoveryConfig) Spec {
 	}
 }
 
-// Progress receives one line per completed run; may be nil.
+// Progress receives one line per completed run; may be nil. Campaign
+// runners serialize calls under the pool mutex and prefix each line with
+// a completed/total counter, so it is safe to write to a shared sink.
 type Progress func(line string)
-
-func (p Progress) emit(format string, args ...any) {
-	if p != nil {
-		p(fmt.Sprintf(format, args...))
-	}
-}
 
 // ---------------------------------------------------------------------
 // Table 3 / Figure 4 (performance side): one fault-free run per recovery
@@ -103,24 +104,33 @@ type PerfRow struct {
 	RedoMBps    float64
 }
 
+// perfRow folds one fault-free result into its Table 3 row.
+func perfRow(cfg RecoveryConfig, sc Scale, res *Result) PerfRow {
+	return PerfRow{
+		Config:      cfg,
+		TpmC:        res.TpmC,
+		Checkpoints: res.Checkpoints,
+		LogStalls:   res.LogStalls,
+		RedoMBps:    float64(res.RedoWritten) / (1 << 20) / sc.Duration.Seconds(),
+	}
+}
+
 // RunTable3 measures every Table 3 configuration without faults.
 func RunTable3(sc Scale, progress Progress) ([]PerfRow, error) {
-	rows := make([]PerfRow, 0, len(Table3Configs))
-	for _, cfg := range Table3Configs {
-		spec := sc.spec("T3/"+cfg.Name, cfg)
-		res, err := Run(spec)
-		if err != nil {
-			return rows, err
-		}
-		row := PerfRow{
-			Config:      cfg,
-			TpmC:        res.TpmC,
-			Checkpoints: res.Checkpoints,
-			LogStalls:   res.LogStalls,
-			RedoMBps:    float64(res.RedoWritten) / (1 << 20) / sc.Duration.Seconds(),
-		}
-		rows = append(rows, row)
-		progress.emit("T3 %-10s tpmC=%5.0f ckpts=%3d stalls=%v", cfg.Name, row.TpmC, row.Checkpoints, row.LogStalls.Round(time.Second))
+	specs := make([]Spec, len(Table3Configs))
+	for i, cfg := range Table3Configs {
+		specs[i] = sc.spec("T3/"+cfg.Name, cfg)
+	}
+	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
+		row := perfRow(Table3Configs[i], sc, res)
+		return fmt.Sprintf("T3 %-10s tpmC=%5.0f ckpts=%3d stalls=%v", row.Config.Name, row.TpmC, row.Checkpoints, row.LogStalls.Round(time.Second))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PerfRow, len(results))
+	for i, res := range results {
+		rows[i] = perfRow(Table3Configs[i], sc, res)
 	}
 	return rows, nil
 }
@@ -145,19 +155,23 @@ func RunFigure4(sc Scale, perf []PerfRow, progress Progress) ([]Fig4Row, error) 
 			return nil, err
 		}
 	}
-	rows := make([]Fig4Row, 0, len(perf))
-	for _, pr := range perf {
+	specs := make([]Spec, len(perf))
+	for i, pr := range perf {
 		spec := sc.spec("F4/"+pr.Config.Name, pr.Config)
 		spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
 		spec.InjectAt = sc.InjectTimes[1] // at full throughput
 		spec.TailAfterRecovery = sc.Tail
-		res, err := Run(spec)
-		if err != nil {
-			return rows, err
-		}
-		row := Fig4Row{Config: pr.Config, TpmC: pr.TpmC, RecoveryTime: res.RecoveryTime}
-		rows = append(rows, row)
-		progress.emit("F4 %-10s tpmC=%5.0f recovery=%v", pr.Config.Name, row.TpmC, row.RecoveryTime.Round(time.Second))
+		specs[i] = spec
+	}
+	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
+		return fmt.Sprintf("F4 %-10s tpmC=%5.0f recovery=%v", perf[i].Config.Name, perf[i].TpmC, res.RecoveryTime.Round(time.Second))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4Row, len(results))
+	for i, res := range results {
+		rows[i] = Fig4Row{Config: perf[i].Config, TpmC: perf[i].TpmC, RecoveryTime: res.RecoveryTime}
 	}
 	return rows, nil
 }
@@ -182,25 +196,29 @@ func (r Fig5Row) OverheadPct() float64 {
 
 // RunFigure5 reproduces Figure 5 over the archive-relevant configurations.
 func RunFigure5(sc Scale, progress Progress) ([]Fig5Row, error) {
-	var rows []Fig5Row
-	for _, cfg := range ArchiveConfigs() {
-		row := Fig5Row{Config: cfg}
+	configs := ArchiveConfigs()
+	// Two jobs per configuration: archiver off (even indices), on (odd).
+	specs := make([]Spec, 0, 2*len(configs))
+	for _, cfg := range configs {
 		for _, archive := range []bool{false, true} {
 			spec := sc.spec(fmt.Sprintf("F5/%s/arch=%v", cfg.Name, archive), cfg)
 			spec.Archive = archive
-			res, err := Run(spec)
-			if err != nil {
-				return rows, err
-			}
-			if archive {
-				row.TpmCArchive = res.TpmC
-			} else {
-				row.TpmCNoArchive = res.TpmC
-			}
+			specs = append(specs, spec)
 		}
-		rows = append(rows, row)
-		progress.emit("F5 %-10s tpmC off=%5.0f on=%5.0f overhead=%4.1f%%",
-			cfg.Name, row.TpmCNoArchive, row.TpmCArchive, row.OverheadPct())
+	}
+	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
+		return fmt.Sprintf("F5 %-10s arch=%-5v tpmC=%5.0f", configs[i/2].Name, i%2 == 1, res.TpmC)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, len(configs))
+	for i, cfg := range configs {
+		rows[i] = Fig5Row{
+			Config:        cfg,
+			TpmCNoArchive: results[2*i].TpmC,
+			TpmCArchive:   results[2*i+1].TpmC,
+		}
 	}
 	return rows, nil
 }
@@ -233,30 +251,44 @@ func runRecoveryGrid(sc Scale, kinds []faults.Kind, configs []RecoveryConfig, la
 		faults.SetTablespaceOffline: "TPCC",
 		faults.DeleteUsersObject:    tpcc.TableStock,
 	}
-	var rows []RecRow
+	// One job per (fault, config, injection-instant) cell, enumerated
+	// row-major so cell j belongs to row j/3 at instant j%3.
+	nRows := len(kinds) * len(configs)
+	specs := make([]Spec, 0, 3*nRows)
 	for _, kind := range kinds {
 		for _, cfg := range configs {
-			row := RecRow{Fault: kind, Config: cfg}
 			for i, at := range sc.InjectTimes {
 				spec := sc.spec(fmt.Sprintf("%s/%v/%s/t%d", label, kind, cfg.Name, i), cfg)
 				spec.Archive = true
 				spec.Fault = &faults.Fault{Kind: kind, Target: targets[kind]}
 				spec.InjectAt = at
 				spec.TailAfterRecovery = sc.Tail
-				res, err := Run(spec)
-				if err != nil {
-					return rows, fmt.Errorf("%s %v %s inject=%v: %w", label, kind, cfg.Name, at, err)
-				}
-				row.Times[i] = res.RecoveryTime
-				if res.Outcome != nil && res.Outcome.Report != nil {
-					row.LostCommits[i] = res.Outcome.Report.LostCommits
-				}
-				row.Violations[i] = len(res.IntegrityViolations)
+				specs = append(specs, spec)
 			}
-			rows = append(rows, row)
-			progress.emit("%s %-22v %-10s %8v %8v %8v", label, kind, cfg.Name,
-				row.Times[0].Round(time.Second), row.Times[1].Round(time.Second), row.Times[2].Round(time.Second))
 		}
+	}
+	cell := func(j int) (kind faults.Kind, cfg RecoveryConfig, instant int) {
+		row := j / 3
+		return kinds[row/len(configs)], configs[row%len(configs)], j % 3
+	}
+	results, err := runPool(specs, sc.Parallel, progress, func(j int, res *Result) string {
+		kind, cfg, instant := cell(j)
+		return fmt.Sprintf("%s %-22v %-10s t%d recovery=%v", label, kind, cfg.Name,
+			instant, res.RecoveryTime.Round(time.Second))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RecRow, nRows)
+	for j, res := range results {
+		kind, cfg, instant := cell(j)
+		row := &rows[j/3]
+		row.Fault, row.Config = kind, cfg
+		row.Times[instant] = res.RecoveryTime
+		if res.Outcome != nil && res.Outcome.Report != nil {
+			row.LostCommits[instant] = res.Outcome.Report.LostCommits
+		}
+		row.Violations[instant] = len(res.IntegrityViolations)
 	}
 	return rows, nil
 }
@@ -294,26 +326,19 @@ type Fig6Row struct {
 
 // RunFigure6 reproduces Figure 6 over the archive configurations.
 func RunFigure6(sc Scale, progress Progress) ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, cfg := range ArchiveConfigs() {
-		row := Fig6Row{Config: cfg}
-
+	configs := ArchiveConfigs()
+	// Four jobs per configuration, in this fixed order.
+	f6Jobs := [4]string{"arch", "sb", "failover", "media"}
+	specs := make([]Spec, 0, 4*len(configs))
+	for _, cfg := range configs {
 		spec := sc.spec("F6/arch/"+cfg.Name, cfg)
 		spec.Archive = true
-		res, err := Run(spec)
-		if err != nil {
-			return rows, err
-		}
-		row.TpmCArchive = res.TpmC
+		specs = append(specs, spec)
 
 		spec = sc.spec("F6/sb/"+cfg.Name, cfg)
 		spec.Archive = true
 		spec.Standby = true
-		res, err = Run(spec)
-		if err != nil {
-			return rows, err
-		}
-		row.TpmCStandby = res.TpmC
+		specs = append(specs, spec)
 
 		spec = sc.spec("F6/failover/"+cfg.Name, cfg)
 		spec.Archive = true
@@ -321,27 +346,35 @@ func RunFigure6(sc Scale, progress Progress) ([]Fig6Row, error) {
 		spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
 		spec.InjectAt = sc.InjectTimes[2]
 		spec.TailAfterRecovery = sc.Tail
-		res, err = Run(spec)
-		if err != nil {
-			return rows, err
-		}
-		row.Failover = res.RecoveryTime
+		specs = append(specs, spec)
 
 		spec = sc.spec("F6/media/"+cfg.Name, cfg)
 		spec.Archive = true
 		spec.Fault = &faults.Fault{Kind: faults.DeleteDatafile, Target: "TPCC_01.dbf"}
 		spec.InjectAt = sc.InjectTimes[2]
 		spec.TailAfterRecovery = sc.Tail
-		res, err = Run(spec)
-		if err != nil {
-			return rows, err
+		specs = append(specs, spec)
+	}
+	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
+		measure := res.TpmC
+		unit := "tpmC"
+		if i%4 >= 2 {
+			measure, unit = res.RecoveryTime.Seconds(), "rec-s"
 		}
-		row.MediaRecovery = res.RecoveryTime
-
-		rows = append(rows, row)
-		progress.emit("F6 %-10s tpmC arch=%5.0f sb=%5.0f failover=%v media=%v",
-			cfg.Name, row.TpmCArchive, row.TpmCStandby,
-			row.Failover.Round(time.Second), row.MediaRecovery.Round(time.Second))
+		return fmt.Sprintf("F6 %-10s %-8s %s=%5.1f", configs[i/4].Name, f6Jobs[i%4], unit, measure)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, len(configs))
+	for i, cfg := range configs {
+		rows[i] = Fig6Row{
+			Config:        cfg,
+			TpmCArchive:   results[4*i].TpmC,
+			TpmCStandby:   results[4*i+1].TpmC,
+			Failover:      results[4*i+2].RecoveryTime,
+			MediaRecovery: results[4*i+3].RecoveryTime,
+		}
 	}
 	return rows, nil
 }
@@ -371,7 +404,8 @@ var Figure7Grid = struct {
 // RunFigure7 reproduces Figure 7: primary crash at the late instant with
 // a stand-by, varying the online log geometry.
 func RunFigure7(sc Scale, progress Progress) ([]Fig7Row, error) {
-	var rows []Fig7Row
+	var specs []Spec
+	var rows []Fig7Row // filled with the grid coordinates, Lost folded in below
 	for _, sizeMB := range Figure7Grid.SizesMB {
 		for _, groups := range Figure7Grid.Groups {
 			cfg := RecoveryConfig{
@@ -386,13 +420,18 @@ func RunFigure7(sc Scale, progress Progress) ([]Fig7Row, error) {
 			spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
 			spec.InjectAt = sc.InjectTimes[2]
 			spec.TailAfterRecovery = sc.Tail
-			res, err := Run(spec)
-			if err != nil {
-				return rows, err
-			}
-			rows = append(rows, Fig7Row{SizeMB: sizeMB, Groups: groups, Lost: res.LostTransactions})
-			progress.emit("F7 size=%3dMB groups=%d lost=%d", sizeMB, groups, res.LostTransactions)
+			specs = append(specs, spec)
+			rows = append(rows, Fig7Row{SizeMB: sizeMB, Groups: groups})
 		}
+	}
+	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
+		return fmt.Sprintf("F7 size=%3dMB groups=%d lost=%d", rows[i].SizeMB, rows[i].Groups, res.LostTransactions)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rows[i].Lost = res.LostTransactions
 	}
 	return rows, nil
 }

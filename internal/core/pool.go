@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the campaign executor: every campaign in experiments.go
+// first *enumerates* its runs declaratively into a []Spec, then submits
+// the list to a pool of workers. Results come back in enumeration order
+// regardless of completion order or worker count, so campaign tables are
+// bit-identical whether they ran on one core or sixteen. Each Run owns
+// its entire simulated platform (kernel, RNG, disks, engine), so runs
+// share no mutable state and the pool needs no coordination beyond the
+// job queue itself.
+
+// Workers resolves a user-facing parallelism knob to a worker count for
+// a campaign of n jobs: 0 (or negative) means one worker per available
+// CPU, anything else is used as-is, and the result is clamped to n so a
+// small campaign does not spawn idle workers.
+func Workers(parallel, n int) int {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	return parallel
+}
+
+// RunSpecs executes every spec on a pool of workers and returns the
+// results in enumeration order. parallel follows the Workers convention
+// (0 = all CPUs, 1 = sequential). Execution is fail-fast: the first Run
+// error cancels all queued jobs (in-flight runs complete and are
+// discarded) and is returned; the result slice is nil on error.
+// Progress, when non-nil, receives one mutex-serialized line per
+// completed run, prefixed with a completed/total counter.
+func RunSpecs(specs []Spec, parallel int, progress Progress) ([]*Result, error) {
+	return runPool(specs, parallel, progress, func(_ int, res *Result) string {
+		return res.String()
+	})
+}
+
+// runPool is RunSpecs with a per-job progress-line formatter: line is
+// called with the job's enumeration index and its result, under the
+// pool's mutex, as each run completes.
+func runPool(specs []Spec, parallel int, progress Progress, line func(i int, res *Result) string) ([]*Result, error) {
+	total := len(specs)
+	if total == 0 {
+		return nil, nil
+	}
+	workers := Workers(parallel, total)
+
+	results := make([]*Result, total)
+	jobs := make(chan int)
+	done := make(chan struct{})
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		completed int
+		once      sync.Once
+	)
+	cancel := func() { once.Do(func() { close(done) }) }
+
+	// The feeder stops handing out queued jobs as soon as any worker
+	// fails; workers drain the (then closed) queue and exit.
+	go func() {
+		defer close(jobs)
+		for i := range specs {
+			select {
+			case jobs <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, err := Run(specs[i])
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				results[i] = res
+				completed++
+				if progress != nil && line != nil {
+					progress(fmt.Sprintf("[%d/%d] %s", completed, total, line(i, res)))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

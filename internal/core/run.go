@@ -141,6 +141,11 @@ var debugTrace = false
 // Run executes one experiment end to end: build the simulated platform,
 // create and load the database, take the reference backup, run TPC-C for
 // the configured duration with the optional fault, then collect measures.
+//
+// Run is safe for concurrent use: every call builds its own sim kernel,
+// RNG, disks and engine, and touches no package-level mutable state, so
+// campaign runners may execute many Runs in parallel (see pool.go) with
+// results identical to sequential execution.
 func Run(spec Spec) (*Result, error) {
 	k := sim.NewKernel(spec.Seed)
 	fs := simdisk.NewFS(

@@ -58,7 +58,10 @@ func (s *Series) Buckets(from, to sim.Time, width time.Duration) []int {
 	if width <= 0 || to <= from {
 		return nil
 	}
-	n := int(to.Sub(from)/width) + 1
+	// ceil((to-from)/width): the last bucket may be partial, but when the
+	// range divides evenly there is no empty trailing bucket (points with
+	// pt.At >= to are excluded, so such a bucket could never fill).
+	n := int((to.Sub(from) + width - 1) / width)
 	out := make([]int, n)
 	for _, pt := range s.points {
 		if pt.At < from || pt.At >= to {
@@ -106,29 +109,42 @@ func Summarize(vals []float64) Summary {
 	}
 	sorted := append([]float64(nil), vals...)
 	sort.Float64s(sorted)
-	var sum, sumSq float64
+	var sum float64
 	for _, v := range sorted {
 		sum += v
-		sumSq += v * v
 	}
 	s.Mean = sum / float64(s.Count)
 	s.Min = sorted[0]
 	s.Max = sorted[s.Count-1]
 	s.P50 = percentile(sorted, 0.50)
 	s.P95 = percentile(sorted, 0.95)
-	variance := sumSq/float64(s.Count) - s.Mean*s.Mean
-	if variance > 0 {
+	// Two-pass (population) variance: the textbook one-pass form
+	// sumSq/n − mean² cancels catastrophically when mean² dwarfs the
+	// spread (e.g. latencies measured as large absolute timestamps).
+	var sqDev float64
+	for _, v := range sorted {
+		d := v - s.Mean
+		sqDev += d * d
+	}
+	if variance := sqDev / float64(s.Count); variance > 0 {
 		s.StdDev = math.Sqrt(variance)
 	}
 	return s
 }
 
-// percentile returns the q-th percentile of the sorted slice (nearest
-// rank).
+// percentile returns the q-th percentile of the sorted slice by the
+// nearest-rank method: the ceil(q·n)-th smallest value, so P95 of 10
+// samples is the 10th (not the 9th, as index truncation used to give).
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }

@@ -35,8 +35,9 @@ func TestSeriesBuckets(t *testing.T) {
 	for _, sec := range []int{0, 10, 29, 30, 31, 95} {
 		s.Add(at(sec), 1)
 	}
+	// 120 s / 30 s divides evenly: exactly 4 buckets, no trailing zero.
 	b := s.Buckets(at(0), at(120), 30*time.Second)
-	want := []int{3, 2, 0, 1, 0}
+	want := []int{3, 2, 0, 1}
 	if len(b) != len(want) {
 		t.Fatalf("buckets = %v", b)
 	}
@@ -77,6 +78,104 @@ func TestSummarize(t *testing.T) {
 	}
 	if z := Summarize(nil); z.Count != 0 || z.Mean != 0 {
 		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+// TestBucketsSizing pins the ceil((to-from)/width) bucket count: evenly
+// dividing ranges get no spurious trailing bucket, uneven ranges get one
+// final partial bucket, and degenerate windows stay nil.
+func TestBucketsSizing(t *testing.T) {
+	var s Series
+	for sec := 0; sec < 100; sec += 10 { // points at 0,10,...,90
+		s.Add(at(sec), 1)
+	}
+	cases := []struct {
+		name     string
+		from, to sim.Time
+		width    time.Duration
+		want     []int
+	}{
+		{"even division", at(0), at(100), 50 * time.Second, []int{5, 5}},
+		{"uneven division", at(0), at(100), 40 * time.Second, []int{4, 4, 2}},
+		{"width exceeds range", at(0), at(30), time.Minute, []int{3}},
+		{"single point window", at(90), at(91), time.Second, []int{1}},
+		{"empty range", at(50), at(50), time.Second, nil},
+		{"inverted range", at(50), at(40), time.Second, nil},
+		{"zero width", at(0), at(100), 0, nil},
+	}
+	for _, tc := range cases {
+		got := s.Buckets(tc.from, tc.to, tc.width)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: buckets = %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: buckets = %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank definition: the
+// ceil(q·n)-th smallest sample, never biased low by index truncation.
+func TestPercentileNearestRank(t *testing.T) {
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"p95 of 10 is the max", ten, 0.95, 10}, // truncation used to give 9
+		{"p50 of 10", ten, 0.50, 5},
+		{"p50 of odd count", []float64{1, 2, 3}, 0.50, 2},
+		{"p50 of even count", []float64{1, 2, 3, 4}, 0.50, 2},
+		{"p0 clamps to min", ten, 0, 1},
+		{"p100 is the max", ten, 1, 10},
+		{"single sample", []float64{7}, 0.95, 7},
+		{"empty", nil, 0.95, 0},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: percentile(%v, %v) = %v, want %v", tc.name, tc.sorted, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestSummarizeKnownQuantiles checks Summarize end to end on a sample
+// with hand-computed order statistics.
+func TestSummarizeKnownQuantiles(t *testing.T) {
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = float64(20 - i) // 20..1, unsorted input
+	}
+	s := Summarize(vals)
+	if s.Count != 20 || s.Min != 1 || s.Max != 20 || s.Mean != 10.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 10 { // ceil(0.5*20) = 10th smallest
+		t.Errorf("p50 = %v, want 10", s.P50)
+	}
+	if s.P95 != 19 { // ceil(0.95*20) = 19th smallest
+		t.Errorf("p95 = %v, want 19", s.P95)
+	}
+}
+
+// TestSummarizeVarianceLargeOffset catches the catastrophic cancellation
+// of the one-pass sumSq/n − mean² form: samples with a large common
+// offset must keep their true (tiny) spread.
+func TestSummarizeVarianceLargeOffset(t *testing.T) {
+	const offset = 1e9
+	s := Summarize([]float64{offset + 1, offset + 2, offset + 3})
+	want := math.Sqrt(2.0 / 3.0) // population stddev of {1,2,3}
+	if math.Abs(s.StdDev-want) > 1e-6 {
+		t.Fatalf("stddev = %v, want %v (catastrophic cancellation?)", s.StdDev, want)
+	}
+	// And a constant sample has exactly zero spread.
+	if z := Summarize([]float64{offset, offset, offset}); z.StdDev != 0 {
+		t.Fatalf("constant sample stddev = %v", z.StdDev)
 	}
 }
 

@@ -208,7 +208,10 @@ func (d *Driver) ThroughputSeries(from, to sim.Time, width time.Duration) []int 
 	if width <= 0 || to <= from {
 		return nil
 	}
-	out := make([]int, int(to.Sub(from)/width)+1)
+	// ceil((to-from)/width) windows: an evenly dividing range used to get
+	// an extra bucket that could never fill (commits at >= to are
+	// excluded), leaving a spurious trailing zero on every series.
+	out := make([]int, int((to.Sub(from)+width-1)/width))
 	for _, c := range d.commits {
 		if c.Type != TxnNewOrder || c.At < from || c.At >= to {
 			continue
