@@ -4,11 +4,19 @@
 // Usage:
 //
 //	dbench [-scale quick|std|full] [-exp t3,f4,f5,t4,t5,f6,f7|all] [-parallel N]
+//	dbench -exp chaos [-crashpoints N] [-seed S] [-parallel N]
 //
 // Output is the paper-style text table for each experiment, preceded by
 // per-run progress lines on stderr. -parallel sets the campaign worker
 // count (0 = one worker per CPU, 1 = sequential); results are identical
 // for every worker count.
+//
+// The chaos experiment is the crash-point exploration harness: N seeded
+// crash points against a running TPC-C workload, each followed by
+// recovery and invariant checks (see internal/chaos). It is not part of
+// "all" — it validates the recovery machinery rather than regenerating a
+// paper table — and exits non-zero if any invariant is violated. Its
+// stdout report is byte-identical for a given -crashpoints/-seed pair.
 package main
 
 import (
@@ -18,11 +26,13 @@ import (
 	"strings"
 	"time"
 
+	"dbench/internal/chaos"
 	"dbench/internal/core"
 )
 
-// experiments is the known -exp token set, in campaign order.
-var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7"}
+// experiments is the known -exp token set, in campaign order. "chaos" is
+// opt-in: it is a valid token but not part of "all".
+var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7", "chaos"}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -55,6 +65,8 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "std", "experiment scale: quick, std or full")
 	expList := fs.String("exp", "all", "comma-separated experiments: t3,f4,f5,t4,t5,f6,f7 or all")
 	parallel := fs.Int("parallel", 0, "campaign workers: 0 = one per CPU, 1 = sequential, N = exactly N")
+	crashPoints := fs.Int("crashpoints", 50, "chaos: number of crash points to explore")
+	seed := fs.Int64("seed", 1, "chaos: campaign seed (same seed = byte-identical report)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,6 +148,20 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(core.FormatFigure7(rows))
+	}
+	if want["chaos"] {
+		cfg := chaos.DefaultConfig()
+		cfg.Points = *crashPoints
+		cfg.Seed = *seed
+		cfg.Parallel = *parallel
+		rep, err := chaos.Explore(cfg, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Print(chaos.FormatReport(rep))
+		if !rep.AllGreen() {
+			return fmt.Errorf("chaos: %d/%d crash points violated an invariant", rep.Failed(), len(rep.Points))
+		}
 	}
 	return nil
 }

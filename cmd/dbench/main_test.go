@@ -38,6 +38,25 @@ func TestParseExperimentsUnknownToken(t *testing.T) {
 	}
 }
 
+// "chaos" is a valid -exp token but must never be selected by "all":
+// the exploration harness is opt-in, not a paper table.
+func TestParseExperimentsChaosOptIn(t *testing.T) {
+	want, err := parseExperiments("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want["chaos"] {
+		t.Errorf("chaos not selected: %v", want)
+	}
+	want, err = parseExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want["chaos"] {
+		t.Errorf("\"all\" must not select chaos: %v", want)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-scale", "huge"},
@@ -45,6 +64,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-exp", "t3,f44"},
 		{"-parallel", "-2"},
 		{"-nosuchflag"},
+		{"-exp", "chaos", "-crashpoints", "0"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

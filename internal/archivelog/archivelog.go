@@ -103,12 +103,25 @@ func (ar *Archiver) Archived() int { return ar.archived }
 // Failures returns the number of failed archive attempts.
 func (ar *Archiver) Failures() int { return ar.failures }
 
-// Start launches the ARCH process.
+// Start launches the ARCH process. Like Oracle's ARCH rescanning the
+// log headers at startup, it re-queues any full group that never made it
+// to the archive: a crash can kill the previous ARCH after it popped a
+// group from the queue but before the copy finished, and without the
+// rescan that group would stall log reuse ("archival required") forever.
 func (ar *Archiver) Start() {
 	if ar.running {
 		return
 	}
 	ar.running = true
+	queued := make(map[*redo.Group]bool, len(ar.queue))
+	for _, g := range ar.queue {
+		queued[g] = true
+	}
+	for _, g := range ar.log.Groups() {
+		if !queued[g] && !g.Current() && !g.Archived() && g.Bytes() > 0 {
+			ar.queue = append(ar.queue, g)
+		}
+	}
 	ar.proc = ar.k.Go("ARCH", ar.loop)
 }
 
@@ -179,7 +192,15 @@ func (ar *Archiver) archive(p *sim.Proc, g *redo.Group) error {
 	}
 	f, err := ar.fs.Create(ar.disk, name, 0)
 	if err != nil {
-		return fmt.Errorf("archivelog: create %s: %w", name, err)
+		// The file may be a leftover from a copy interrupted by a
+		// crash (this is a re-archive after restart): truncate and
+		// reuse it.
+		old, lerr := ar.fs.Lookup(name)
+		if lerr != nil {
+			return fmt.Errorf("archivelog: create %s: %w", name, err)
+		}
+		old.Truncate(0)
+		f = old
 	}
 	if err := f.Append(p, size); err != nil {
 		return fmt.Errorf("archivelog: write %s: %w", name, err)

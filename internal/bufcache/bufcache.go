@@ -50,6 +50,7 @@ type Stats struct {
 	DirtyEvictWrites int64
 	CheckpointWrites int64
 	SkippedWrites    int64
+	UnflushedSkips   int64
 }
 
 // Cache is the database buffer cache. It is used only from simulation
@@ -67,6 +68,15 @@ type Cache struct {
 	// write-ahead rule: redo for a change must be durable before the
 	// changed block is.
 	FlushLog func(p *sim.Proc, scn redo.SCN) error
+
+	// FlushableSCN, when set, reports the horizon the log writer can
+	// reach without waiting on an unreleased group. Checkpoint skips
+	// buffers whose newest change lies beyond it rather than waiting:
+	// the log writer may be stalled on a "checkpoint not complete"
+	// group switch that only this checkpoint's completion can release,
+	// so waiting would deadlock. Skipped buffers stay dirty and bound
+	// the checkpoint position through MinDirtySCN.
+	FlushableSCN func() redo.SCN
 
 	stats Stats
 }
@@ -192,7 +202,14 @@ func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
 			continue // evicted by a concurrent process meanwhile
 		}
 		if b.dirty {
-			if ferr := c.forceLog(p, b.block.SCN); ferr != nil {
+			// Snapshot the block BEFORE forcing the log: both the flush
+			// wait and the disk write below yield, and a concurrent
+			// transaction may modify the buffer meanwhile. Writing the
+			// live pointer would persist that newer, possibly unflushed
+			// change — a write-ahead violation that leaves an
+			// unrecoverable half-transaction on disk after a crash.
+			img := b.block.Clone()
+			if ferr := c.forceLog(p, img.SCN); ferr != nil {
 				return yielded, false, ferr
 			}
 			yielded = true
@@ -202,18 +219,25 @@ func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
 			if !b.dirty {
 				// Cleaned concurrently (checkpoint): drop without
 				// a write below.
-			} else if werr := b.ref.File.WriteBlock(p, b.ref.No, b.block); werr != nil {
+			} else if werr := b.ref.File.WriteBlock(p, b.ref.No, img); werr != nil {
 				continue // unwritable: try an older buffer
 			} else {
 				c.stats.DirtyEvictWrites++
-				if b.dirty {
+				if b.block.SCN == img.SCN {
 					b.dirty = false
 					c.dirty--
+				} else {
+					// Changes up to the written snapshot are durable; only
+					// the newer ones still need recovery.
+					b.firstDirtySCN = img.SCN + 1
 				}
 			}
 		}
 		if c.buffers[key] != b {
 			continue
+		}
+		if b.dirty {
+			continue // modified while writing: the newer change is not durable yet
 		}
 		c.lru.Remove(b.elem)
 		delete(c.buffers, key)
@@ -243,7 +267,21 @@ func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 		if !b.dirty {
 			continue // cleaned concurrently (evicted)
 		}
-		if err := c.forceLog(p, b.block.SCN); err != nil {
+		if c.FlushableSCN != nil && b.block.SCN > c.FlushableSCN() {
+			// The newest change's redo cannot flush right now. Forcing
+			// it from the checkpoint would deadlock (see FlushableSCN);
+			// leave the buffer for the next checkpoint, clamping this
+			// one's position below its first dirty change.
+			c.stats.UnflushedSkips++
+			continue
+		}
+		// Snapshot before forcing the log (see tryEvict): the flush wait
+		// and the write both yield, so the live buffer may pick up newer,
+		// unflushed changes meanwhile. The snapshot contains only changes
+		// the forced flush covers, keeping the durable image within the
+		// write-ahead rule.
+		img := b.block.Clone()
+		if err := c.forceLog(p, img.SCN); err != nil {
 			return written, err
 		}
 		if !b.dirty {
@@ -253,13 +291,19 @@ func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 		if c.buffers[key] != b {
 			continue // evicted (and therefore written) meanwhile
 		}
-		if err := b.ref.File.WriteBlock(p, b.ref.No, b.block); err != nil {
+		if err := b.ref.File.WriteBlock(p, b.ref.No, img); err != nil {
 			c.stats.SkippedWrites++
 			continue
 		}
-		if b.dirty {
+		if b.block.SCN == img.SCN {
 			b.dirty = false
 			c.dirty--
+		} else {
+			// A buffer that changed while being written stays dirty: its
+			// newer change has SCN above this checkpoint's position, so
+			// the next checkpoint (or recovery) covers it. The snapshot
+			// made everything up to img.SCN durable.
+			b.firstDirtySCN = img.SCN + 1
 		}
 		written++
 		c.stats.CheckpointWrites++
@@ -307,7 +351,10 @@ func (c *Cache) FlushFileForce(p *sim.Proc, f *storage.Datafile) error {
 		if !b.dirty {
 			continue
 		}
-		if err := c.forceLog(p, b.block.SCN); err != nil {
+		// Same snapshot discipline as Checkpoint; with the file offline
+		// no new changes can arrive, but the invariant is kept uniform.
+		img := b.block.Clone()
+		if err := c.forceLog(p, img.SCN); err != nil {
 			return err
 		}
 		if !b.dirty {
@@ -317,12 +364,14 @@ func (c *Cache) FlushFileForce(p *sim.Proc, f *storage.Datafile) error {
 		if c.buffers[key] != b {
 			continue
 		}
-		if err := b.ref.File.WriteBlockForce(p, b.ref.No, b.block); err != nil {
+		if err := b.ref.File.WriteBlockForce(p, b.ref.No, img); err != nil {
 			return err
 		}
-		if b.dirty {
+		if b.block.SCN == img.SCN {
 			b.dirty = false
 			c.dirty--
+		} else {
+			b.firstDirtySCN = img.SCN + 1
 		}
 	}
 	return nil

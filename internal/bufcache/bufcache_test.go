@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"dbench/internal/redo"
 	"dbench/internal/sim"
@@ -306,5 +307,113 @@ func TestQuickCheckpointCoherence(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A buffer modified while its checkpoint write is in flight must not leak
+// the newer change into the durable image, and must stay dirty. The flush
+// wait and the disk write both yield, so a concurrent transaction can
+// modify the buffer mid-write; persisting the live pointer would put a
+// change on disk whose redo may never be flushed (a write-ahead
+// violation), leaving an unrecoverable half-transaction after a crash.
+// Found by the chaos harness (crash mid-checkpoint, C1 skew).
+func TestCheckpointDoesNotPersistChangesMadeDuringWrite(t *testing.T) {
+	f := newFixture(t, 4, 8)
+	flushed := redo.SCN(10) // everything at or below 10 is durable redo
+	f.c.FlushLog = func(p *sim.Proc, scn redo.SCN) error {
+		if scn > flushed {
+			t.Errorf("flush forced to SCN %d: unflushed change reached the write path", scn)
+		}
+		p.Sleep(1) // yield, like a real group-commit wait
+		return nil
+	}
+	f.run(func(p *sim.Proc) {
+		b, err := f.c.Get(p, f.ref(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Rows[1] = []byte("flushed-change")
+		f.c.MarkDirty(f.ref(0), 10)
+
+		ckptDone := false
+		f.k.Go("ckpt", func(cp *sim.Proc) {
+			if _, err := f.c.Checkpoint(cp); err != nil {
+				t.Error(err)
+			}
+			ckptDone = true
+		})
+		// Let the checkpoint reach its flush wait, then modify the same
+		// buffer with a newer, unflushed change.
+		p.Yield()
+		blk, err := f.c.Get(p, f.ref(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk.Rows[2] = []byte("unflushed-change")
+		f.c.MarkDirty(f.ref(0), 11)
+		for !ckptDone {
+			p.Sleep(time.Millisecond)
+		}
+
+		img := f.ts.Files[0].PeekBlock(0)
+		if string(img.Rows[1]) != "flushed-change" {
+			t.Errorf("flushed change missing from durable image: %q", img.Rows[1])
+		}
+		if _, leaked := img.Rows[2]; leaked || img.SCN > flushed {
+			t.Errorf("unflushed change leaked to disk: scn=%d rows[2]=%q", img.SCN, img.Rows[2])
+		}
+		if f.c.DirtyCount() != 1 {
+			t.Errorf("dirty count = %d, want 1 (newer change still pending)", f.c.DirtyCount())
+		}
+	})
+}
+
+// A buffer whose newest change lies beyond the flushable redo horizon must
+// be skipped by Checkpoint, not waited on: the log writer may be stalled
+// on a group switch that only this checkpoint's completion can release
+// (the deadlock the chaos harness hit at crash-point 14).
+func TestCheckpointSkipsBufferWithUnflushableRedo(t *testing.T) {
+	f := newFixture(t, 4, 8)
+	f.c.FlushLog = func(p *sim.Proc, scn redo.SCN) error {
+		if scn > 10 {
+			t.Errorf("checkpoint forced unflushable SCN %d", scn)
+		}
+		return nil
+	}
+	f.c.FlushableSCN = func() redo.SCN { return 10 }
+	f.run(func(p *sim.Proc) {
+		flushable, err := f.c.Get(p, f.ref(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flushable.Rows[1] = []byte("old")
+		f.c.MarkDirty(f.ref(0), 5)
+		stuck, err := f.c.Get(p, f.ref(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stuck.Rows[1] = []byte("new")
+		f.c.MarkDirty(f.ref(1), 20)
+
+		written, err := f.c.Checkpoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != 1 {
+			t.Fatalf("wrote %d blocks, want 1 (the flushable one)", written)
+		}
+	})
+	if f.c.Stats().UnflushedSkips != 1 {
+		t.Fatalf("UnflushedSkips = %d, want 1", f.c.Stats().UnflushedSkips)
+	}
+	if f.c.DirtyCount() != 1 {
+		t.Fatalf("dirty = %d, want the skipped buffer to stay dirty", f.c.DirtyCount())
+	}
+	// The skipped buffer bounds the next recovery scan.
+	if got := f.c.MinDirtySCN(); got != 20 {
+		t.Fatalf("MinDirtySCN = %d, want 20", got)
+	}
+	if img := f.ts.Files[0].PeekBlock(1); len(img.Rows) != 0 {
+		t.Fatal("skipped buffer must not reach disk")
 	}
 }

@@ -1,0 +1,375 @@
+// Package chaos is a deterministic crash-point exploration harness: it
+// runs a seeded TPC-C workload on the simulated engine, crashes the
+// instance at many randomized-but-seeded virtual-time points — aimed at
+// the sensitive windows (mid-checkpoint, mid-log-switch, mid-archive) as
+// well as uniformly random instants — drives the standard recovery
+// procedure after each crash, and checks a battery of invariants:
+//
+//	(a) durability — every transaction acknowledged committed before
+//	    the crash is present after recovery, judged against a commit
+//	    ledger the terminals keep outside the engine;
+//	(b) consistency — tpcc.App.CheckConsistency reports zero violations
+//	    on the quiesced post-recovery database;
+//	(c) idempotence — re-applying the recovered redo range changes
+//	    nothing (zero records applied, datafile state hash unchanged);
+//	(d) determinism — the whole crash+recovery run is bit-identical
+//	    when repeated with the same seed.
+//
+// The paper's recoverability measures are only as trustworthy as the
+// recovery they measure; this harness is the systematic version of the
+// hand-picked fault points in internal/core/experiments.go. Because
+// everything runs on the discrete-event kernel, a full exploration of
+// dozens of crash points costs seconds of wall time and reproduces
+// exactly from `-seed`.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dbench/internal/backup"
+	"dbench/internal/core"
+	"dbench/internal/engine"
+	"dbench/internal/faults"
+	"dbench/internal/recovery"
+	"dbench/internal/sim"
+	"dbench/internal/simdisk"
+	"dbench/internal/sqladmin"
+	"dbench/internal/tpcc"
+)
+
+// Window classifies where in the engine's activity a crash point is
+// aimed. Points round-robin over the windows so every exploration
+// exercises all of them.
+type Window uint8
+
+// Crash windows.
+const (
+	// WindowRandom crashes at a uniformly random instant.
+	WindowRandom Window = iota + 1
+	// WindowCheckpoint requests a checkpoint and crashes while the
+	// checkpoint procedure is draining the cache.
+	WindowCheckpoint
+	// WindowLogSwitch forces a log switch and crashes just after it
+	// begins.
+	WindowLogSwitch
+	// WindowArchive forces a switch and crashes while the ARCH process
+	// has the resulting group queued or in flight.
+	WindowArchive
+)
+
+// windowCount is the round-robin modulus.
+const windowCount = 4
+
+func (w Window) String() string {
+	switch w {
+	case WindowRandom:
+		return "random"
+	case WindowCheckpoint:
+		return "checkpoint"
+	case WindowLogSwitch:
+		return "log-switch"
+	case WindowArchive:
+		return "archive"
+	default:
+		return fmt.Sprintf("window(%d)", uint8(w))
+	}
+}
+
+// Config scales one exploration campaign.
+type Config struct {
+	// Points is the number of crash points to explore.
+	Points int
+	// Seed drives every random choice; the per-point seed is derived
+	// from it and the point index.
+	Seed int64
+	// Parallel is the worker count, following core.Workers (0 = one
+	// worker per CPU).
+	Parallel int
+
+	// TPCC scales the workload under which crashes happen.
+	TPCC tpcc.Config
+	// CacheBlocks sizes the buffer cache; small caches write back
+	// dirty blocks early and widen the crash-state space.
+	CacheBlocks int
+	// GroupSize/Groups shape the redo log; small groups make switches,
+	// archiving and checkpoints frequent, so crash points land amid
+	// them.
+	GroupSize int64
+	Groups    int
+	// CheckpointTimeout is the engine's periodic checkpoint interval.
+	CheckpointTimeout time.Duration
+	// Detection is the simulated DBA error-detection time before
+	// recovery starts.
+	Detection time.Duration
+	// CrashMin/CrashMax bound the crash instant, measured from
+	// workload start.
+	CrashMin, CrashMax time.Duration
+	// Tail is how long the workload keeps running after recovery
+	// before the database is quiesced and checked.
+	Tail time.Duration
+}
+
+// DefaultConfig explores 50 points of a deliberately twitchy
+// configuration: 1 MB redo groups keep switches, archiving and
+// checkpoints frequent, so crashes land amid the interesting machinery.
+func DefaultConfig() Config {
+	tc := tpcc.DefaultConfig()
+	tc.Warehouses = 1
+	tc.CustomersPerDistrict = 60
+	tc.Items = 1000
+	tc.TerminalsPerWarehouse = 8
+	return Config{
+		Points:            50,
+		Seed:              1,
+		TPCC:              tc,
+		CacheBlocks:       512,
+		GroupSize:         1 << 20,
+		Groups:            3,
+		CheckpointTimeout: 15 * time.Second,
+		Detection:         2 * time.Second,
+		CrashMin:          3 * time.Second,
+		CrashMax:          25 * time.Second,
+		Tail:              5 * time.Second,
+	}
+}
+
+// pointSeed derives the i-th point's seed from the campaign seed with a
+// splitmix-style mix, so neighbouring points get unrelated streams.
+func pointSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Explore runs the campaign: every crash point is executed twice (the
+// second run checks determinism) on the shared worker pool, and the
+// per-point results are returned in point order. The first point error
+// (a crash the recovery machinery could not handle at all) aborts the
+// exploration; invariant violations do not — they are reported.
+func Explore(cfg Config, progress core.Progress) (*Report, error) {
+	if cfg.Points <= 0 {
+		return nil, fmt.Errorf("chaos: Points must be >= 1 (got %d)", cfg.Points)
+	}
+	if cfg.CrashMax <= cfg.CrashMin {
+		return nil, fmt.Errorf("chaos: CrashMax (%v) must exceed CrashMin (%v)", cfg.CrashMax, cfg.CrashMin)
+	}
+	points, err := core.RunIndexed(cfg.Points, cfg.Parallel, func(i int) (*PointResult, error) {
+		r1, err := runPoint(cfg, i)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: point %d: %w", i, err)
+		}
+		r2, err := runPoint(cfg, i)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: point %d (determinism rerun): %w", i, err)
+		}
+		r1.Deterministic = sameOutcome(r1, r2)
+		return r1, nil
+	}, progress, func(i int, r *PointResult) string { return r.String() })
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Config: cfg, Points: points}, nil
+}
+
+// debugChaos enables phase tracing on stdout (used while calibrating).
+var debugChaos = false
+
+// runPoint executes one crash point end to end on a fresh simulated
+// platform and returns every measure except the determinism verdict
+// (Explore fills that in from the rerun).
+func runPoint(cfg Config, index int) (*PointResult, error) {
+	seed := pointSeed(cfg.Seed, index)
+	window := Window(index%windowCount + 1)
+	rng := rand.New(rand.NewSource(seed))
+	crashDelay := cfg.CrashMin + time.Duration(rng.Int63n(int64(cfg.CrashMax-cfg.CrashMin)))
+	jitter := time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+
+	k := sim.NewKernel(seed)
+	fs := simdisk.NewFS(
+		simdisk.DefaultSpec(engine.DiskData1),
+		simdisk.DefaultSpec(engine.DiskData2),
+		simdisk.DefaultSpec(engine.DiskRedo),
+		simdisk.DefaultSpec(engine.DiskArch),
+	)
+	ecfg := engine.DefaultConfig()
+	ecfg.Redo.GroupSizeBytes = cfg.GroupSize
+	ecfg.Redo.Groups = cfg.Groups
+	ecfg.Redo.ArchiveMode = true
+	ecfg.CheckpointTimeout = cfg.CheckpointTimeout
+	ecfg.CacheBlocks = cfg.CacheBlocks
+	in, err := engine.New(k, fs, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	bk := backup.NewManager(k, fs, engine.DiskArch)
+	rm := recovery.NewManager(in, bk)
+	ex := sqladmin.NewExecutor(in, rm, bk)
+	inj := faults.NewInjector(in, rm, ex)
+	if cfg.Detection > 0 {
+		inj.Detection = cfg.Detection
+	}
+	app := tpcc.NewApp(in, cfg.TPCC)
+	drv := tpcc.NewDriver(app, tpcc.DefaultDriverConfig())
+
+	res := &PointResult{Index: index, Window: window, Seed: seed}
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+		k.Stop()
+	}
+	trace := func(msg string) {
+		if debugChaos {
+			fmt.Printf("[%v] point %d: %s\n", k.Now(), index, msg)
+		}
+	}
+
+	k.Go("chaos", func(p *sim.Proc) {
+		// Phase 1: create, load, checkpoint, reference backup — same
+		// procedure as core.Run.
+		if err := in.Open(p); err != nil {
+			fail(err)
+			return
+		}
+		if err := app.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+			fail(err)
+			return
+		}
+		if err := app.Load(p, rand.New(rand.NewSource(seed))); err != nil {
+			fail(err)
+			return
+		}
+		if err := in.Checkpoint(p); err != nil {
+			fail(err)
+			return
+		}
+		backupSCN := in.DB().Control.CheckpointSCN
+		if _, err := bk.TakeFull(p, in.DB(), in.Catalog(), backupSCN); err != nil {
+			fail(err)
+			return
+		}
+		if err := in.ForceLogSwitch(p); err != nil {
+			fail(err)
+			return
+		}
+
+		// Phase 2: workload, then position the crash inside the
+		// requested window.
+		drv.Start()
+		p.Sleep(crashDelay)
+		var helper *sim.Proc
+		switch window {
+		case WindowCheckpoint:
+			in.RequestCheckpoint()
+			// Wait (in tiny steps, bounded) for the CKPT process to
+			// enter the checkpoint procedure, then let it run a little.
+			for i := 0; i < 5000 && !in.CheckpointInProgress(); i++ {
+				p.Sleep(time.Millisecond)
+			}
+			p.Sleep(jitter / 4)
+		case WindowLogSwitch:
+			helper = k.Go("switcher", func(sp *sim.Proc) {
+				_ = in.ForceLogSwitch(sp)
+			})
+			p.Sleep(jitter / 8)
+		case WindowArchive:
+			arch := in.Archiver()
+			base := arch.Archived()
+			helper = k.Go("switcher", func(sp *sim.Proc) {
+				_ = in.ForceLogSwitch(sp)
+			})
+			for i := 0; i < 5000 && arch.QueueLen() == 0 && arch.Archived() == base; i++ {
+				p.Sleep(time.Millisecond)
+			}
+			p.Sleep(jitter / 2)
+		}
+
+		preSCN := in.Log().NextSCN() - 1
+		in.Crash()
+		if helper != nil {
+			// A stalled ForceLogSwitch would otherwise wake up during
+			// recovery (when the log restarts) and inject a phantom
+			// switch into the recovered instance.
+			helper.Kill()
+		}
+		res.CrashAt = p.Now()
+		res.CrashSCN = in.Log().FlushedSCN()
+		if debugChaos {
+			for _, f := range in.DB().Datafiles() {
+				for no := 0; no < f.NumBlocks(); no++ {
+					if img := f.PeekBlock(no); img.SCN > res.CrashSCN {
+						trace(fmt.Sprintf("WAL VIOLATION: %s block %d durable SCN %d > flushed %d", f.Name, no, img.SCN, res.CrashSCN))
+					}
+				}
+			}
+		}
+		// The durability ledger: commits the terminals saw acknowledged
+		// before the crash, recorded outside the engine.
+		ledger := append([]tpcc.CommitRecord(nil), drv.Commits()...)
+		res.AckedCommits = len(ledger)
+		// Capture the redo recovery is about to replay, for the
+		// idempotence check afterwards.
+		replay := captureRedo(in)
+
+		// Phase 3: the standard recovery procedure, driven through the
+		// fault injector like any operator-fault experiment.
+		o := faults.Observed(faults.Fault{Kind: faults.ShutdownAbort}, res.CrashAt, preSCN)
+		if err := inj.Recover(p, o); err != nil {
+			fail(fmt.Errorf("recovery after crash at %v: %w", res.CrashAt, err))
+			return
+		}
+		res.RecoveryKind = o.Report.Kind
+		res.RecoveryTime = o.RecoveryDuration()
+		res.RecordsApplied = o.Report.RecordsApplied
+		res.BytesReplayed = o.Report.BytesApplied
+
+		// Invariant (c), checked atomically in virtual time (no sleeps
+		// between hash, replay and re-hash, so no other process runs):
+		// replaying the recovered redo again must change nothing.
+		before := StateHash(in)
+		res.ReappliedRecords = rm.ReapplyDataRecords(replay)
+		res.Idempotent = res.ReappliedRecords == 0 && StateHash(in) == before
+
+		// Phase 4: post-recovery tail, then quiesce and check.
+		trace("recovered")
+		if cfg.Tail > 0 {
+			p.Sleep(cfg.Tail)
+		}
+		drv.Quiesce(p)
+		trace("quiesced")
+
+		// Invariant (a): every ledger entry must be in the database.
+		missing, err := missingFromLedger(p, app, ledger)
+		if err != nil {
+			fail(fmt.Errorf("durability check: %w", err))
+			return
+		}
+		res.MissingCommits = missing
+		res.Durable = missing == 0
+
+		// Invariant (b): the TPC-C consistency conditions.
+		viols, err := app.CheckConsistency(p)
+		if err != nil {
+			fail(fmt.Errorf("consistency check: %w", err))
+			return
+		}
+		for _, v := range viols {
+			trace("violation: " + v.String())
+		}
+		res.Violations = len(viols)
+		res.Consistent = len(viols) == 0
+
+		res.Fingerprint = fingerprint(in, res)
+		k.Stop()
+	})
+	k.Run(sim.Time(200 * time.Hour))
+	k.KillAll()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"dbench/internal/engine"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/tpcc"
+)
+
+// This file holds the invariant checkers. Each is small and separable so
+// the tests can attack it directly: construct a violation, assert the
+// checker flags it.
+
+// StateHash fingerprints the durable database state: every datafile's
+// blocks — row contents, block SCNs, corruption flags — in a
+// deterministic order (files sorted by name, rows by key). Replaying
+// already-recovered redo must leave it unchanged (idempotence), and two
+// runs from the same seed must produce the same value (determinism).
+func StateHash(in *engine.Instance) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, f := range in.DB().Datafiles() { // sorted by name
+		h.Write([]byte(f.Name))
+		writeInt(int64(f.CkptSCN))
+		for no := 0; no < f.NumBlocks(); no++ {
+			img := f.PeekBlock(no)
+			writeInt(int64(no))
+			writeInt(int64(img.SCN))
+			if img.Corrupt {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+			keys := make([]int64, 0, len(img.Rows))
+			for k := range img.Rows {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, k := range keys {
+				writeInt(k)
+				writeInt(int64(len(img.Rows[k])))
+				h.Write(img.Rows[k])
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// captureRedo snapshots the redo stream instance recovery is about to
+// replay: from the control file's recovery start position to the end of
+// flushed redo, read from the online groups and, where those have been
+// recycled, from the archived logs. This is harness bookkeeping (the
+// crashed instance's durable bytes read without simulated cost), kept
+// deliberately separate from recovery's own redoRange so the two
+// implementations cross-check each other.
+func captureRedo(in *engine.Instance) []redo.Record {
+	ctl := in.DB().Control
+	from := ctl.CheckpointSCN + 1
+	if ctl.UndoSCN > 0 && ctl.UndoSCN < from {
+		from = ctl.UndoSCN
+	}
+	log := in.Log()
+	if recs, ok := log.OnlineRecords(from); ok {
+		return append([]redo.Record(nil), recs...)
+	}
+	var recs []redo.Record
+	next := from
+	if arch := in.Archiver(); arch != nil {
+		for _, al := range arch.Inventory().From(from) {
+			for _, rec := range al.Records() {
+				if rec.SCN >= next {
+					recs = append(recs, rec)
+					next = rec.SCN + 1
+				}
+			}
+		}
+	}
+	online, _ := log.OnlineRecords(next)
+	return append(recs, online...)
+}
+
+// missingFromLedger probes every acknowledged New-Order commit in the
+// ledger and counts the ones whose order row is absent — lost
+// transactions from the end-user's view. The instance must be open and
+// the workload quiesced.
+func missingFromLedger(p *sim.Proc, app *tpcc.App, ledger []tpcc.CommitRecord) (int, error) {
+	missing := 0
+	for _, c := range ledger {
+		if c.Type != tpcc.TxnNewOrder || c.OID == 0 {
+			continue
+		}
+		ok, err := app.HasOrder(p, c.W, c.D, c.OID)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			missing++
+		}
+	}
+	return missing, nil
+}
+
+// sameOutcome decides the determinism verdict: two runs of the same
+// crash point must agree on every observable — the final state hash and
+// each per-point measure.
+func sameOutcome(a, b *PointResult) bool {
+	return a.Fingerprint == b.Fingerprint &&
+		a.CrashAt == b.CrashAt &&
+		a.CrashSCN == b.CrashSCN &&
+		a.AckedCommits == b.AckedCommits &&
+		a.RecoveryKind == b.RecoveryKind &&
+		a.RecoveryTime == b.RecoveryTime &&
+		a.RecordsApplied == b.RecordsApplied &&
+		a.BytesReplayed == b.BytesReplayed &&
+		a.MissingCommits == b.MissingCommits &&
+		a.Violations == b.Violations &&
+		a.ReappliedRecords == b.ReappliedRecords
+}
+
+// fingerprint condenses a finished point — final datafile state plus
+// every measure — into one value for the determinism comparison.
+func fingerprint(in *engine.Instance, r *PointResult) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(StateHash(in)))
+	writeInt(int64(r.CrashAt))
+	writeInt(int64(r.CrashSCN))
+	writeInt(int64(r.AckedCommits))
+	writeInt(int64(r.RecoveryKind))
+	writeInt(int64(r.RecoveryTime))
+	writeInt(int64(r.RecordsApplied))
+	writeInt(r.BytesReplayed)
+	writeInt(int64(r.MissingCommits))
+	writeInt(int64(r.Violations))
+	writeInt(int64(r.ReappliedRecords))
+	return h.Sum64()
+}

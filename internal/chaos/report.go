@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dbench/internal/recovery"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+)
+
+// PointResult is one crash point's full outcome.
+type PointResult struct {
+	// Index is the point's position in the campaign; Window the
+	// activity it was aimed at; Seed the derived per-point seed (a
+	// single point reproduces from it alone).
+	Index  int
+	Window Window
+	Seed   int64
+
+	// CrashAt is the virtual instant of the crash; CrashSCN the highest
+	// durably flushed SCN at that instant (everything an acknowledged
+	// commit could depend on).
+	CrashAt  sim.Time
+	CrashSCN redo.SCN
+	// AckedCommits is the ledger size at the crash: transactions the
+	// terminals saw acknowledged.
+	AckedCommits int
+
+	// RecoveryKind/RecoveryTime/RecordsApplied/BytesReplayed summarise
+	// the recovery that followed.
+	RecoveryKind   recovery.Kind
+	RecoveryTime   time.Duration
+	RecordsApplied int
+	BytesReplayed  int64
+
+	// The four invariant verdicts, with their evidence counts.
+	Durable          bool // (a) no acknowledged commit missing
+	MissingCommits   int
+	Consistent       bool // (b) zero TPC-C consistency violations
+	Violations       int
+	Idempotent       bool // (c) redo replay applied nothing new
+	ReappliedRecords int
+	Deterministic    bool // (d) rerun with the same seed agreed
+	// Fingerprint condenses final state + measures (the determinism
+	// comparison value).
+	Fingerprint uint64
+}
+
+// OK reports whether every invariant held at this point.
+func (r *PointResult) OK() bool {
+	return r.Durable && r.Consistent && r.Idempotent && r.Deterministic
+}
+
+// String renders a one-line progress summary.
+func (r *PointResult) String() string {
+	verdict := "ok"
+	if !r.OK() {
+		verdict = "INVARIANT VIOLATED"
+	}
+	return fmt.Sprintf("point %d (%s): crash@%v scn=%d recovery=%v %s",
+		r.Index, r.Window, time.Duration(r.CrashAt).Round(time.Millisecond), r.CrashSCN,
+		r.RecoveryTime.Round(time.Millisecond), verdict)
+}
+
+// Report is one exploration campaign's outcome.
+type Report struct {
+	Config Config
+	Points []*PointResult
+}
+
+// AllGreen reports whether every point held every invariant.
+func (r *Report) AllGreen() bool { return r.Failed() == 0 }
+
+// Failed counts points with at least one violated invariant.
+func (r *Report) Failed() int {
+	n := 0
+	for _, p := range r.Points {
+		if !p.OK() {
+			n++
+		}
+	}
+	return n
+}
+
+// verdict renders an invariant column: "ok", or the evidence count when
+// the invariant failed.
+func verdict(ok bool, n int) string {
+	if ok {
+		return "ok"
+	}
+	return fmt.Sprintf("FAIL:%d", n)
+}
+
+// FormatReport renders the per-crash-point table. Every value is
+// virtual-time or counter based, so the output is byte-identical across
+// reruns with the same seed.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos crash-point exploration: %d points, seed %d.\n", len(r.Points), r.Config.Seed)
+	fmt.Fprintf(&b, "%4s %-10s %9s %9s %8s %9s %11s %7s | %7s %7s %6s %6s\n",
+		"pt", "window", "crash@", "crashSCN", "recovery", "applied", "replayed", "acked",
+		"durable", "consist", "idem", "determ")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%4d %-10s %8.2fs %9d %7.1fs %9d %10.1fKB %7d | %7s %7s %6s %6s\n",
+			p.Index, p.Window, time.Duration(p.CrashAt).Seconds(), p.CrashSCN,
+			p.RecoveryTime.Seconds(), p.RecordsApplied, float64(p.BytesReplayed)/1024,
+			p.AckedCommits,
+			verdict(p.Durable, p.MissingCommits),
+			verdict(p.Consistent, p.Violations),
+			verdict(p.Idempotent, p.ReappliedRecords),
+			verdict(p.Deterministic, 1))
+	}
+	if r.AllGreen() {
+		fmt.Fprintf(&b, "%d/%d crash points green: durability, consistency, idempotence, determinism all held.\n",
+			len(r.Points), len(r.Points))
+	} else {
+		fmt.Fprintf(&b, "%d/%d crash points VIOLATED an invariant (reproduce one with its point seed).\n",
+			r.Failed(), len(r.Points))
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dbench/internal/faults"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden-file tests for the dbench table output. The tables are the
+// user-visible contract of the tool (and what gets compared against the
+// paper); a stray format-verb or column-width change should fail loudly,
+// not slip into a diff between campaign runs. Regenerate intentionally
+// with: go test ./internal/core -run TestFormatTable -update
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output changed:\n--- got\n%s--- want\n%s", name, got, want)
+	}
+}
+
+// cfgOrDie resolves a Table 3 configuration by name.
+func cfgOrDie(t *testing.T, name string) RecoveryConfig {
+	t.Helper()
+	c, ok := ConfigByName(name)
+	if !ok {
+		t.Fatalf("config %q not in Table3Configs", name)
+	}
+	return c
+}
+
+func TestFormatTable3Golden(t *testing.T) {
+	rows := []PerfRow{
+		{Config: cfgOrDie(t, "F400G3T20"), TpmC: 1234.5, Checkpoints: 2, RedoMBps: 0.42},
+		{Config: cfgOrDie(t, "F40G3T1"), TpmC: 987.6, Checkpoints: 11, RedoMBps: 0.37},
+		{Config: cfgOrDie(t, "F1G2T1"), TpmC: 432.1, Checkpoints: 63, RedoMBps: 0.21},
+	}
+	checkGolden(t, "table3", FormatTable3(rows))
+}
+
+func TestFormatTable4Golden(t *testing.T) {
+	rows := []RecRow{
+		{
+			Fault:       faults.DeleteDatafile,
+			Config:      cfgOrDie(t, "F400G3T20"),
+			Times:       [3]time.Duration{95 * time.Second, 102 * time.Second, 110 * time.Second},
+			LostCommits: [3]int{120, 250, 430},
+		},
+		{
+			Fault:       faults.DeleteDatafile,
+			Config:      cfgOrDie(t, "F1G3T1"),
+			Times:       [3]time.Duration{41 * time.Second, 44 * time.Second, 0},
+			LostCommits: [3]int{15, 30, 0},
+			Violations:  [3]int{0, 1, 0},
+		},
+		{
+			Fault:       faults.DeleteTablespace,
+			Config:      cfgOrDie(t, "F100G3T5"),
+			Times:       [3]time.Duration{77 * time.Second, 80 * time.Second, 88 * time.Second},
+			LostCommits: [3]int{60, 90, 140},
+		},
+	}
+	checkGolden(t, "table4", FormatTable4(rows, StdScale()))
+}
+
+func TestFormatTable5Golden(t *testing.T) {
+	rows := []RecRow{
+		{
+			Fault:  faults.ShutdownAbort,
+			Config: cfgOrDie(t, "F400G3T20"),
+			Times:  [3]time.Duration{35 * time.Second, 48 * time.Second, 61 * time.Second},
+		},
+		{
+			Fault:  faults.ShutdownAbort,
+			Config: cfgOrDie(t, "F1G2T1"),
+			Times:  [3]time.Duration{4 * time.Second, 5 * time.Second, 5 * time.Second},
+		},
+		{
+			Fault:  faults.SetDatafileOffline,
+			Config: cfgOrDie(t, "F40G3T10"),
+			Times:  [3]time.Duration{52 * time.Second, 0, 58 * time.Second},
+		},
+	}
+	checkGolden(t, "table5", FormatTable5(rows, StdScale()))
+}

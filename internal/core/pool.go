@@ -49,13 +49,29 @@ func RunSpecs(specs []Spec, parallel int, progress Progress) ([]*Result, error) 
 // called with the job's enumeration index and its result, under the
 // pool's mutex, as each run completes.
 func runPool(specs []Spec, parallel int, progress Progress, line func(i int, res *Result) string) ([]*Result, error) {
-	total := len(specs)
-	if total == 0 {
+	return RunIndexed(len(specs), parallel, func(i int) (*Result, error) {
+		return Run(specs[i])
+	}, progress, line)
+}
+
+// RunIndexed executes jobs 0..n-1 on a pool of workers and returns their
+// results in index order. It is the generic core of the campaign
+// executor, shared by RunSpecs and by other enumerated campaigns (the
+// chaos crash-point explorer fans its points through it). parallel
+// follows the Workers convention (0 = all CPUs, 1 = sequential).
+// Execution is fail-fast: the first job error cancels all queued jobs
+// (in-flight jobs complete and are discarded) and is returned; the
+// result slice is nil on error. Progress, when non-nil, receives one
+// mutex-serialized line per completed job, prefixed with a
+// completed/total counter; jobs must not share mutable state, since up
+// to `parallel` of them run concurrently.
+func RunIndexed[T any](n, parallel int, run func(i int) (T, error), progress Progress, line func(i int, r T) string) ([]T, error) {
+	if n == 0 {
 		return nil, nil
 	}
-	workers := Workers(parallel, total)
+	workers := Workers(parallel, n)
 
-	results := make([]*Result, total)
+	results := make([]T, n)
 	jobs := make(chan int)
 	done := make(chan struct{})
 	var (
@@ -70,7 +86,7 @@ func runPool(specs []Spec, parallel int, progress Progress, line func(i int, res
 	// fails; workers drain the (then closed) queue and exit.
 	go func() {
 		defer close(jobs)
-		for i := range specs {
+		for i := 0; i < n; i++ {
 			select {
 			case jobs <- i:
 			case <-done:
@@ -90,7 +106,7 @@ func runPool(specs []Spec, parallel int, progress Progress, line func(i int, res
 					return
 				default:
 				}
-				res, err := Run(specs[i])
+				res, err := run(i)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -103,7 +119,7 @@ func runPool(specs []Spec, parallel int, progress Progress, line func(i int, res
 				results[i] = res
 				completed++
 				if progress != nil && line != nil {
-					progress(fmt.Sprintf("[%d/%d] %s", completed, total, line(i, res)))
+					progress(fmt.Sprintf("[%d/%d] %s", completed, n, line(i, res)))
 				}
 				mu.Unlock()
 			}

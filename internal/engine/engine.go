@@ -86,6 +86,11 @@ type Instance struct {
 	openedAt  sim.Time
 	downSince sim.Time
 
+	// ckptActive is true while the checkpoint procedure is between its
+	// start and its control-file update — the window in which a crash
+	// leaves a half-drained cache behind.
+	ckptActive bool
+
 	// OnStateChange, when set, observes lifecycle transitions (the
 	// benchmark driver uses it to timestamp outages).
 	OnStateChange func(now sim.Time, s State)
@@ -119,6 +124,7 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 		}
 		return inst.log.WaitFlushed(p, scn)
 	}
+	inst.cache.FlushableSCN = inst.log.FlushableSCN
 	inst.tm = txn.NewManager(k, log, inst.cache, inst.cat, inst.cpu, txn.Config{
 		LockTimeout: cfg.Cost.LockTimeout,
 		CPUPerOp:    cfg.Cost.CPUPerOp,
@@ -324,6 +330,12 @@ func (in *Instance) RequestCheckpoint() {
 	}
 }
 
+// CheckpointInProgress reports whether a checkpoint procedure is
+// currently executing (between its start and its control-file update).
+// The chaos harness uses it to place crashes inside the checkpoint
+// window.
+func (in *Instance) CheckpointInProgress() bool { return in.ckptActive }
+
 // Checkpoint performs a full synchronous checkpoint on the calling
 // process.
 func (in *Instance) Checkpoint(p *sim.Proc) error {
@@ -337,6 +349,11 @@ func (in *Instance) Checkpoint(p *sim.Proc) error {
 // log the checkpoint record, persist the checkpoint SCN and release log
 // groups for reuse.
 func (in *Instance) checkpoint(p *sim.Proc) error {
+	in.ckptActive = true
+	// The deferred reset also runs when the checkpointing process is
+	// killed mid-procedure (a kill unwinds the process stack), so the
+	// flag never sticks across a crash.
+	defer func() { in.ckptActive = false }()
 	// Capture the checkpoint position and the undo low-watermark first:
 	// all changes at or below scn are covered by the dirty-buffer
 	// snapshot written below.
@@ -355,6 +372,13 @@ func (in *Instance) checkpoint(p *sim.Proc) error {
 	// keeps checkpoints deadlock-free while the log is stalled.)
 	if flushed := in.log.FlushedSCN(); flushed < scn {
 		scn = flushed
+	}
+	// Nor can it reach past a change still only in the cache: buffers the
+	// drain left dirty (skipped because their redo was not yet flushable,
+	// re-dirtied mid-write, or on an unwritable file) must stay inside
+	// the recovery scan.
+	if md := in.cache.MinDirtySCN(); md >= 0 && md <= scn {
+		scn = md - 1
 	}
 	if undoSCN > scn+1 {
 		undoSCN = scn + 1

@@ -166,6 +166,16 @@ func (inj *Injector) Inject(p *sim.Proc, f Fault) (*Outcome, error) {
 	return o, nil
 }
 
+// Observed records a fault the caller performed itself — the chaos
+// harness crashes the instance directly rather than through the DBA
+// interface — so that Recover can drive the matching procedure with the
+// usual detection accounting. injectedAt is when the fault took effect;
+// preSCN is the last SCN assigned before it (the recovery target for
+// incomplete recoveries).
+func Observed(f Fault, injectedAt sim.Time, preSCN redo.SCN) *Outcome {
+	return &Outcome{Fault: f, InjectedAt: injectedAt, PreFaultSCN: preSCN}
+}
+
 // Recover waits out the detection time and runs the recovery procedure
 // appropriate for the fault, filling in the outcome.
 func (inj *Injector) Recover(p *sim.Proc, o *Outcome) error {

@@ -1,0 +1,163 @@
+package recovery
+
+import (
+	"fmt"
+	"testing"
+
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+)
+
+// Boundary tests for PointInTime: the exact backup SCN, targets before
+// the backup, targets beyond the end of redo, and the inclusive stop at
+// the target SCN itself. Off-by-one errors here silently lose or
+// resurrect a committed transaction.
+
+// pitRig boots a standard archive-mode rig with a backup taken after 50
+// committed rows, and returns the backup SCN.
+func pitRig(t *testing.T) (*rig, func(p *sim.Proc) (backupSCN redo.SCN, err error)) {
+	t.Helper()
+	r, err := newRig(true, 1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := func(p *sim.Proc) (redo.SCN, error) {
+		if err := r.setup(p); err != nil {
+			return 0, err
+		}
+		for i := int64(0); i < 50; i++ {
+			if err := r.put(p, i, "before"); err != nil {
+				return 0, err
+			}
+		}
+		if err := r.in.Checkpoint(p); err != nil {
+			return 0, err
+		}
+		backupSCN := r.in.DB().Control.CheckpointSCN
+		if _, err := r.bk.TakeFull(p, r.in.DB(), r.in.Catalog(), backupSCN); err != nil {
+			return 0, err
+		}
+		return backupSCN, nil
+	}
+	return r, boot
+}
+
+// A target of exactly the backup SCN is valid: restore the backup, apply
+// nothing, lose every post-backup commit.
+func TestPointInTimeAtExactBackupSCN(t *testing.T) {
+	r, boot := pitRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		backupSCN, err := boot(p)
+		if err != nil {
+			return err
+		}
+		const lost = 9
+		for i := int64(100); i < 100+lost; i++ {
+			if err := r.put(p, i, "after-backup"); err != nil {
+				return err
+			}
+		}
+		rep, err := r.rm.PointInTime(p, backupSCN)
+		if err != nil {
+			return fmt.Errorf("PIT at exact backup SCN: %w", err)
+		}
+		if rep.RecordsApplied != 0 {
+			return fmt.Errorf("applied %d records, want 0 (target == backup SCN)", rep.RecordsApplied)
+		}
+		if rep.LostCommits != lost {
+			return fmt.Errorf("lost commits = %d, want %d", rep.LostCommits, lost)
+		}
+		for i := int64(0); i < 50; i++ {
+			if v, err := r.get(p, i); err != nil || v != "before" {
+				return fmt.Errorf("pre-backup row %d = %q, %v", i, v, err)
+			}
+		}
+		for i := int64(100); i < 100+lost; i++ {
+			if _, err := r.get(p, i); err == nil {
+				return fmt.Errorf("post-backup row %d survived PIT to backup SCN", i)
+			}
+		}
+		return nil
+	})
+}
+
+// Targets before the backup SCN — including SCN 0 — cannot be honoured
+// (no restorable state that old) and must error rather than silently
+// recover to somewhere else.
+func TestPointInTimeBeforeBackupErrors(t *testing.T) {
+	r, boot := pitRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		backupSCN, err := boot(p)
+		if err != nil {
+			return err
+		}
+		for _, target := range []redo.SCN{0, backupSCN - 1} {
+			if _, err := r.rm.PointInTime(p, target); err == nil {
+				return fmt.Errorf("PIT to SCN %d (backup at %d) succeeded", target, backupSCN)
+			}
+		}
+		return nil
+	})
+}
+
+// A target beyond the end of redo applies everything, loses nothing, and
+// leaves a database that accepts new work.
+func TestPointInTimeBeyondLogEnd(t *testing.T) {
+	r, boot := pitRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if _, err := boot(p); err != nil {
+			return err
+		}
+		for i := int64(100); i < 110; i++ {
+			if err := r.put(p, i, "post-backup"); err != nil {
+				return err
+			}
+		}
+		target := r.in.Log().NextSCN() + 1000
+		rep, err := r.rm.PointInTime(p, target)
+		if err != nil {
+			return err
+		}
+		if rep.LostCommits != 0 {
+			return fmt.Errorf("lost commits = %d, want 0", rep.LostCommits)
+		}
+		for i := int64(100); i < 110; i++ {
+			if v, err := r.get(p, i); err != nil || v != "post-backup" {
+				return fmt.Errorf("row %d = %q, %v", i, v, err)
+			}
+		}
+		return r.put(p, 500, "after-resetlogs")
+	})
+}
+
+// The stop point is inclusive: a commit at exactly the target SCN is
+// applied, the next one is lost.
+func TestPointInTimeStopIsInclusive(t *testing.T) {
+	r, boot := pitRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		if _, err := boot(p); err != nil {
+			return err
+		}
+		if err := r.put(p, 200, "kept"); err != nil {
+			return err
+		}
+		target := r.in.Log().NextSCN() - 1 // SCN of row 200's commit record
+		if err := r.put(p, 201, "lost"); err != nil {
+			return err
+		}
+		rep, err := r.rm.PointInTime(p, target)
+		if err != nil {
+			return err
+		}
+		if rep.LostCommits != 1 {
+			return fmt.Errorf("lost commits = %d, want 1", rep.LostCommits)
+		}
+		if v, err := r.get(p, 200); err != nil || v != "kept" {
+			return fmt.Errorf("row committed at target SCN: %q, %v (must be applied — stop is inclusive)", v, err)
+		}
+		if _, err := r.get(p, 201); err == nil {
+			return fmt.Errorf("row committed after target SCN survived")
+		}
+		return nil
+	})
+}

@@ -60,6 +60,9 @@ type Report struct {
 	Started, Finished sim.Time
 	// RecordsApplied counts data-change records replayed.
 	RecordsApplied int
+	// BytesApplied sums the encoded size of the replayed records — the
+	// redo volume actually re-done, as opposed to merely scanned.
+	BytesApplied int64
 	// RecordsScanned counts redo records examined.
 	RecordsScanned int
 	// ArchivesProcessed counts archived logs opened.
@@ -218,6 +221,7 @@ func (m *Manager) RecoverDatafile(p *sim.Proc, name string) (*Report, error) {
 		}
 		if m.applyToImage(rec, ref) {
 			rep.RecordsApplied++
+			rep.BytesApplied += rec.Size()
 			touched[ref] = true
 			cs.add(cost.RedoApplyPerRecord)
 		}
@@ -373,6 +377,14 @@ func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN) ([]redo.Rec
 			return nil, fmt.Errorf("recovery: read archive: %w", err)
 		}
 		rep.ArchivesProcessed++
+		// SCNs are assigned consecutively, so the redo stream has no
+		// holes: an archived log that starts beyond the next needed SCN
+		// means an earlier archive is missing from the inventory. That
+		// must be an error — silently continuing would replay around the
+		// gap and resurrect a stale database state.
+		if logRecs := al.Records(); len(logRecs) > 0 && logRecs[0].SCN > next {
+			return nil, fmt.Errorf("recovery: gap in archived redo: need SCN %d but archived log seq %d starts at SCN %d", next, al.Seq, logRecs[0].SCN)
+		}
 		for _, rec := range al.Records() {
 			if rec.SCN >= next {
 				recs = append(recs, rec)
@@ -504,6 +516,7 @@ func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, inc
 		}
 		if m.applyToImage(rec, ref) {
 			rep.RecordsApplied++
+			rep.BytesApplied += rec.Size()
 			touched[ref] = true
 			cs.add(cost.RedoApplyPerRecord)
 		}
@@ -529,6 +542,33 @@ func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, inc
 	rep.LosersRolledBack = len(losers)
 	cs.flush()
 	return m.chargeBlockPasses(p, touched)
+}
+
+// ReapplyDataRecords re-applies data-change records through the same
+// SCN-guarded path the redo pass uses and reports how many of them
+// actually changed a durable image. After a completed recovery every
+// record of the recovered range is already reflected in the images
+// (applied records stamped the blocks, undone losers were stamped with
+// the recovery end SCN), so a second replay must apply zero records —
+// the redo-idempotence invariant the chaos harness checks. Unlike the
+// recovery paths this charges no simulated I/O or CPU: it is harness
+// instrumentation, not a procedure the DBA runs.
+func (m *Manager) ReapplyDataRecords(recs []redo.Record) int {
+	n := 0
+	for i := range recs {
+		rec := &recs[i]
+		if !rec.IsDataChange() {
+			continue
+		}
+		ref, ok := m.refFor(rec)
+		if !ok || ref.File.Lost() {
+			continue
+		}
+		if m.applyToImage(rec, ref) {
+			n++
+		}
+	}
+	return n
 }
 
 // replayDDL re-executes a logged DDL statement against the dictionary

@@ -43,6 +43,10 @@ func (g *Group) Records() []Record { return g.records }
 // Archived reports whether the group's content has been archived.
 func (g *Group) Archived() bool { return g.archived }
 
+// CkptDone reports whether the group's content is covered by a completed
+// checkpoint (a reuse precondition).
+func (g *Group) CkptDone() bool { return g.ckptDone }
+
 // Current reports whether the group is being written.
 func (g *Group) Current() bool { return g.current }
 
@@ -244,13 +248,18 @@ func (m *Manager) NotifyUndoFloorChanged() {
 	m.reusable.Broadcast(m.k)
 }
 
-// Reserve blocks until the log can accept size more bytes of redo: either
-// the current group has room for everything buffered plus size, or the
-// next group is reusable (checkpointed and archived) so a switch will
-// succeed. This is Oracle's redo-allocation discipline: a process may not
-// modify a buffer before its redo has guaranteed space, which is also what
-// makes "checkpoint not complete" and "archival required" stalls hit the
-// workload instead of deadlocking the checkpoint itself.
+// Reserve blocks until the log can accept size more bytes of redo: the
+// current group plus the consecutively reusable (checkpointed and
+// archived) groups after it must hold everything buffered plus size.
+// This is Oracle's redo-allocation discipline: a process may not modify a
+// buffer before its redo has guaranteed flushable space, which is also
+// what makes "checkpoint not complete" and "archival required" stalls hit
+// the workload instead of deadlocking the checkpoint itself. Counting
+// only pre-reserved space matters: admitting redo on the strength of a
+// single reusable group lets the backlog outgrow it, and LGWR then stalls
+// mid-batch on a switch no one guaranteed — with buffers already mutated,
+// the checkpoint that would release the group deadlocks on its own
+// write-ahead flush.
 func (m *Manager) Reserve(p *sim.Proc, size int64) error {
 	stallStart := sim.Time(-1)
 	for {
@@ -258,18 +267,21 @@ func (m *Manager) Reserve(p *sim.Proc, size int64) error {
 			return fmt.Errorf("redo: log writer down")
 		}
 		cur := m.groups[m.cur]
-		remaining := cur.capacity - cur.bytes - m.bufferBytes
-		if size <= remaining {
-			break
+		avail := cur.capacity - cur.bytes - m.bufferBytes
+		for i := 1; i < len(m.groups) && size > avail; i++ {
+			g := m.groups[(m.cur+i)%len(m.groups)]
+			if !m.reusableGroup(g) {
+				break
+			}
+			avail += g.capacity
 		}
-		next := m.groups[(m.cur+1)%len(m.groups)]
-		if m.reusableGroup(next) {
-			break // a switch will make room
+		if size <= avail {
+			break
 		}
 		if stallStart < 0 {
 			stallStart = p.Now()
 		}
-		if !next.ckptDone {
+		if next := m.groups[(m.cur+1)%len(m.groups)]; !next.ckptDone {
 			m.stats.CheckpointWaits++
 		} else {
 			m.stats.ArchiveWaits++
@@ -350,10 +362,7 @@ func (m *Manager) lgwrLoop(p *sim.Proc) {
 		if !m.running {
 			return
 		}
-		batch := m.buffer
-		m.buffer = nil
-		m.bufferBytes = 0
-		if err := m.writeBatch(p, batch); err != nil {
+		if err := m.drainBuffer(p); err != nil {
 			m.failed = true
 			m.running = false
 			m.flushed.Broadcast(m.k)
@@ -362,16 +371,21 @@ func (m *Manager) lgwrLoop(p *sim.Proc) {
 			}
 			return
 		}
-		m.flushedSCN = batch[len(batch)-1].SCN
 		m.stats.Flushes++
-		m.flushed.Broadcast(m.k)
 	}
 }
 
-// writeBatch appends records to groups, switching when full, and charges
-// one sequential member write per contiguous segment.
-func (m *Manager) writeBatch(p *sim.Proc, batch []Record) error {
+// drainBuffer appends buffered records to groups, switching when full, and
+// charges one sequential member write per contiguous segment. Records are
+// consumed from the shared buffer one at a time (not snapshotted) so
+// FlushableSCN always sees exactly the unplaced backlog, and each
+// completed segment advances flushedSCN immediately: records already on
+// disk are durable even if a later switch stalls, and the checkpoint that
+// would release the stalled switch may itself be waiting on exactly those
+// records.
+func (m *Manager) drainBuffer(p *sim.Proc) error {
 	var segBytes int64
+	var lastPlaced SCN = -1
 	flushSeg := func() error {
 		if segBytes == 0 {
 			return nil
@@ -390,9 +404,14 @@ func (m *Manager) writeBatch(p *sim.Proc, batch []Record) error {
 		}
 		m.stats.FlushedBytes += segBytes
 		segBytes = 0
+		if lastPlaced > m.flushedSCN {
+			m.flushedSCN = lastPlaced
+			m.flushed.Broadcast(m.k)
+		}
 		return nil
 	}
-	for _, rec := range batch {
+	for len(m.buffer) > 0 {
+		rec := m.buffer[0]
 		g := m.groups[m.cur]
 		if g.bytes+rec.Size() > g.capacity && g.bytes > 0 {
 			if err := flushSeg(); err != nil {
@@ -403,11 +422,47 @@ func (m *Manager) writeBatch(p *sim.Proc, batch []Record) error {
 			}
 			g = m.groups[m.cur]
 		}
+		m.buffer = m.buffer[1:]
 		g.records = append(g.records, rec)
 		g.bytes += rec.Size()
 		segBytes += rec.Size()
+		m.bufferBytes -= rec.Size()
+		lastPlaced = rec.SCN
 	}
 	return flushSeg()
+}
+
+// FlushableSCN returns the highest SCN the log writer is guaranteed to
+// reach without waiting on a group it cannot yet reuse: everything
+// flushed, plus the buffered backlog as far as it fits into the current
+// group and the consecutively reusable groups after it (simulating the
+// drain's own placement, oversized records claiming a fresh group whole).
+// A checkpoint may safely wait for redo up to this horizon; waiting
+// beyond it can deadlock, since releasing a stalled group may require
+// this very checkpoint to complete.
+func (m *Manager) FlushableSCN() SCN {
+	horizon := m.flushedSCN
+	free := m.groups[m.cur].capacity - m.groups[m.cur].bytes
+	next := 1
+	for _, rec := range m.buffer {
+		if sz := rec.Size(); sz > free {
+			if next >= len(m.groups) {
+				return horizon
+			}
+			g := m.groups[(m.cur+next)%len(m.groups)]
+			if !m.reusableGroup(g) {
+				return horizon
+			}
+			free = g.capacity
+			next++
+		}
+		free -= rec.Size()
+		if free < 0 {
+			free = 0
+		}
+		horizon = rec.SCN
+	}
+	return horizon
 }
 
 // switchGroup advances to the next group in the ring, waiting until it is

@@ -388,3 +388,80 @@ func TestNewManagerValidation(t *testing.T) {
 		t.Fatal("unknown disk accepted")
 	}
 }
+
+// FlushableSCN must cover the buffered backlog only as far as the current
+// group and consecutively reusable groups can hold it: a checkpoint that
+// waits for redo beyond that horizon deadlocks against the very group
+// switch its completion would release.
+func TestFlushableSCNStopsAtUnreusableGroup(t *testing.T) {
+	k, _, m := newTestLog(t, 2048, 2, false)
+	m.Start() // buffer records; the kernel never runs, so LGWR stays asleep
+	// 10 records overflow the current group but fit current + next.
+	var scns []SCN
+	for i := 0; i < 10; i++ {
+		scns = append(scns, m.Append(dataRec(1, int64(i), 100)))
+	}
+	last := scns[len(scns)-1]
+	if got := m.FlushableSCN(); got != last {
+		t.Fatalf("with a reusable next group FlushableSCN = %d, want %d", got, last)
+	}
+	m.groups[1].ckptDone = false // its content now awaits a checkpoint
+	got := m.FlushableSCN()
+	if got >= last {
+		t.Fatalf("FlushableSCN = %d, want below last appended %d", got, last)
+	}
+	if got < scns[0] {
+		t.Fatalf("FlushableSCN = %d, want at least the first record %d (it fits the current group)", got, scns[0])
+	}
+	m.groups[1].ckptDone = true
+	if got := m.FlushableSCN(); got != last {
+		t.Fatalf("after releasing the group FlushableSCN = %d, want %d", got, last)
+	}
+	m.Stop()
+	k.RunAll()
+}
+
+// A switch stalled on "checkpoint not complete" must not hold back the
+// acknowledgment of records already written to the current group: flushed
+// progress is per segment, not per drain.
+func TestStalledSwitchStillAcknowledgesPlacedRecords(t *testing.T) {
+	k, _, m := newTestLog(t, 4096, 2, false)
+	m.groups[1].ckptDone = false
+	m.Start()
+	var early, last SCN
+	earlyDone := false
+	k.Go("w", func(p *sim.Proc) {
+		early = m.Append(dataRec(1, 0, 100))
+		for i := 1; i < 25; i++ {
+			last = m.Append(dataRec(1, int64(i), 100))
+		}
+		if err := m.WaitFlushed(p, early); err != nil {
+			t.Error(err)
+			return
+		}
+		earlyDone = true
+	})
+	k.Run(sim.Time(5 * time.Second))
+	if !earlyDone {
+		t.Fatal("record in the current group never acknowledged while the switch stalled")
+	}
+	if m.FlushedSCN() >= last {
+		t.Fatalf("flushed %d, want the backlog beyond the stalled switch (%d) unflushed", m.FlushedSCN(), last)
+	}
+	// Releasing the next group unblocks the switch and drains the rest.
+	// (CheckpointCompleted only re-marks groups that hold records, so the
+	// artificially-flagged empty group is released directly.)
+	m.groups[1].ckptDone = true
+	m.reusable.Broadcast(k)
+	k.Go("w2", func(p *sim.Proc) {
+		if err := m.WaitFlushed(p, last); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run(sim.Time(10 * time.Second))
+	if m.FlushedSCN() != last {
+		t.Fatalf("flushed %d after release, want %d", m.FlushedSCN(), last)
+	}
+	m.Stop()
+	k.RunAll()
+}

@@ -65,6 +65,12 @@ type Standby struct {
 	// finished, for the rollback pass at activation.
 	pending map[redo.TxnID][]redo.Record
 
+	// gapErr is set when a shipped log starts beyond the applied
+	// watermark — an archived log is missing from the middle of the
+	// sequence. Managed recovery halts rather than apply around the
+	// hole; Activate refuses until the gap is resolved.
+	gapErr error
+
 	stats Stats
 }
 
@@ -96,6 +102,10 @@ func (s *Standby) Stats() Stats { return s.stats }
 
 // QueueLen reports shipped-but-unapplied logs.
 func (s *Standby) QueueLen() int { return len(s.queue) }
+
+// Err reports why managed recovery halted (a gap in the shipped log
+// sequence), or nil while the stand-by is healthy.
+func (s *Standby) Err() error { return s.gapErr }
 
 // Start mounts the stand-by instance and launches the managed recovery
 // process.
@@ -148,11 +158,29 @@ func (s *Standby) mrpLoop(p *sim.Proc) {
 		al := s.queue[0]
 		s.queue = s.queue[1:]
 		s.applyLog(p, al)
+		if s.gapErr != nil {
+			// Managed recovery halts on a gap; the un-applied queue is
+			// kept so a re-ship of the missing log could resume.
+			return
+		}
 	}
 }
 
 // applyLog replays one archived log on the stand-by's physical database.
+// SCNs are assigned consecutively on the primary, so a log whose first
+// record lies beyond appliedSCN+1 (while carrying new records) proves an
+// earlier archived log was never shipped: applying it would silently
+// skip the missing changes, so managed recovery records the gap and
+// stops instead. Already-applied (duplicate) logs are skipped quietly.
 func (s *Standby) applyLog(p *sim.Proc, al *archivelog.ArchivedLog) {
+	if s.gapErr != nil {
+		return
+	}
+	if recs := al.Records(); len(recs) > 0 &&
+		recs[len(recs)-1].SCN > s.appliedSCN && recs[0].SCN > s.appliedSCN+1 {
+		s.gapErr = fmt.Errorf("standby: gap in shipped redo: applied through SCN %d but archived log seq %d starts at SCN %d", s.appliedSCN, al.Seq, recs[0].SCN)
+		return
+	}
 	cs := time.Duration(0)
 	touched := make(map[storage.BlockRef]bool)
 	for _, rec := range al.Records() {
@@ -268,6 +296,11 @@ func (s *Standby) Activate(p *sim.Proc) (int, error) {
 	// Finish applying everything already shipped.
 	for _, al := range s.queue {
 		s.applyLog(p, al)
+	}
+	if s.gapErr != nil {
+		// Opening with a hole in the applied redo would present a state
+		// that never existed on the primary.
+		return 0, s.gapErr
 	}
 	s.queue = nil
 	// Roll back in-flight transactions (reverse order).

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"dbench/internal/archivelog"
 	"dbench/internal/engine"
 	"dbench/internal/redo"
 	"dbench/internal/sim"
@@ -260,6 +261,55 @@ func TestStandbyActivateTwiceFails(t *testing.T) {
 		}
 		if _, err := pr.sb.Activate(p); err == nil {
 			return fmt.Errorf("second activation succeeded")
+		}
+		return nil
+	})
+}
+
+// An archived log missing from the middle of the shipped sequence must be
+// detected as a gap — apply stops with an error and activation refuses —
+// never silently skipped (which would apply later redo over a hole and
+// corrupt the stand-by).
+func TestStandbyDetectsArchiveGap(t *testing.T) {
+	pr := newPair(t, 32<<10, 3)
+	pr.run(t, func(p *sim.Proc) error {
+		if err := schema(p, pr.primary); err != nil {
+			return err
+		}
+		if err := schemaStandby(p, pr.sb.Instance()); err != nil {
+			return err
+		}
+		// Ship every archived log except the second: a hole in the
+		// middle of the sequence, with real redo on both sides.
+		shipped := 0
+		pr.primary.Archiver().OnArchived = func(p *sim.Proc, al *archivelog.ArchivedLog) {
+			shipped++
+			if shipped == 2 {
+				return
+			}
+			pr.sb.Ship(p, al)
+		}
+		if err := pr.sb.Start(p); err != nil {
+			return err
+		}
+		for i := int64(0); i < 600; i++ {
+			if err := pr.put(p, pr.primary, i%200, fmt.Sprintf("v%d", i)); err != nil {
+				return err
+			}
+		}
+		p.Sleep(5 * time.Second) // let ARCH/MRP drain
+		if shipped < 4 {
+			return fmt.Errorf("only %d logs archived; need a gap in the middle", shipped)
+		}
+		if pr.sb.Err() == nil {
+			return fmt.Errorf("gap not detected: applied SCN %d, stats %+v", pr.sb.AppliedSCN(), pr.sb.Stats())
+		}
+		// Apply must have stopped at the gap, not resumed beyond it.
+		if got, want := pr.sb.Stats().Applied, 1; got != want {
+			return fmt.Errorf("applied %d logs, want %d (everything before the gap only)", got, want)
+		}
+		if _, err := pr.sb.Activate(p); err == nil {
+			return fmt.Errorf("activation succeeded across a redo gap")
 		}
 		return nil
 	})

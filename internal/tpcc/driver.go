@@ -255,23 +255,33 @@ func (d *Driver) CountCommitted(typ TxnType) int {
 // order row still exists, returning the missing ones (lost transactions
 // from the end-user view).
 func (d *Driver) VerifyDurability(p *sim.Proc) (lost []CommitRecord, err error) {
-	in := d.app.In
 	for _, c := range d.commits {
 		if c.Type != TxnNewOrder || c.OID == 0 {
 			continue
 		}
-		t, err := in.Begin()
+		ok, err := d.app.HasOrder(p, c.W, c.D, c.OID)
 		if err != nil {
 			return nil, err
 		}
-		// The order's district is recoverable from the order id via
-		// the driver's record: re-derive by probing each district.
-		if _, rerr := in.Read(p, t, TableOrder, OKey(c.W, c.D, c.OID)); rerr != nil {
+		if !ok {
 			lost = append(lost, c)
-		}
-		if err := in.Commit(p, t); err != nil {
-			return nil, err
 		}
 	}
 	return lost, nil
+}
+
+// HasOrder reports whether the order row for an acknowledged New-Order
+// commit exists — the durability probe behind Driver.VerifyDurability
+// and the chaos harness's commit-ledger check. It reads through a
+// regular transaction, so the instance must be open.
+func (a *App) HasOrder(p *sim.Proc, w, d, oid int) (bool, error) {
+	t, err := a.In.Begin()
+	if err != nil {
+		return false, err
+	}
+	_, rerr := a.In.Read(p, t, TableOrder, OKey(w, d, oid))
+	if err := a.In.Commit(p, t); err != nil {
+		return false, err
+	}
+	return rerr == nil, nil
 }
