@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"dbench/internal/core"
+	"dbench/internal/sim"
+	"dbench/internal/trace"
 )
 
 // table3 caches the fault-free configuration sweep: Table 3 and Figure 4
@@ -151,6 +153,21 @@ func BenchmarkCampaignSequential(b *testing.B) { benchmarkCampaign(b, 1) }
 // N-core machine wall clock shrinks close to N× (≥ 2× on 4 cores);
 // compare against BenchmarkCampaignSequential.
 func BenchmarkCampaignParallel(b *testing.B) { benchmarkCampaign(b, 0) }
+
+// BenchmarkTraceDisabledEmit measures the instrumentation points' cost
+// when tracing is off (no -trace/-timeline): a nil *trace.Tracer must
+// be a branch, not an allocation — 0 allocs/op, or every Insert/Commit
+// in an untraced campaign pays for observability it never asked for.
+func BenchmarkTraceDisabledEmit(b *testing.B) {
+	var tr *trace.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i)
+		tr.Instant(now, trace.CatEngine, "bench", "tick", trace.I("i", int64(i)))
+		id := tr.Begin(now, trace.CatTxn, "bench", "txn", trace.S("type", "new order"))
+		tr.End(now, id, trace.S("status", "commit"))
+	}
+}
 
 // BenchmarkSingleExperiment measures the cost of one complete benchmark
 // run (load + 20 simulated minutes of TPC-C), the unit everything above

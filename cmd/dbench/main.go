@@ -28,6 +28,7 @@ import (
 
 	"dbench/internal/chaos"
 	"dbench/internal/core"
+	"dbench/internal/trace"
 )
 
 // experiments is the known -exp token set, in campaign order. "chaos" is
@@ -67,6 +68,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "campaign workers: 0 = one per CPU, 1 = sequential, N = exactly N")
 	crashPoints := fs.Int("crashpoints", 50, "chaos: number of crash points to explore")
 	seed := fs.Int64("seed", 1, "chaos: campaign seed (same seed = byte-identical report)")
+	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file (virtual timebase) for the campaign's first run; open in chrome://tracing or ui.perfetto.dev")
+	timeline := fs.Bool("timeline", false, "print the traced run's recovery-phase timeline after the reports")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +98,55 @@ func run(args []string) error {
 	progress := core.Progress(func(line string) {
 		fmt.Fprintf(os.Stderr, "%s  %s\n", time.Now().Format("15:04:05"), line)
 	})
+
+	// Tracing: the Chrome sink feeds -trace, the timeline sink feeds
+	// -timeline; both observe the same event stream. A nil tracer (no
+	// flag given) disables every instrumentation point at zero cost.
+	var chromeSink *trace.ChromeSink
+	var timelineSink *trace.TimelineSink
+	var sinks []trace.Sink
+	if *traceFile != "" {
+		chromeSink = trace.NewChromeSink()
+		sinks = append(sinks, chromeSink)
+	}
+	if *timeline {
+		timelineSink = trace.NewTimelineSink()
+		sinks = append(sinks, timelineSink)
+	}
+	var tracer *trace.Tracer
+	if sink := trace.MultiSink(sinks...); sink != nil {
+		tracer = trace.New(sink)
+	}
+	sc.Tracer = tracer
+
+	// flushTrace writes the collected trace outputs; called once after
+	// the campaigns (including before a chaos-violation exit, so the
+	// evidence is on disk).
+	flushed := false
+	flushTrace := func() error {
+		if flushed {
+			return nil
+		}
+		flushed = true
+		if timelineSink != nil {
+			fmt.Println(timelineSink.Render())
+		}
+		if chromeSink != nil {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				return err
+			}
+			if _, err := chromeSink.WriteTo(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d records written to %s\n", chromeSink.Len(), *traceFile)
+		}
+		return nil
+	}
 
 	var perf []core.PerfRow
 	if all || want["t3"] || want["f4"] {
@@ -154,14 +206,18 @@ func run(args []string) error {
 		cfg.Points = *crashPoints
 		cfg.Seed = *seed
 		cfg.Parallel = *parallel
+		cfg.Tracer = tracer
 		rep, err := chaos.Explore(cfg, progress)
 		if err != nil {
 			return err
 		}
 		fmt.Print(chaos.FormatReport(rep))
 		if !rep.AllGreen() {
+			if err := flushTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
 			return fmt.Errorf("chaos: %d/%d crash points violated an invariant", rep.Failed(), len(rep.Points))
 		}
 	}
-	return nil
+	return flushTrace()
 }

@@ -16,6 +16,7 @@ import (
 	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
+	"dbench/internal/trace"
 )
 
 // ArchivedLog is one archived online log group.
@@ -85,6 +86,10 @@ type Archiver struct {
 	// (the stand-by database hooks shipping here).
 	OnArchived func(p *sim.Proc, a *ArchivedLog)
 
+	// Trace, when set, receives arch-category events (enqueue instants
+	// and per-group copy spans). A nil tracer is valid.
+	Trace *trace.Tracer
+
 	archived int
 	failures int
 }
@@ -144,6 +149,8 @@ func (ar *Archiver) Running() bool { return ar.running }
 // simulation process (typically the redo manager's OnSwitch hook).
 func (ar *Archiver) Enqueue(g *redo.Group) {
 	ar.queue = append(ar.queue, g)
+	ar.Trace.Instant(ar.k.Now(), trace.CatArch, "ARCH", "enqueue",
+		trace.I("seq", int64(g.Seq)), trace.I("bytes", g.Bytes()))
 	ar.wake.Broadcast(ar.k)
 }
 
@@ -172,10 +179,19 @@ func (ar *Archiver) loop(p *sim.Proc) {
 
 // archive copies one group: read the online member, write the archive
 // file, record the inventory entry, release the group.
-func (ar *Archiver) archive(p *sim.Proc, g *redo.Group) error {
+func (ar *Archiver) archive(p *sim.Proc, g *redo.Group) (err error) {
 	recs := append([]redo.Record(nil), g.Records()...)
 	size := g.Bytes()
 	name := fmt.Sprintf("arch_%06d.arc", g.Seq)
+	span := ar.Trace.Begin(p.Now(), trace.CatArch, "ARCH", "archive",
+		trace.I("seq", int64(g.Seq)), trace.I("bytes", size))
+	defer func() {
+		if err != nil {
+			ar.Trace.End(p.Now(), span, trace.S("error", err.Error()))
+		} else {
+			ar.Trace.End(p.Now(), span)
+		}
+	}()
 
 	var src *simdisk.File
 	for _, m := range g.Members() {

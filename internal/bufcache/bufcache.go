@@ -18,6 +18,7 @@ import (
 	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/storage"
+	"dbench/internal/trace"
 )
 
 // ErrNoEvictable reports that every buffer is dirty and unwritable, so a
@@ -42,7 +43,8 @@ type buffer struct {
 	elem *list.Element
 }
 
-// Stats counts cache activity for the benchmark reports.
+// Stats counts cache activity for the benchmark reports. It is a
+// snapshot view over the cache's registered counters (see Counters).
 type Stats struct {
 	Hits             int64
 	Misses           int64
@@ -51,6 +53,30 @@ type Stats struct {
 	CheckpointWrites int64
 	SkippedWrites    int64
 	UnflushedSkips   int64
+}
+
+// counters is the cache's registered counter block; one counter per
+// Stats field, named "cache.<snake_case_field>".
+type counters struct {
+	hits             *trace.Counter
+	misses           *trace.Counter
+	evictions        *trace.Counter
+	dirtyEvictWrites *trace.Counter
+	checkpointWrites *trace.Counter
+	skippedWrites    *trace.Counter
+	unflushedSkips   *trace.Counter
+}
+
+func newCounters() counters {
+	return counters{
+		hits:             trace.NewCounter("cache.hits"),
+		misses:           trace.NewCounter("cache.misses"),
+		evictions:        trace.NewCounter("cache.evictions"),
+		dirtyEvictWrites: trace.NewCounter("cache.dirty_evict_writes"),
+		checkpointWrites: trace.NewCounter("cache.checkpoint_writes"),
+		skippedWrites:    trace.NewCounter("cache.skipped_writes"),
+		unflushedSkips:   trace.NewCounter("cache.unflushed_skips"),
+	}
 }
 
 // Cache is the database buffer cache. It is used only from simulation
@@ -78,7 +104,11 @@ type Cache struct {
 	// the checkpoint position through MinDirtySCN.
 	FlushableSCN func() redo.SCN
 
-	stats Stats
+	// Trace, when set, receives dbwr-category events (evict writes,
+	// write-ahead forces, checkpoint skips). A nil tracer is valid.
+	Trace *trace.Tracer
+
+	c counters
 }
 
 // New returns a cache holding at most capacity blocks.
@@ -91,11 +121,30 @@ func New(k *sim.Kernel, capacity int) *Cache {
 		capacity: capacity,
 		buffers:  make(map[bufKey]*buffer, capacity),
 		lru:      list.New(),
+		c:        newCounters(),
 	}
 }
 
-// Stats returns a copy of the activity counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:             c.c.hits.Value(),
+		Misses:           c.c.misses.Value(),
+		Evictions:        c.c.evictions.Value(),
+		DirtyEvictWrites: c.c.dirtyEvictWrites.Value(),
+		CheckpointWrites: c.c.checkpointWrites.Value(),
+		SkippedWrites:    c.c.skippedWrites.Value(),
+		UnflushedSkips:   c.c.unflushedSkips.Value(),
+	}
+}
+
+// Counters exposes the cache's counters for the instance registry.
+func (c *Cache) Counters() []*trace.Counter {
+	return []*trace.Counter{
+		c.c.hits, c.c.misses, c.c.evictions, c.c.dirtyEvictWrites,
+		c.c.checkpointWrites, c.c.skippedWrites, c.c.unflushedSkips,
+	}
+}
 
 // Len returns the number of cached blocks.
 func (c *Cache) Len() int { return len(c.buffers) }
@@ -109,11 +158,11 @@ func (c *Cache) DirtyCount() int { return c.dirty }
 func (c *Cache) Get(p *sim.Proc, ref storage.BlockRef) (*storage.Block, error) {
 	key := bufKey{file: ref.File, no: ref.No}
 	if b, ok := c.buffers[key]; ok {
-		c.stats.Hits++
+		c.c.hits.Inc()
 		c.lru.MoveToFront(b.elem)
 		return b.block, nil
 	}
-	c.stats.Misses++
+	c.c.misses.Inc()
 	for len(c.buffers) >= c.capacity {
 		if err := c.evictOne(p); err != nil {
 			return nil, err
@@ -222,7 +271,9 @@ func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
 			} else if werr := b.ref.File.WriteBlock(p, b.ref.No, img); werr != nil {
 				continue // unwritable: try an older buffer
 			} else {
-				c.stats.DirtyEvictWrites++
+				c.c.dirtyEvictWrites.Inc()
+				c.Trace.Instant(p.Now(), trace.CatDBWR, "DBWR", "evict write",
+					trace.S("file", b.ref.File.Name), trace.I("block", int64(b.ref.No)), trace.I("scn", int64(img.SCN)))
 				if b.block.SCN == img.SCN {
 					b.dirty = false
 					c.dirty--
@@ -241,7 +292,7 @@ func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
 		}
 		c.lru.Remove(b.elem)
 		delete(c.buffers, key)
-		c.stats.Evictions++
+		c.c.evictions.Inc()
 		return yielded, true, nil
 	}
 	return yielded, false, nil
@@ -272,7 +323,9 @@ func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 			// it from the checkpoint would deadlock (see FlushableSCN);
 			// leave the buffer for the next checkpoint, clamping this
 			// one's position below its first dirty change.
-			c.stats.UnflushedSkips++
+			c.c.unflushedSkips.Inc()
+			c.Trace.Instant(p.Now(), trace.CatDBWR, "DBWR", "unflushed skip",
+				trace.S("file", b.ref.File.Name), trace.I("block", int64(b.ref.No)), trace.I("scn", int64(b.block.SCN)))
 			continue
 		}
 		// Snapshot before forcing the log (see tryEvict): the flush wait
@@ -292,7 +345,7 @@ func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 			continue // evicted (and therefore written) meanwhile
 		}
 		if err := b.ref.File.WriteBlock(p, b.ref.No, img); err != nil {
-			c.stats.SkippedWrites++
+			c.c.skippedWrites.Inc()
 			continue
 		}
 		if b.block.SCN == img.SCN {
@@ -306,7 +359,7 @@ func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 			b.firstDirtySCN = img.SCN + 1
 		}
 		written++
-		c.stats.CheckpointWrites++
+		c.c.checkpointWrites.Inc()
 	}
 	return written, nil
 }
@@ -398,7 +451,15 @@ func (c *Cache) forceLog(p *sim.Proc, scn redo.SCN) error {
 	if c.FlushLog == nil {
 		return nil
 	}
-	return c.FlushLog(p, scn)
+	start := p.Now()
+	err := c.FlushLog(p, scn)
+	// Only a force that actually waited is worth an event: most are
+	// satisfied by redo already on disk.
+	if waited := p.Now().Sub(start); waited > 0 {
+		c.Trace.Instant(p.Now(), trace.CatDBWR, "DBWR", "wal force",
+			trace.I("scn", int64(scn)), trace.I("wait_ns", int64(waited)))
+	}
+	return err
 }
 
 func sortBuffers(bs []*buffer) {

@@ -37,6 +37,7 @@ import (
 	"dbench/internal/simdisk"
 	"dbench/internal/sqladmin"
 	"dbench/internal/tpcc"
+	"dbench/internal/trace"
 )
 
 // Window classifies where in the engine's activity a crash point is
@@ -109,6 +110,13 @@ type Config struct {
 	// Tail is how long the workload keeps running after recovery
 	// before the database is quiesced and checked.
 	Tail time.Duration
+
+	// Tracer, when set, receives one chaos-category instant per crash
+	// point (in point order, after the pool completes, so the stream is
+	// deterministic under any worker count). Each point's own engine
+	// trace is hashed internally for the determinism invariant; it is
+	// not forwarded here, since every point restarts virtual time at 0.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig explores 50 points of a deliberately twitchy
@@ -149,6 +157,10 @@ func pointSeed(seed int64, i int) int64 {
 // per-point results are returned in point order. The first point error
 // (a crash the recovery machinery could not handle at all) aborts the
 // exploration; invariant violations do not — they are reported.
+//
+// Progress receives one line per point, in point order, emitted after
+// the pool completes — not in completion order — so the progress stream
+// is byte-identical for every -parallel setting.
 func Explore(cfg Config, progress core.Progress) (*Report, error) {
 	if cfg.Points <= 0 {
 		return nil, fmt.Errorf("chaos: Points must be >= 1 (got %d)", cfg.Points)
@@ -167,9 +179,17 @@ func Explore(cfg Config, progress core.Progress) (*Report, error) {
 		}
 		r1.Deterministic = sameOutcome(r1, r2)
 		return r1, nil
-	}, progress, func(i int, r *PointResult) string { return r.String() })
+	}, nil, nil)
 	if err != nil {
 		return nil, err
+	}
+	for i, r := range points {
+		if progress != nil {
+			progress(fmt.Sprintf("[%d/%d] window=%s verdict=%s", i+1, cfg.Points, r.Window, r.Verdict()))
+		}
+		cfg.Tracer.Instant(r.CrashAt, trace.CatChaos, "chaos", "point",
+			trace.I("index", int64(r.Index)), trace.S("window", r.Window.String()),
+			trace.S("verdict", r.Verdict()), trace.I("trace_events", int64(r.TraceEvents)))
 	}
 	return &Report{Config: cfg, Points: points}, nil
 }
@@ -200,6 +220,13 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 	ecfg.Redo.ArchiveMode = true
 	ecfg.CheckpointTimeout = cfg.CheckpointTimeout
 	ecfg.CacheBlocks = cfg.CacheBlocks
+	// Every point runs fully traced into a hash sink: the event stream —
+	// every span, instant, timestamp and attribute the instrumentation
+	// emits — is condensed to one value and compared across the
+	// determinism rerun. A scheduling divergence that happens to end in
+	// the same final state still trips this.
+	hs := trace.NewHashSink()
+	ecfg.Tracer = trace.New(hs)
 	in, err := engine.New(k, fs, ecfg)
 	if err != nil {
 		return nil, err
@@ -222,7 +249,7 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		}
 		k.Stop()
 	}
-	trace := func(msg string) {
+	debugf := func(msg string) {
 		if debugChaos {
 			fmt.Printf("[%v] point %d: %s\n", k.Now(), index, msg)
 		}
@@ -302,7 +329,7 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 			for _, f := range in.DB().Datafiles() {
 				for no := 0; no < f.NumBlocks(); no++ {
 					if img := f.PeekBlock(no); img.SCN > res.CrashSCN {
-						trace(fmt.Sprintf("WAL VIOLATION: %s block %d durable SCN %d > flushed %d", f.Name, no, img.SCN, res.CrashSCN))
+						debugf(fmt.Sprintf("WAL VIOLATION: %s block %d durable SCN %d > flushed %d", f.Name, no, img.SCN, res.CrashSCN))
 					}
 				}
 			}
@@ -335,12 +362,12 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		res.Idempotent = res.ReappliedRecords == 0 && StateHash(in) == before
 
 		// Phase 4: post-recovery tail, then quiesce and check.
-		trace("recovered")
+		debugf("recovered")
 		if cfg.Tail > 0 {
 			p.Sleep(cfg.Tail)
 		}
 		drv.Quiesce(p)
-		trace("quiesced")
+		debugf("quiesced")
 
 		// Invariant (a): every ledger entry must be in the database.
 		missing, err := missingFromLedger(p, app, ledger)
@@ -358,12 +385,10 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 			return
 		}
 		for _, v := range viols {
-			trace("violation: " + v.String())
+			debugf("violation: " + v.String())
 		}
 		res.Violations = len(viols)
 		res.Consistent = len(viols) == 0
-
-		res.Fingerprint = fingerprint(in, res)
 		k.Stop()
 	})
 	k.Run(sim.Time(200 * time.Hour))
@@ -371,5 +396,11 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	// The trace stream is only complete once KillAll has unwound the
+	// background processes (their deferred span Ends emit last), so the
+	// hash — and the fingerprint that folds it in — is taken here.
+	res.TraceHash = hs.Sum()
+	res.TraceEvents = hs.Count()
+	res.Fingerprint = fingerprint(in, res)
 	return res, nil
 }

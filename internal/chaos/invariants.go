@@ -122,7 +122,9 @@ func sameOutcome(a, b *PointResult) bool {
 		a.BytesReplayed == b.BytesReplayed &&
 		a.MissingCommits == b.MissingCommits &&
 		a.Violations == b.Violations &&
-		a.ReappliedRecords == b.ReappliedRecords
+		a.ReappliedRecords == b.ReappliedRecords &&
+		a.TraceHash == b.TraceHash &&
+		a.TraceEvents == b.TraceEvents
 }
 
 // fingerprint condenses a finished point — final datafile state plus
@@ -145,5 +147,7 @@ func fingerprint(in *engine.Instance, r *PointResult) uint64 {
 	writeInt(int64(r.MissingCommits))
 	writeInt(int64(r.Violations))
 	writeInt(int64(r.ReappliedRecords))
+	writeInt(int64(r.TraceHash))
+	writeInt(int64(r.TraceEvents))
 	return h.Sum64()
 }

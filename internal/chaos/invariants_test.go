@@ -218,7 +218,7 @@ func TestSameOutcomeDetectsDivergence(t *testing.T) {
 		RecoveryKind: recovery.KindInstance, RecoveryTime: 4,
 		RecordsApplied: 5, BytesReplayed: 6,
 		MissingCommits: 0, Violations: 0, ReappliedRecords: 0,
-		Fingerprint: 7,
+		Fingerprint: 7, TraceHash: 8, TraceEvents: 9,
 	}
 	same := base
 	if !sameOutcome(&base, &same) {
@@ -235,6 +235,8 @@ func TestSameOutcomeDetectsDivergence(t *testing.T) {
 		"MissingCommits":   func(r *PointResult) { r.MissingCommits++ },
 		"Violations":       func(r *PointResult) { r.Violations++ },
 		"ReappliedRecords": func(r *PointResult) { r.ReappliedRecords++ },
+		"TraceHash":        func(r *PointResult) { r.TraceHash++ },
+		"TraceEvents":      func(r *PointResult) { r.TraceEvents++ },
 	}
 	for field, mutate := range mutations {
 		diverged := base

@@ -46,6 +46,12 @@ type PointResult struct {
 	// Fingerprint condenses final state + measures (the determinism
 	// comparison value).
 	Fingerprint uint64
+	// TraceHash/TraceEvents condense the point's full trace-event stream
+	// (every span, instant, timestamp and attribute). The determinism
+	// invariant compares them across the rerun, so a scheduling
+	// divergence is caught even when the final state agrees.
+	TraceHash   uint64
+	TraceEvents int
 }
 
 // OK reports whether every invariant held at this point.
@@ -53,15 +59,20 @@ func (r *PointResult) OK() bool {
 	return r.Durable && r.Consistent && r.Idempotent && r.Deterministic
 }
 
-// String renders a one-line progress summary.
-func (r *PointResult) String() string {
-	verdict := "ok"
-	if !r.OK() {
-		verdict = "INVARIANT VIOLATED"
+// Verdict renders the point's overall invariant verdict: "ok" when every
+// invariant held, "VIOLATION" otherwise.
+func (r *PointResult) Verdict() string {
+	if r.OK() {
+		return "ok"
 	}
-	return fmt.Sprintf("point %d (%s): crash@%v scn=%d recovery=%v %s",
+	return "VIOLATION"
+}
+
+// String renders a one-line summary.
+func (r *PointResult) String() string {
+	return fmt.Sprintf("point %d (%s): crash@%v scn=%d recovery=%v verdict=%s",
 		r.Index, r.Window, time.Duration(r.CrashAt).Round(time.Millisecond), r.CrashSCN,
-		r.RecoveryTime.Round(time.Millisecond), verdict)
+		r.RecoveryTime.Round(time.Millisecond), r.Verdict())
 }
 
 // Report is one exploration campaign's outcome.

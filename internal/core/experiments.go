@@ -7,6 +7,7 @@ import (
 	"dbench/internal/engine"
 	"dbench/internal/faults"
 	"dbench/internal/tpcc"
+	"dbench/internal/trace"
 )
 
 // Scale groups the knobs that trade experiment fidelity for wall-clock
@@ -28,6 +29,10 @@ type Scale struct {
 	// owns its whole simulated platform, so results are identical for
 	// every worker count (see pool.go).
 	Parallel int
+	// Tracer, when set, is attached to the campaign's first run (runs
+	// have independent virtual timebases, so exactly one is traced; the
+	// first makes the choice reproducible). Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // FullScale is the paper-faithful setup: 20-minute experiments, operator
@@ -86,6 +91,15 @@ func (sc Scale) spec(name string, cfg RecoveryConfig) Spec {
 	}
 }
 
+// traceFirst attaches the scale's tracer (if any) to the first spec.
+// Campaign runners call it after building their spec list, so a -trace
+// run always records the campaign's first experiment.
+func (sc Scale) traceFirst(specs []Spec) {
+	if sc.Tracer != nil && len(specs) > 0 {
+		specs[0].Tracer = sc.Tracer
+	}
+}
+
 // Progress receives one line per completed run; may be nil. Campaign
 // runners serialize calls under the pool mutex and prefix each line with
 // a completed/total counter, so it is safe to write to a shared sink.
@@ -121,6 +135,7 @@ func RunTable3(sc Scale, progress Progress) ([]PerfRow, error) {
 	for i, cfg := range Table3Configs {
 		specs[i] = sc.spec("T3/"+cfg.Name, cfg)
 	}
+	sc.traceFirst(specs)
 	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
 		row := perfRow(Table3Configs[i], sc, res)
 		return fmt.Sprintf("T3 %-10s tpmC=%5.0f ckpts=%3d stalls=%v", row.Config.Name, row.TpmC, row.Checkpoints, row.LogStalls.Round(time.Second))
@@ -163,6 +178,7 @@ func RunFigure4(sc Scale, perf []PerfRow, progress Progress) ([]Fig4Row, error) 
 		spec.TailAfterRecovery = sc.Tail
 		specs[i] = spec
 	}
+	sc.traceFirst(specs)
 	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
 		return fmt.Sprintf("F4 %-10s tpmC=%5.0f recovery=%v", perf[i].Config.Name, perf[i].TpmC, res.RecoveryTime.Round(time.Second))
 	})
@@ -206,6 +222,7 @@ func RunFigure5(sc Scale, progress Progress) ([]Fig5Row, error) {
 			specs = append(specs, spec)
 		}
 	}
+	sc.traceFirst(specs)
 	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
 		return fmt.Sprintf("F5 %-10s arch=%-5v tpmC=%5.0f", configs[i/2].Name, i%2 == 1, res.TpmC)
 	})
@@ -271,6 +288,7 @@ func runRecoveryGrid(sc Scale, kinds []faults.Kind, configs []RecoveryConfig, la
 		row := j / 3
 		return kinds[row/len(configs)], configs[row%len(configs)], j % 3
 	}
+	sc.traceFirst(specs)
 	results, err := runPool(specs, sc.Parallel, progress, func(j int, res *Result) string {
 		kind, cfg, instant := cell(j)
 		return fmt.Sprintf("%s %-22v %-10s t%d recovery=%v", label, kind, cfg.Name,
@@ -355,6 +373,7 @@ func RunFigure6(sc Scale, progress Progress) ([]Fig6Row, error) {
 		spec.TailAfterRecovery = sc.Tail
 		specs = append(specs, spec)
 	}
+	sc.traceFirst(specs)
 	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
 		measure := res.TpmC
 		unit := "tpmC"
@@ -424,6 +443,7 @@ func RunFigure7(sc Scale, progress Progress) ([]Fig7Row, error) {
 			rows = append(rows, Fig7Row{SizeMB: sizeMB, Groups: groups})
 		}
 	}
+	sc.traceFirst(specs)
 	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
 		return fmt.Sprintf("F7 size=%3dMB groups=%d lost=%d", rows[i].SizeMB, rows[i].Groups, res.LostTransactions)
 	})

@@ -15,6 +15,7 @@ import (
 	"dbench/internal/sqladmin"
 	"dbench/internal/standby"
 	"dbench/internal/tpcc"
+	"dbench/internal/trace"
 )
 
 // Spec fully describes one benchmark experiment: the TPC-C workload, the
@@ -52,6 +53,13 @@ type Spec struct {
 	// recovery-time experiments do not need the remaining workload
 	// (performance is measured on fault-free runs).
 	TailAfterRecovery time.Duration
+
+	// Tracer, when set, receives this run's instrumentation events
+	// (spans and instants on the run's own virtual timebase). At most
+	// one spec per campaign should carry a tracer: runs share nothing
+	// else, and interleaving several virtual timelines into one sink
+	// would be meaningless. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // DefaultSpec returns a paper-style 20-minute experiment on F100G3T10
@@ -161,6 +169,7 @@ func Run(spec Spec) (*Result, error) {
 	ecfg.CheckpointTimeout = spec.Recovery.CheckpointTimeout
 	ecfg.CacheBlocks = spec.CacheBlocks
 	ecfg.Cost = spec.Cost
+	ecfg.Tracer = spec.Tracer
 	in, err := engine.New(k, fs, ecfg)
 	if err != nil {
 		return nil, err
@@ -381,6 +390,10 @@ func buildStandby(p *sim.Proc, k *sim.Kernel, ecfg engine.Config, spec Spec, sta
 	)
 	sbCfg := ecfg
 	sbCfg.Name = "standby"
+	// The stand-by shares the primary's kernel but is a second database:
+	// its events would interleave with the primary's on the same tracks,
+	// so only the primary is traced.
+	sbCfg.Tracer = nil
 	sbIn, err := engine.New(k, sbFS, sbCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: standby: %w", err)

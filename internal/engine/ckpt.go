@@ -85,9 +85,9 @@ func (c *ckptProcess) loop(p *sim.Proc) {
 		// *events*, so attribute the batch to its first reason.
 		switch batch[0] {
 		case reasonSwitch:
-			c.in.stats.SwitchCheckpoints++
+			c.in.c.switchCheckpoints.Inc()
 		case reasonTimeout:
-			c.in.stats.TimeoutCheckpoints++
+			c.in.c.timeoutCheckpoints.Inc()
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dbench/internal/redo"
+	"dbench/internal/trace"
 )
 
 // Disk-layout names used by the default configuration; the paper's
@@ -69,6 +70,10 @@ type Config struct {
 	ArchiveDisk string
 	// Cost is the simulated cost model.
 	Cost CostModel
+	// Tracer, when set, receives the instance's structured events
+	// (engine lifecycle, LGWR/DBWR/CKPT/ARCH activity, recovery
+	// phases). Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns a ready-to-run configuration with a 100 MB / 3

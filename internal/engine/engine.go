@@ -20,6 +20,7 @@ import (
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
 	"dbench/internal/storage"
+	"dbench/internal/trace"
 	"dbench/internal/txn"
 )
 
@@ -53,12 +54,22 @@ var (
 	ErrCrashRecoveryNeeded = errors.New("engine: crash recovery required")
 )
 
-// Stats counts instance activity for the benchmark reports.
+// Stats counts instance activity for the benchmark reports. It is a
+// snapshot view over the instance's counter registry.
 type Stats struct {
 	Checkpoints        int
 	SwitchCheckpoints  int
 	TimeoutCheckpoints int
 	Crashes            int
+}
+
+// counters is the engine's own registered counter block; the cache and
+// redo blocks register alongside it in the instance registry.
+type counters struct {
+	checkpoints        *trace.Counter
+	switchCheckpoints  *trace.Counter
+	timeoutCheckpoints *trace.Counter
+	crashes            *trace.Counter
 }
 
 // Instance is one database server instance plus its database.
@@ -82,7 +93,9 @@ type Instance struct {
 
 	ckpt      *ckptProcess
 	pmon      *pmonProcess
-	stats     Stats
+	c         counters
+	reg       *trace.Registry
+	tr        *trace.Tracer
 	openedAt  sim.Time
 	downSince sim.Time
 
@@ -118,6 +131,22 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 		cpu:   sim.NewResource(1),
 		state: StateDown,
 	}
+	// One registry per instance: the engine's own counters plus every
+	// subsystem block, in construction order. Status() derives its
+	// counter fields from here, so a counter added in any subsystem
+	// shows up in reports without per-field plumbing.
+	inst.reg = trace.NewRegistry()
+	inst.tr = cfg.Tracer
+	inst.c = counters{
+		checkpoints:        inst.reg.Counter("engine.checkpoints"),
+		switchCheckpoints:  inst.reg.Counter("engine.switch_checkpoints"),
+		timeoutCheckpoints: inst.reg.Counter("engine.timeout_checkpoints"),
+		crashes:            inst.reg.Counter("engine.crashes"),
+	}
+	inst.reg.Register(inst.cache.Counters()...)
+	inst.reg.Register(log.Counters()...)
+	inst.cache.Trace = cfg.Tracer
+	log.Trace = cfg.Tracer
 	inst.cache.FlushLog = func(p *sim.Proc, scn redo.SCN) error {
 		if !inst.log.Running() {
 			return fmt.Errorf("engine: log writer down")
@@ -131,6 +160,7 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 	})
 	if cfg.Redo.ArchiveMode {
 		inst.arch = archivelog.NewArchiver(k, fs, log, cfg.ArchiveDisk)
+		inst.arch.Trace = cfg.Tracer
 	}
 	log.OnSwitch = inst.onLogSwitch
 	log.OnFatal = func(err error) { inst.Crash() }
@@ -169,8 +199,23 @@ func (in *Instance) Archiver() *archivelog.Archiver { return in.arch }
 // Config returns the instance configuration.
 func (in *Instance) Config() Config { return in.cfg }
 
-// Stats returns a copy of the instance counters.
-func (in *Instance) Stats() Stats { return in.stats }
+// Stats returns a snapshot of the instance counters.
+func (in *Instance) Stats() Stats {
+	return Stats{
+		Checkpoints:        int(in.c.checkpoints.Value()),
+		SwitchCheckpoints:  int(in.c.switchCheckpoints.Value()),
+		TimeoutCheckpoints: int(in.c.timeoutCheckpoints.Value()),
+		Crashes:            int(in.c.crashes.Value()),
+	}
+}
+
+// Registry returns the instance's counter registry (engine + cache +
+// redo counter blocks).
+func (in *Instance) Registry() *trace.Registry { return in.reg }
+
+// Tracer returns the instance's event bus (nil when tracing is off;
+// a nil tracer accepts and drops events).
+func (in *Instance) Tracer() *trace.Tracer { return in.tr }
 
 // State returns the lifecycle state.
 func (in *Instance) State() State { return in.state }
@@ -198,12 +243,14 @@ func (in *Instance) Mount(p *sim.Proc) error {
 	if in.db.Control.Lost() {
 		return storage.ErrControlLost
 	}
+	span := in.tr.Begin(p.Now(), trace.CatEngine, "engine", "mount")
 	p.Sleep(in.cfg.Cost.InstanceStartup)
 	// A fresh instance starts with a fresh SGA: drop anything a process
 	// racing the previous crash may have smuggled into the cache.
 	in.cache.InvalidateAll()
 	in.tm.AbandonAll()
 	in.mounted = true
+	in.tr.End(p.Now(), span)
 	return nil
 }
 
@@ -238,6 +285,8 @@ func (in *Instance) Open(p *sim.Proc) error {
 	if err := in.db.Control.Update(p); err != nil {
 		return err
 	}
+	in.tr.Instant(p.Now(), trace.CatEngine, "engine", "open",
+		trace.I("scn", int64(in.log.NextSCN())))
 	if in.OnStateChange != nil {
 		in.OnStateChange(in.k.Now(), StateOpen)
 	}
@@ -255,7 +304,9 @@ func (in *Instance) Crash() {
 	in.mounted = false
 	in.crashed = true
 	in.downSince = in.k.Now()
-	in.stats.Crashes++
+	in.c.crashes.Inc()
+	in.tr.Instant(in.k.Now(), trace.CatEngine, "engine", "crash",
+		trace.I("scn", int64(in.log.NextSCN())))
 	in.log.Stop()
 	if in.arch != nil {
 		in.arch.Stop()
@@ -280,6 +331,8 @@ func (in *Instance) ShutdownImmediate(p *sim.Proc) error {
 	if in.state != StateOpen {
 		return ErrInstanceDown
 	}
+	span := in.tr.Begin(p.Now(), trace.CatEngine, "engine", "shutdown immediate")
+	defer func() { in.tr.End(p.Now(), span) }()
 	if err := in.tm.RollbackAllActive(p); err != nil {
 		return fmt.Errorf("engine: shutdown: %w", err)
 	}
@@ -362,7 +415,10 @@ func (in *Instance) checkpoint(p *sim.Proc) error {
 	if undoSCN == 0 {
 		undoSCN = scn + 1
 	}
-	if _, err := in.cache.Checkpoint(p); err != nil {
+	span := in.tr.Begin(p.Now(), trace.CatCkpt, "CKPT", "checkpoint")
+	written, err := in.cache.Checkpoint(p)
+	if err != nil {
+		in.tr.End(p.Now(), span, trace.I("written", int64(written)), trace.S("error", err.Error()))
 		return err
 	}
 	// The durable checkpoint position cannot exceed what is flushed:
@@ -393,10 +449,12 @@ func (in *Instance) checkpoint(p *sim.Proc) error {
 	}
 	if err := in.db.Control.Update(p); err != nil {
 		// Losing the control file kills the instance.
+		in.tr.End(p.Now(), span, trace.I("written", int64(written)), trace.S("error", err.Error()))
 		in.Crash()
 		return err
 	}
 	in.log.CheckpointCompleted(scn)
-	in.stats.Checkpoints++
+	in.c.checkpoints.Inc()
+	in.tr.End(p.Now(), span, trace.I("written", int64(written)), trace.I("scn", int64(scn)))
 	return nil
 }

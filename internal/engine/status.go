@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"dbench/internal/trace"
 )
 
 // Status reporting: the V$-view-style introspection a DBA (and the
@@ -34,29 +36,38 @@ type StatusReport struct {
 	ArchivedLogs  int
 	DatafileLines []string
 	LogLines      []string
+
+	// Counters is the full instance counter registry at snapshot time,
+	// in registration order. The scalar fields above that duplicate a
+	// counter (Checkpoints, CacheHits, ...) are derived from it, so a
+	// counter registered anywhere in the instance cannot silently miss
+	// the report.
+	Counters []trace.CounterSnapshot
 }
 
 // Status collects a snapshot.
 func (in *Instance) Status() StatusReport {
 	r := StatusReport{
-		State:       in.state,
-		Crashed:     in.crashed,
-		Checkpoints: in.stats.Checkpoints,
-		CkptSCN:     int64(in.db.Control.CheckpointSCN),
-		UndoSCN:     int64(in.db.Control.UndoSCN),
-		FlushedSCN:  int64(in.log.FlushedSCN()),
-		NextSCN:     int64(in.log.NextSCN()),
-		ActiveTxns:  in.tm.ActiveCount(),
-		ZombieTxns:  in.tm.ZombieCount(),
-		CacheLen:    in.cache.Len(),
-		CacheDirty:  in.cache.DirtyCount(),
+		State:      in.state,
+		Crashed:    in.crashed,
+		CkptSCN:    int64(in.db.Control.CheckpointSCN),
+		UndoSCN:    int64(in.db.Control.UndoSCN),
+		FlushedSCN: int64(in.log.FlushedSCN()),
+		NextSCN:    int64(in.log.NextSCN()),
+		ActiveTxns: in.tm.ActiveCount(),
+		ZombieTxns: in.tm.ZombieCount(),
+		CacheLen:   in.cache.Len(),
+		CacheDirty: in.cache.DirtyCount(),
 	}
-	cs := in.cache.Stats()
-	r.CacheHits, r.CacheMisses = cs.Hits, cs.Misses
-	ls := in.log.Stats()
-	r.LogSwitches = ls.Switches
-	r.LogStallTime = ls.StallTime
-	r.RedoWritten = ls.FlushedBytes
+	// Counter-backed fields come from the registry, not from per-
+	// subsystem Stats() calls: one source of truth for the report.
+	r.Counters = in.reg.Snapshot()
+	r.Checkpoints = int(in.reg.Value("engine.checkpoints"))
+	r.CacheHits = in.reg.Value("cache.hits")
+	r.CacheMisses = in.reg.Value("cache.misses")
+	r.LogSwitches = int(in.reg.Value("redo.switches"))
+	r.LogStallTime = time.Duration(in.reg.Value("redo.stall_ns"))
+	r.RedoWritten = in.reg.Value("redo.flushed_bytes")
 	if in.arch != nil {
 		r.ArchiveQueue = in.arch.QueueLen()
 		r.ArchivedLogs = in.arch.Archived()
@@ -106,6 +117,10 @@ func (r StatusReport) String() string {
 	fmt.Fprintf(&b, "redo logs:\n")
 	for _, l := range r.LogLines {
 		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	fmt.Fprintf(&b, "counters:\n")
+	for _, c := range r.Counters {
+		fmt.Fprintf(&b, "  %-28s %d\n", c.Name, c.Value)
 	}
 	return b.String()
 }

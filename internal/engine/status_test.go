@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dbench/internal/sim"
+)
+
+// Every counter registered anywhere in the instance must appear in the
+// rendered status report — the registry is the single source of truth,
+// so a new subsystem counter cannot silently miss the DBA's view.
+func TestStatusReportShowsEveryRegisteredCounter(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		// Exercise enough of the engine that the interesting counters are
+		// non-zero: DML, a log switch, a checkpoint.
+		for i := int64(0); i < 50; i++ {
+			tx, err := in.Begin()
+			if err != nil {
+				return err
+			}
+			if err := in.Insert(p, tx, "t", i, []byte("v")); err != nil {
+				return err
+			}
+			if err := in.Commit(p, tx); err != nil {
+				return err
+			}
+		}
+		if err := in.ForceLogSwitch(p); err != nil {
+			return err
+		}
+		return in.Checkpoint(p)
+	})
+
+	names := in.Registry().Names()
+	if len(names) == 0 {
+		t.Fatal("instance registered no counters")
+	}
+	rep := in.Status()
+	out := rep.String()
+	for _, name := range names {
+		if !strings.Contains(out, name) {
+			t.Errorf("counter %q missing from status report:\n%s", name, out)
+		}
+	}
+	if len(rep.Counters) != len(names) {
+		t.Errorf("snapshot has %d counters, registry has %d", len(rep.Counters), len(names))
+	}
+
+	// The derived scalar fields must agree with the registry values they
+	// are documented to come from — this is the drift the registry fixes.
+	for _, c := range []struct {
+		name string
+		got  int64
+	}{
+		{"engine.checkpoints", int64(rep.Checkpoints)},
+		{"cache.hits", rep.CacheHits},
+		{"cache.misses", rep.CacheMisses},
+		{"redo.switches", int64(rep.LogSwitches)},
+		{"redo.stall_ns", int64(rep.LogStallTime)},
+		{"redo.flushed_bytes", rep.RedoWritten},
+	} {
+		if want := in.Registry().Value(c.name); c.got != want {
+			t.Errorf("derived field for %s = %d, registry says %d", c.name, c.got, want)
+		}
+	}
+	if rep.Checkpoints == 0 {
+		t.Error("checkpoint counter still zero after an explicit checkpoint")
+	}
+	if rep.RedoWritten == 0 {
+		t.Error("redo.flushed_bytes still zero after committed DML")
+	}
+
+	// And the rendered value rows must match the snapshot exactly.
+	for _, c := range rep.Counters {
+		row := fmt.Sprintf("%-28s %d", c.Name, c.Value)
+		if !strings.Contains(out, row) {
+			t.Errorf("status report missing counter row %q", row)
+		}
+	}
+}

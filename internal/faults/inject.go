@@ -9,6 +9,7 @@ import (
 	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/sqladmin"
+	"dbench/internal/trace"
 )
 
 // Kind is one of the six fault types injected in the paper's experiments
@@ -163,6 +164,8 @@ func (inj *Injector) Inject(p *sim.Proc, f Fault) (*Outcome, error) {
 		return nil, fmt.Errorf("faults: inject %v: %w", f, err)
 	}
 	o.InjectedAt = p.Now()
+	inj.in.Tracer().Instant(p.Now(), trace.CatFault, "fault", "inject",
+		trace.S("fault", f.String()), trace.I("pre_scn", int64(o.PreFaultSCN)))
 	return o, nil
 }
 
@@ -179,6 +182,8 @@ func Observed(f Fault, injectedAt sim.Time, preSCN redo.SCN) *Outcome {
 // Recover waits out the detection time and runs the recovery procedure
 // appropriate for the fault, filling in the outcome.
 func (inj *Injector) Recover(p *sim.Proc, o *Outcome) error {
+	span := inj.in.Tracer().Begin(p.Now(), trace.CatFault, "fault", "recover",
+		trace.S("fault", o.Fault.String()))
 	p.Sleep(inj.Detection)
 	o.DetectedAt = p.Now()
 	var err error
@@ -211,9 +216,11 @@ func (inj *Injector) Recover(p *sim.Proc, o *Outcome) error {
 		err = fmt.Errorf("faults: unknown kind %v", o.Fault.Kind)
 	}
 	if err != nil {
+		inj.in.Tracer().End(p.Now(), span, trace.S("error", err.Error()))
 		return fmt.Errorf("faults: recover %v: %w", o.Fault, err)
 	}
 	o.RecoveredAt = p.Now()
+	inj.in.Tracer().End(p.Now(), span)
 	return nil
 }
 

@@ -72,6 +72,10 @@ type Report struct {
 	// LostCommits counts committed transactions discarded by incomplete
 	// recovery (always zero for complete recovery).
 	LostCommits int
+	// Phases is the recovery's contiguous phase timeline: ordered,
+	// non-overlapping, covering [Started, Finished] exactly (each phase
+	// starts at the virtual instant the previous one ended).
+	Phases []Phase
 }
 
 // Duration returns the recovery's elapsed virtual time.
@@ -124,6 +128,8 @@ func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
 		return nil, fmt.Errorf("recovery: database was cleanly shut down")
 	}
 	rep := &Report{Kind: KindInstance, Complete: true, Started: p.Now()}
+	tl := m.beginTimeline(p, rep)
+	tl.phase(p, PhaseMount)
 	if err := in.Mount(p); err != nil {
 		return nil, err
 	}
@@ -137,7 +143,7 @@ func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
 		// so the undo pass can see them.
 		from = ctl.UndoSCN
 	}
-	recs, err := m.redoRange(p, rep, from)
+	recs, err := m.redoRange(p, rep, from, tl)
 	if err != nil && from <= ctl.CheckpointSCN {
 		// The undo extension below the checkpoint was overwritten.
 		// That is safe to clamp: the log's reuse undo-floor keeps the
@@ -146,15 +152,16 @@ func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
 		// that finished (and need no undo). The redo pass itself only
 		// needs records after the checkpoint.
 		if lowest := log.LowestOnlineSCN(); lowest >= 0 && lowest <= ctl.CheckpointSCN+1 {
-			recs, err = m.redoRange(p, rep, lowest)
+			recs, err = m.redoRange(p, rep, lowest, tl)
 		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	if err := m.applyAndUndo(p, rep, recs, false, log.FlushedSCN()); err != nil {
+	if err := m.applyAndUndo(p, rep, recs, false, log.FlushedSCN(), tl); err != nil {
 		return nil, err
 	}
+	tl.phase(p, PhaseOpen)
 	if err := m.finishRecovery(p, log.FlushedSCN(), false); err != nil {
 		return nil, err
 	}
@@ -163,6 +170,7 @@ func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
 		return nil, err
 	}
 	rep.Finished = p.Now()
+	tl.finish(p)
 	return rep, nil
 }
 
@@ -176,8 +184,7 @@ func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
 // rollback path once the file is back. Transactions that vanished without
 // a commit or abort record (crashed sessions) are undone here.
 func (m *Manager) RecoverDatafile(p *sim.Proc, name string) (*Report, error) {
-	in := m.in
-	f, err := in.DB().Datafile(name)
+	f, err := m.in.DB().Datafile(name)
 	if err != nil {
 		return nil, err
 	}
@@ -185,13 +192,21 @@ func (m *Manager) RecoverDatafile(p *sim.Proc, name string) (*Report, error) {
 		return nil, fmt.Errorf("recovery: datafile %q lost; restore it first", name)
 	}
 	rep := &Report{Kind: KindDatafile, Complete: true, Started: p.Now()}
+	tl := m.beginTimeline(p, rep)
+	return m.recoverDatafile(p, name, f, rep, tl)
+}
 
+// recoverDatafile is the shared roll-forward/rollback body of
+// RecoverDatafile and RestoreAndRecoverDatafile; rep and tl were opened
+// by the caller (possibly already past a restore phase).
+func (m *Manager) recoverDatafile(p *sim.Proc, name string, f *storage.Datafile, rep *Report, tl *timeline) (*Report, error) {
+	in := m.in
 	from := f.CkptSCN + 1
 	if f.UndoSCN > 0 && f.UndoSCN < from {
 		from = f.UndoSCN
 	}
 	end := in.Log().FlushedSCN()
-	recs, err := m.redoRange(p, rep, from)
+	recs, err := m.redoRange(p, rep, from, tl)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +245,7 @@ func (m *Manager) RecoverDatafile(p *sim.Proc, name string) (*Report, error) {
 			loserRecs = append(loserRecs, *rec)
 		}
 	}
+	tl.phase(p, PhaseUndoRollback)
 	for i := len(loserRecs) - 1; i >= 0; i-- {
 		rec := &loserRecs[i]
 		ref, ok := m.refFor(rec)
@@ -242,15 +258,18 @@ func (m *Manager) RecoverDatafile(p *sim.Proc, name string) (*Report, error) {
 	}
 	rep.LosersRolledBack = len(losers)
 	cs.flush()
+	tl.phase(p, PhaseBlockWrites)
 	if err := m.chargeBlockPasses(p, touched); err != nil {
 		return nil, err
 	}
+	tl.phase(p, PhaseOpen)
 	f.CkptSCN = end
 	f.NeedsRecovery = false
 	if err := in.OnlineDatafile(p, name); err != nil {
 		return nil, err
 	}
 	rep.Finished = p.Now()
+	tl.finish(p)
 	return rep, nil
 }
 
@@ -263,8 +282,6 @@ func (m *Manager) RestoreAndRecoverDatafile(p *sim.Proc, name string) (*Report, 
 	if err != nil {
 		return nil, err
 	}
-	in.Cache().InvalidateFile(f)
-	f.SetOnline(false)
 	b, err := m.latestBackup()
 	if err != nil {
 		return nil, err
@@ -272,11 +289,16 @@ func (m *Manager) RestoreAndRecoverDatafile(p *sim.Proc, name string) (*Report, 
 	if !b.HasFile(name) {
 		return nil, fmt.Errorf("recovery: datafile %q missing from backup %d", name, b.ID)
 	}
+	rep := &Report{Kind: KindDatafile, Complete: true, Started: p.Now()}
+	tl := m.beginTimeline(p, rep)
+	tl.phase(p, PhaseRestore)
+	in.Cache().InvalidateFile(f)
+	f.SetOnline(false)
 	p.Sleep(in.Config().Cost.BackupRestoreOverhead)
 	if err := b.RestoreDatafile(p, in.FS(), name); err != nil {
 		return nil, err
 	}
-	return m.RecoverDatafile(p, name)
+	return m.recoverDatafile(p, name, f, rep, tl)
 }
 
 // PointInTime performs incomplete recovery: crash the instance if needed,
@@ -294,6 +316,8 @@ func (m *Manager) PointInTime(p *sim.Proc, untilSCN redo.SCN) (*Report, error) {
 	if untilSCN < b.SCN {
 		return nil, fmt.Errorf("recovery: until SCN %d precedes backup SCN %d", untilSCN, b.SCN)
 	}
+	tl := m.beginTimeline(p, rep)
+	tl.phase(p, PhaseMount)
 	// The DBA shuts the instance down before a full restore.
 	if in.State() == engine.StateOpen {
 		in.Crash()
@@ -301,6 +325,7 @@ func (m *Manager) PointInTime(p *sim.Proc, untilSCN redo.SCN) (*Report, error) {
 	if err := in.Mount(p); err != nil {
 		return nil, err
 	}
+	tl.phase(p, PhaseRestore)
 	p.Sleep(in.Config().Cost.BackupRestoreOverhead)
 	if err := b.RestoreAll(p, in.FS(), in.DB(), in.Catalog()); err != nil {
 		return nil, err
@@ -308,7 +333,7 @@ func (m *Manager) PointInTime(p *sim.Proc, untilSCN redo.SCN) (*Report, error) {
 
 	// Gather redo from the backup SCN forward and count what will be
 	// lost beyond the stop point.
-	recs, err := m.redoRange(p, rep, b.SCN+1)
+	recs, err := m.redoRange(p, rep, b.SCN+1, tl)
 	if err != nil {
 		return nil, err
 	}
@@ -320,9 +345,10 @@ func (m *Manager) PointInTime(p *sim.Proc, untilSCN redo.SCN) (*Report, error) {
 			rep.LostCommits++
 		}
 	}
-	if err := m.applyAndUndo(p, rep, apply, true, untilSCN); err != nil {
+	if err := m.applyAndUndo(p, rep, apply, true, untilSCN, tl); err != nil {
 		return nil, err
 	}
+	tl.phase(p, PhaseOpen)
 	// Open RESETLOGS: discard post-untilSCN redo, new log incarnation.
 	if err := in.Log().ResetLogs(untilSCN + 1); err != nil {
 		return nil, err
@@ -335,6 +361,7 @@ func (m *Manager) PointInTime(p *sim.Proc, untilSCN redo.SCN) (*Report, error) {
 		return nil, err
 	}
 	rep.Finished = p.Now()
+	tl.finish(p)
 	return rep, nil
 }
 
@@ -348,14 +375,17 @@ func (m *Manager) latestBackup() (*backup.Backup, error) {
 
 // redoRange collects the redo stream from SCN `from` to the end of redo,
 // reading archived logs as needed (charged per file) and topping up from
-// the online logs.
-func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN) ([]redo.Record, error) {
+// the online logs. It advances the timeline into the archive-replay
+// phase while reading archives and into redo-replay when it reaches the
+// online log (the forward apply that follows stays in redo-replay).
+func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN, tl *timeline) ([]redo.Record, error) {
 	in := m.in
 	log := in.Log()
 	cost := in.Config().Cost
 
 	// Fast path: everything still online.
 	if recs, ok := log.OnlineRecords(from); ok {
+		tl.phase(p, PhaseRedoReplay)
 		m.chargeLogScan(p, recs)
 		return recs, nil
 	}
@@ -363,6 +393,7 @@ func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN) ([]redo.Rec
 	if arch == nil {
 		return nil, fmt.Errorf("recovery: redo before SCN %d overwritten and no archive logs", from)
 	}
+	tl.phase(p, PhaseArchiveReplay)
 	var recs []redo.Record
 	next := from
 	for _, al := range arch.Inventory().From(from) {
@@ -396,6 +427,7 @@ func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN) ([]redo.Rec
 	if !ok && len(online) > 0 {
 		return nil, fmt.Errorf("recovery: gap between archived and online redo at SCN %d", next)
 	}
+	tl.phase(p, PhaseRedoReplay)
 	m.chargeLogScan(p, online)
 	recs = append(recs, online...)
 	return recs, nil
@@ -479,7 +511,7 @@ func participates(f *storage.Datafile, includeOffline bool) bool {
 // — transactions with changes but no commit/abort record within recs.
 // stamp is the SCN recovery ends at (images touched by undo are stamped
 // with it).
-func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, includeOffline bool, stamp redo.SCN) error {
+func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, includeOffline bool, stamp redo.SCN, tl *timeline) error {
 	in := m.in
 	cost := in.Config().Cost
 	cs := &chunkedSleep{p: p}
@@ -526,6 +558,7 @@ func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, inc
 		}
 	}
 	// Backward pass: undo losers in reverse SCN order.
+	tl.phase(p, PhaseUndoRollback)
 	for i := len(loserRecs) - 1; i >= 0; i-- {
 		rec := &loserRecs[i]
 		ref, ok := m.refFor(rec)
@@ -541,6 +574,7 @@ func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, inc
 	}
 	rep.LosersRolledBack = len(losers)
 	cs.flush()
+	tl.phase(p, PhaseBlockWrites)
 	return m.chargeBlockPasses(p, touched)
 }
 

@@ -11,6 +11,7 @@ import (
 	"dbench/internal/engine"
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
+	"dbench/internal/trace"
 )
 
 // rig is a full single-instance test rig: engine + backup + recovery over
@@ -29,6 +30,10 @@ func newRig(archive bool, groupSize int64, groups int) (*rig, error) {
 }
 
 func newRigCache(archive bool, groupSize int64, groups, cacheBlocks int) (*rig, error) {
+	return newRigTraced(archive, groupSize, groups, cacheBlocks, nil)
+}
+
+func newRigTraced(archive bool, groupSize int64, groups, cacheBlocks int, tr *trace.Tracer) (*rig, error) {
 	k := sim.NewKernel(42)
 	fs := simdisk.NewFS(
 		simdisk.DefaultSpec(engine.DiskData1),
@@ -42,6 +47,7 @@ func newRigCache(archive bool, groupSize int64, groups, cacheBlocks int) (*rig, 
 	cfg.Redo.ArchiveMode = archive
 	cfg.CheckpointTimeout = 0 // tests trigger checkpoints explicitly
 	cfg.CacheBlocks = cacheBlocks
+	cfg.Tracer = tr
 	in, err := engine.New(k, fs, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,211 @@
+package recovery
+
+import (
+	"testing"
+
+	"dbench/internal/sim"
+	"dbench/internal/trace"
+)
+
+// phaseRank maps a canonical phase name to its PhaseOrder position.
+func phaseRank(t *testing.T, name string) int {
+	t.Helper()
+	for i, ph := range PhaseOrder {
+		if ph == name {
+			return i
+		}
+	}
+	t.Fatalf("phase %q is not in PhaseOrder %v", name, PhaseOrder)
+	return -1
+}
+
+// checkPhases asserts the structural guarantees every recovery's phase
+// timeline must satisfy: phases are a subsequence of the canonical
+// order, contiguous (each starts at the instant the previous ended),
+// non-overlapping, and sum exactly to the engine-reported recovery time.
+func checkPhases(t *testing.T, rep *Report) {
+	t.Helper()
+	if len(rep.Phases) == 0 {
+		t.Fatal("recovery produced no phases")
+	}
+	if first := rep.Phases[0]; first.Start != rep.Started {
+		t.Errorf("first phase starts at %v, report at %v", first.Start, rep.Started)
+	}
+	if last := rep.Phases[len(rep.Phases)-1]; last.End != rep.Finished {
+		t.Errorf("last phase ends at %v, report at %v", last.End, rep.Finished)
+	}
+	var sum sim.Duration
+	lastRank := -1
+	for i, ph := range rep.Phases {
+		if ph.End < ph.Start {
+			t.Errorf("phase %d (%s) ends before it starts: [%v, %v]", i, ph.Name, ph.Start, ph.End)
+		}
+		if i > 0 && ph.Start != rep.Phases[i-1].End {
+			t.Errorf("phase %d (%s) starts at %v; previous (%s) ended at %v — not contiguous",
+				i, ph.Name, ph.Start, rep.Phases[i-1].Name, rep.Phases[i-1].End)
+		}
+		if rank := phaseRank(t, ph.Name); rank <= lastRank {
+			t.Errorf("phase %d (%s) out of canonical order %v", i, ph.Name, PhaseOrder)
+		} else {
+			lastRank = rank
+		}
+		sum += ph.Duration()
+	}
+	if total := rep.Duration(); sum != total {
+		t.Errorf("phase durations sum to %v, engine-reported recovery time is %v", sum, total)
+	}
+}
+
+// Instance recovery after a crash must produce an ordered, contiguous
+// phase timeline that sums exactly to the reported recovery time, and
+// mirror it onto the trace bus as a root span with one child per phase.
+func TestInstanceRecoveryPhaseTimeline(t *testing.T) {
+	ring := &trace.RingSink{}
+	tl := trace.NewTimelineSink()
+	r, err := newRigTraced(false, 4<<20, 2, 128, trace.New(trace.MultiSink(ring, tl)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *Report
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		for i := int64(0); i < 200; i++ {
+			if err := r.put(p, i, "v"); err != nil {
+				return err
+			}
+		}
+		r.in.Crash()
+		rep, err = r.rm.InstanceRecovery(p)
+		return err
+	})
+
+	checkPhases(t, rep)
+	// Instance recovery replays redo and rolls forward through open: the
+	// timeline must include at least redo replay and open.
+	names := map[string]bool{}
+	for _, ph := range rep.Phases {
+		names[ph.Name] = true
+	}
+	for _, want := range []string{PhaseMount, PhaseRedoReplay, PhaseOpen} {
+		if !names[want] {
+			t.Errorf("instance recovery timeline %v missing phase %q", rep.Phases, want)
+		}
+	}
+	// The replay work must be attributed to phases, and the per-phase
+	// counters must sum to the report's totals.
+	var records int
+	var bytes int64
+	for _, ph := range rep.Phases {
+		records += ph.Records
+		bytes += ph.Bytes
+	}
+	if records != rep.RecordsApplied || bytes != rep.BytesApplied {
+		t.Errorf("phase counters sum to %d records/%d bytes, report says %d/%d",
+			records, bytes, rep.RecordsApplied, rep.BytesApplied)
+	}
+
+	// Trace mirror: one recovery root span whose children are the phases.
+	if n := tl.Recoveries(); n != 1 {
+		t.Fatalf("timeline sink saw %d recoveries, want 1", n)
+	}
+	var root *trace.Event
+	children := 0
+	for _, ev := range ring.Events() {
+		ev := ev
+		if ev.Kind != trace.KindSpan || ev.Cat != trace.CatRecovery {
+			continue
+		}
+		if ev.Parent == 0 {
+			root = &ev
+		} else {
+			children++
+		}
+	}
+	if root == nil {
+		t.Fatal("no root recovery span traced")
+	}
+	if root.Name != "recovery:instance" {
+		t.Errorf("root span name = %q, want recovery:instance", root.Name)
+	}
+	if root.Start != rep.Started || root.Dur != rep.Duration() {
+		t.Errorf("root span [%v +%v] does not match report [%v +%v]",
+			root.Start, root.Dur, rep.Started, rep.Duration())
+	}
+	if children != len(rep.Phases) {
+		t.Errorf("traced %d phase spans, report has %d phases", children, len(rep.Phases))
+	}
+}
+
+// Media recovery (restore + roll forward) and point-in-time recovery
+// must satisfy the same structural guarantees, including the restore
+// phase that instance recovery never has.
+func TestMediaAndPointInTimePhaseTimelines(t *testing.T) {
+	r, err := newRig(true, 1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var media, pit *Report
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		for i := int64(0); i < 50; i++ {
+			if err := r.put(p, i, "before"); err != nil {
+				return err
+			}
+		}
+		if err := r.in.Checkpoint(p); err != nil {
+			return err
+		}
+		if _, err := r.bk.TakeFull(p, r.in.DB(), r.in.Catalog(), r.in.DB().Control.CheckpointSCN); err != nil {
+			return err
+		}
+		if err := r.in.ForceLogSwitch(p); err != nil {
+			return err
+		}
+		for i := int64(50); i < 120; i++ {
+			if err := r.put(p, i, "after"); err != nil {
+				return err
+			}
+		}
+		target := r.in.Log().NextSCN() - 1
+
+		// Media recovery of one deleted datafile.
+		victim := "USERS_01.dbf"
+		if err := r.fs.Delete(victim); err != nil {
+			return err
+		}
+		media, err = r.rm.RestoreAndRecoverDatafile(p, victim)
+		if err != nil {
+			return err
+		}
+
+		// Point-in-time recovery of the whole database.
+		pit, err = r.rm.PointInTime(p, target)
+		return err
+	})
+
+	checkPhases(t, media)
+	found := false
+	for _, ph := range media.Phases {
+		if ph.Name == PhaseRestore {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("media recovery timeline %v has no restore phase", media.Phases)
+	}
+
+	checkPhases(t, pit)
+	names := map[string]bool{}
+	for _, ph := range pit.Phases {
+		names[ph.Name] = true
+	}
+	for _, want := range []string{PhaseMount, PhaseRestore, PhaseOpen} {
+		if !names[want] {
+			t.Errorf("point-in-time timeline %v missing phase %q", pit.Phases, want)
+		}
+	}
+}

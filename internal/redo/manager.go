@@ -6,6 +6,7 @@ import (
 
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
+	"dbench/internal/trace"
 )
 
 // Group is one online redo log group: a fixed-size slot in the circular
@@ -92,7 +93,8 @@ type Config struct {
 	ArchiveMode bool
 }
 
-// Stats exposes counters used by the benchmark reports.
+// Stats exposes counters used by the benchmark reports. It is a
+// snapshot view over the manager's registered counters (see Counters).
 type Stats struct {
 	Switches        int
 	Flushes         int
@@ -100,6 +102,29 @@ type Stats struct {
 	CheckpointWaits int
 	ArchiveWaits    int
 	StallTime       time.Duration
+}
+
+// counters is the manager's registered counter block; one counter per
+// Stats field, named "redo.<snake_case_field>" (StallTime is kept in
+// nanoseconds as redo.stall_ns).
+type counters struct {
+	switches        *trace.Counter
+	flushes         *trace.Counter
+	flushedBytes    *trace.Counter
+	checkpointWaits *trace.Counter
+	archiveWaits    *trace.Counter
+	stallNS         *trace.Counter
+}
+
+func newCounters() counters {
+	return counters{
+		switches:        trace.NewCounter("redo.switches"),
+		flushes:         trace.NewCounter("redo.flushes"),
+		flushedBytes:    trace.NewCounter("redo.flushed_bytes"),
+		checkpointWaits: trace.NewCounter("redo.checkpoint_waits"),
+		archiveWaits:    trace.NewCounter("redo.archive_waits"),
+		stallNS:         trace.NewCounter("redo.stall_ns"),
+	}
 }
 
 // Manager owns the online redo log: the record buffer, the group ring and
@@ -142,7 +167,11 @@ type Manager struct {
 	// online log (TPC-C transactions are a few KB; groups are >= 1 MB).
 	UndoFloor func() SCN
 
-	stats Stats
+	// Trace, when set, receives lgwr-category events (flush spans, log
+	// switches, reserve stalls). A nil tracer is valid.
+	Trace *trace.Tracer
+
+	c counters
 }
 
 // NewManager creates the group files on disk and returns a manager ready
@@ -157,7 +186,7 @@ func NewManager(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Manager, error) {
 	if cfg.GroupSizeBytes <= 0 {
 		return nil, fmt.Errorf("redo: group size must be positive")
 	}
-	m := &Manager{k: k, fs: fs, cfg: cfg, nextSCN: 1}
+	m := &Manager{k: k, fs: fs, cfg: cfg, nextSCN: 1, c: newCounters()}
 	for i := 0; i < cfg.Groups; i++ {
 		g := &Group{ID: i + 1, capacity: cfg.GroupSizeBytes, ckptDone: true, archived: true}
 		for j := 0; j < cfg.MembersPerGroup; j++ {
@@ -178,8 +207,25 @@ func NewManager(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Manager, error) {
 // Config returns the manager's configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
-// Stats returns a copy of the manager's counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Switches:        int(m.c.switches.Value()),
+		Flushes:         int(m.c.flushes.Value()),
+		FlushedBytes:    m.c.flushedBytes.Value(),
+		CheckpointWaits: int(m.c.checkpointWaits.Value()),
+		ArchiveWaits:    int(m.c.archiveWaits.Value()),
+		StallTime:       time.Duration(m.c.stallNS.Value()),
+	}
+}
+
+// Counters exposes the manager's counters for the instance registry.
+func (m *Manager) Counters() []*trace.Counter {
+	return []*trace.Counter{
+		m.c.switches, m.c.flushes, m.c.flushedBytes,
+		m.c.checkpointWaits, m.c.archiveWaits, m.c.stallNS,
+	}
+}
 
 // Groups returns the log groups (callers must not modify the slice).
 func (m *Manager) Groups() []*Group { return m.groups }
@@ -282,14 +328,17 @@ func (m *Manager) Reserve(p *sim.Proc, size int64) error {
 			stallStart = p.Now()
 		}
 		if next := m.groups[(m.cur+1)%len(m.groups)]; !next.ckptDone {
-			m.stats.CheckpointWaits++
+			m.c.checkpointWaits.Inc()
 		} else {
-			m.stats.ArchiveWaits++
+			m.c.archiveWaits.Inc()
 		}
 		m.reusable.Wait(p)
 	}
 	if stallStart >= 0 {
-		m.stats.StallTime += p.Now().Sub(stallStart)
+		waited := p.Now().Sub(stallStart)
+		m.c.stallNS.Add(int64(waited))
+		m.Trace.Instant(p.Now(), trace.CatLGWR, "redo", "reserve stall",
+			trace.I("bytes", size), trace.I("wait_ns", int64(waited)))
 	}
 	return nil
 }
@@ -371,7 +420,7 @@ func (m *Manager) lgwrLoop(p *sim.Proc) {
 			}
 			return
 		}
-		m.stats.Flushes++
+		m.c.flushes.Inc()
 	}
 }
 
@@ -384,6 +433,12 @@ func (m *Manager) lgwrLoop(p *sim.Proc) {
 // would release the stalled switch may itself be waiting on exactly those
 // records.
 func (m *Manager) drainBuffer(p *sim.Proc) error {
+	span := m.Trace.Begin(p.Now(), trace.CatLGWR, "LGWR", "flush")
+	var total int64
+	defer func() {
+		m.Trace.End(p.Now(), span,
+			trace.I("bytes", total), trace.I("flushed_scn", int64(m.flushedSCN)))
+	}()
 	var segBytes int64
 	var lastPlaced SCN = -1
 	flushSeg := func() error {
@@ -402,7 +457,8 @@ func (m *Manager) drainBuffer(p *sim.Proc) error {
 				return fmt.Errorf("redo: member write: %w", err)
 			}
 		}
-		m.stats.FlushedBytes += segBytes
+		m.c.flushedBytes.Add(segBytes)
+		total += segBytes
 		segBytes = 0
 		if lastPlaced > m.flushedSCN {
 			m.flushedSCN = lastPlaced
@@ -477,6 +533,7 @@ func (m *Manager) switchGroup(p *sim.Proc) error {
 	}
 
 	next := m.groups[(m.cur+1)%len(m.groups)]
+	span := m.Trace.Begin(p.Now(), trace.CatLGWR, "LGWR", "log switch", trace.I("from_seq", int64(old.Seq)))
 	stallStart := p.Now()
 	for {
 		if !next.usable() {
@@ -486,13 +543,14 @@ func (m *Manager) switchGroup(p *sim.Proc) error {
 			break
 		}
 		if !next.ckptDone {
-			m.stats.CheckpointWaits++
+			m.c.checkpointWaits.Inc()
 		} else {
-			m.stats.ArchiveWaits++
+			m.c.archiveWaits.Inc()
 		}
 		m.reusable.Wait(p)
 	}
-	m.stats.StallTime += p.Now().Sub(stallStart)
+	stalled := p.Now().Sub(stallStart)
+	m.c.stallNS.Add(int64(stalled))
 
 	m.cur = (m.cur + 1) % len(m.groups)
 	next.current = true
@@ -502,7 +560,9 @@ func (m *Manager) switchGroup(p *sim.Proc) error {
 	for _, member := range next.members {
 		member.Truncate(0) // reuse rewrites the file from the start
 	}
-	m.stats.Switches++
+	m.c.switches.Inc()
+	m.Trace.End(p.Now(), span,
+		trace.I("to_seq", int64(next.Seq)), trace.I("stall_ns", int64(stalled)))
 	if m.OnSwitch != nil {
 		m.OnSwitch(p, old)
 	}

@@ -2,11 +2,13 @@ package tpcc
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"time"
 
 	"dbench/internal/redo"
 	"dbench/internal/sim"
+	"dbench/internal/trace"
 )
 
 // CommitRecord is the driver's log of one successful transaction, the raw
@@ -77,8 +79,9 @@ func (d *Driver) Start() {
 		for t := 0; t < cfg.TerminalsPerWarehouse; t++ {
 			w := w
 			seed := int64(w*1000+t) ^ 0x5eed
+			track := fmt.Sprintf("term w%d.%d", w, t)
 			d.terminals = append(d.terminals, d.k.Go("terminal", func(p *sim.Proc) {
-				d.terminalLoop(p, w, rand.New(rand.NewSource(seed)))
+				d.terminalLoop(p, w, track, rand.New(rand.NewSource(seed)))
 			}))
 		}
 	}
@@ -132,9 +135,15 @@ func newDeck(r *rand.Rand) []TxnType {
 	return deck
 }
 
+// txnSampleEvery is the per-terminal transaction-span sampling stride:
+// every 32nd submitted transaction gets a txn-category trace span, enough
+// to see the workload's shape without drowning the trace in events.
+const txnSampleEvery = 32
+
 // terminalLoop is one terminal's life: think, submit, record, repeat.
-func (d *Driver) terminalLoop(p *sim.Proc, w int, r *rand.Rand) {
+func (d *Driver) terminalLoop(p *sim.Proc, w int, track string, r *rand.Rand) {
 	var deck []TxnType
+	var submitted int
 	for d.running {
 		if d.app.Cfg.ThinkTimeMean > 0 {
 			think := time.Duration(r.ExpFloat64() * float64(d.app.Cfg.ThinkTimeMean))
@@ -152,8 +161,24 @@ func (d *Driver) terminalLoop(p *sim.Proc, w int, r *rand.Rand) {
 		typ := deck[0]
 		deck = deck[1:]
 
+		var span trace.SpanID
+		tr := d.app.In.Tracer()
+		if submitted%txnSampleEvery == 0 {
+			span = tr.Begin(p.Now(), trace.CatTxn, track, typ.String())
+		}
+		submitted++
 		res, err := d.exec(p, r, typ, w)
 		now := p.Now()
+		if span != 0 {
+			status := "commit"
+			switch {
+			case errors.Is(err, ErrUserAbort):
+				status = "user abort"
+			case err != nil:
+				status = "error"
+			}
+			tr.End(now, span, trace.S("status", status))
+		}
 		switch {
 		case err == nil:
 			rec := CommitRecord{Type: typ, At: now, SCN: res.CommitSCN}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ChromeSink serializes events into the Chrome trace_event JSON array
+// format, openable in chrome://tracing or https://ui.perfetto.dev. The
+// timebase is the simulation's virtual clock: trace_event timestamps
+// are microseconds, so 1 µs of trace time is 1 µs of virtual time and
+// wall-clock jitter never appears. Spans become "X" (complete) events,
+// instants become "i" events; each Track gets its own tid with a
+// thread_name metadata record. Output is deterministic: same event
+// stream in, same bytes out.
+type ChromeSink struct {
+	buf  bytes.Buffer
+	tids map[string]int
+	n    int
+}
+
+func NewChromeSink() *ChromeSink { return &ChromeSink{} }
+
+// usec renders virtual nanoseconds as microseconds with nanosecond
+// precision, avoiding float formatting entirely.
+func usec(ns int64) string {
+	sign := ""
+	if ns < 0 {
+		sign, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", sign, ns/1000, ns%1000)
+}
+
+func (s *ChromeSink) sep() {
+	if s.n > 0 {
+		s.buf.WriteString(",\n")
+	}
+	s.n++
+}
+
+// tid maps a track name to a stable thread ID, emitting the Perfetto
+// thread_name metadata record on first use.
+func (s *ChromeSink) tid(track string) int {
+	if s.tids == nil {
+		s.tids = make(map[string]int)
+	}
+	if id, ok := s.tids[track]; ok {
+		return id
+	}
+	id := len(s.tids) + 1
+	s.tids[track] = id
+	s.sep()
+	fmt.Fprintf(&s.buf, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+		id, strconv.Quote(track))
+	return id
+}
+
+func (s *ChromeSink) args(ev Event) {
+	s.buf.WriteString(`"args":{`)
+	if ev.ID != 0 {
+		fmt.Fprintf(&s.buf, `"span":%d,"parent":%d`, ev.ID, ev.Parent)
+	}
+	for i := 0; i < ev.NAttrs; i++ {
+		if i > 0 || ev.ID != 0 {
+			s.buf.WriteByte(',')
+		}
+		a := ev.Attrs[i]
+		if a.IsStr {
+			fmt.Fprintf(&s.buf, `%s:%s`, strconv.Quote(a.Key), strconv.Quote(a.Str))
+		} else {
+			fmt.Fprintf(&s.buf, `%s:%d`, strconv.Quote(a.Key), a.Int)
+		}
+	}
+	s.buf.WriteString("}}")
+}
+
+func (s *ChromeSink) Emit(ev Event) {
+	tid := s.tid(ev.Track)
+	s.sep()
+	switch ev.Kind {
+	case KindSpan:
+		fmt.Fprintf(&s.buf, `{"ph":"X","pid":1,"tid":%d,"name":%s,"cat":%s,"ts":%s,"dur":%s,`,
+			tid, strconv.Quote(ev.Name), strconv.Quote(ev.Cat.String()),
+			usec(int64(ev.Start)), usec(int64(ev.Dur)))
+	default:
+		fmt.Fprintf(&s.buf, `{"ph":"i","pid":1,"tid":%d,"name":%s,"cat":%s,"ts":%s,"s":"t",`,
+			tid, strconv.Quote(ev.Name), strconv.Quote(ev.Cat.String()),
+			usec(int64(ev.Start)))
+	}
+	s.args(ev)
+}
+
+// Len is the number of JSON records written (events + metadata).
+func (s *ChromeSink) Len() int { return s.n }
+
+// WriteTo writes the complete JSON document (array form). The sink can
+// keep accepting events afterwards; a later WriteTo re-emits the whole
+// document.
+func (s *ChromeSink) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := io.WriteString(w, "[\n")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	m, err := w.Write(s.buf.Bytes())
+	total += int64(m)
+	if err != nil {
+		return total, err
+	}
+	n, err = io.WriteString(w, "\n]\n")
+	total += int64(n)
+	return total, err
+}

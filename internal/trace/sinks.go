@@ -1,0 +1,106 @@
+package trace
+
+// RingSink keeps the last Cap events in memory (all of them when Cap is
+// 0); it is the sink tests assert against.
+type RingSink struct {
+	Cap     int // maximum retained events; 0 = unbounded
+	events  []Event
+	head    int // index of oldest event when the ring has wrapped
+	wrapped bool
+	total   int
+}
+
+func (s *RingSink) Emit(ev Event) {
+	s.total++
+	if s.Cap <= 0 {
+		s.events = append(s.events, ev)
+		return
+	}
+	if len(s.events) < s.Cap {
+		s.events = append(s.events, ev)
+		return
+	}
+	s.events[s.head] = ev
+	s.head = (s.head + 1) % s.Cap
+	s.wrapped = true
+}
+
+// Events returns retained events in emission order.
+func (s *RingSink) Events() []Event {
+	if !s.wrapped {
+		out := make([]Event, len(s.events))
+		copy(out, s.events)
+		return out
+	}
+	out := make([]Event, 0, len(s.events))
+	out = append(out, s.events[s.head:]...)
+	out = append(out, s.events[:s.head]...)
+	return out
+}
+
+// Total counts every event ever emitted, including evicted ones.
+func (s *RingSink) Total() int { return s.total }
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashSink folds every event into a streaming FNV-1a 64-bit hash. The
+// chaos harness hashes the full event stream of a crash point and
+// compares reruns: any divergence in emission order, timing, or payload
+// changes the sum, making the trace itself a determinism oracle.
+type HashSink struct {
+	h uint64
+	n int
+}
+
+func NewHashSink() *HashSink { return &HashSink{h: fnvOffset64} }
+
+func (s *HashSink) byte(b byte) {
+	s.h = (s.h ^ uint64(b)) * fnvPrime64
+}
+
+func (s *HashSink) uint64s(v uint64) {
+	for i := 0; i < 8; i++ {
+		s.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (s *HashSink) str(v string) {
+	s.uint64s(uint64(len(v)))
+	for i := 0; i < len(v); i++ {
+		s.byte(v[i])
+	}
+}
+
+func (s *HashSink) Emit(ev Event) {
+	s.n++
+	s.byte(byte(ev.Kind))
+	s.byte(byte(ev.Cat))
+	s.str(ev.Name)
+	s.str(ev.Track)
+	s.uint64s(uint64(ev.Start))
+	s.uint64s(uint64(ev.Dur))
+	s.uint64s(uint64(ev.ID))
+	s.uint64s(uint64(ev.Parent))
+	s.byte(byte(ev.NAttrs))
+	for i := 0; i < ev.NAttrs; i++ {
+		a := ev.Attrs[i]
+		s.str(a.Key)
+		if a.IsStr {
+			s.byte(1)
+			s.str(a.Str)
+		} else {
+			s.byte(0)
+			s.uint64s(uint64(a.Int))
+		}
+	}
+}
+
+// Sum is the hash of everything emitted so far.
+func (s *HashSink) Sum() uint64 { return s.h }
+
+// Count is the number of events hashed.
+func (s *HashSink) Count() int { return s.n }

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TimelineSink collects recovery-category spans and renders them as a
+// human-readable phase timeline: one block per recovery (the root
+// span), one row per phase (its child spans), with per-phase redo
+// record/byte counters and a phase-sum-vs-total coverage line. It is
+// the -timeline output of cmd/dbench.
+type TimelineSink struct {
+	spans []Event
+}
+
+func NewTimelineSink() *TimelineSink { return &TimelineSink{} }
+
+func (s *TimelineSink) Emit(ev Event) {
+	if ev.Kind == KindSpan && ev.Cat == CatRecovery {
+		s.spans = append(s.spans, ev)
+	}
+}
+
+// Recoveries counts root recovery spans collected so far.
+func (s *TimelineSink) Recoveries() int {
+	n := 0
+	for _, ev := range s.spans {
+		if ev.Parent == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func attrString(ev Event) string {
+	var b strings.Builder
+	for i := 0; i < ev.NAttrs; i++ {
+		a := ev.Attrs[i]
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if a.IsStr {
+			fmt.Fprintf(&b, "%s=%s", a.Key, a.Str)
+		} else {
+			fmt.Fprintf(&b, "%s=%d", a.Key, a.Int)
+		}
+	}
+	return b.String()
+}
+
+// Render formats every collected recovery as a text timeline. With no
+// recoveries it explains that instead of printing an empty report.
+func (s *TimelineSink) Render() string {
+	var b strings.Builder
+	b.WriteString("Recovery timeline (virtual time)\n")
+	roots := 0
+	for _, root := range s.spans {
+		if root.Parent != 0 {
+			continue
+		}
+		roots++
+		children := make([]Event, 0, 8)
+		for _, ev := range s.spans {
+			if ev.Parent == root.ID {
+				children = append(children, ev)
+			}
+		}
+		sort.SliceStable(children, func(i, j int) bool { return children[i].Start < children[j].Start })
+		fmt.Fprintf(&b, "\n%s  start=%s  duration=%s\n", root.Name, root.Start, time.Duration(root.Dur))
+		fmt.Fprintf(&b, "  %-16s %14s %14s  %s\n", "phase", "start", "duration", "detail")
+		var sum time.Duration
+		for _, ev := range children {
+			sum += time.Duration(ev.Dur)
+			fmt.Fprintf(&b, "  %-16s %14s %14s  %s\n", ev.Name, ev.Start, time.Duration(ev.Dur), attrString(ev))
+		}
+		cover := 100.0
+		if root.Dur > 0 {
+			cover = 100 * float64(sum) / float64(root.Dur)
+		}
+		fmt.Fprintf(&b, "  phase sum %s of %s (%.1f%% coverage)\n", sum, time.Duration(root.Dur), cover)
+	}
+	if roots == 0 {
+		b.WriteString("  (no recovery spans traced)\n")
+	}
+	return b.String()
+}
