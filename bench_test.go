@@ -8,11 +8,17 @@
 package dbench_test
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
+	"time"
 
 	"dbench/internal/core"
+	"dbench/internal/engine"
 	"dbench/internal/sim"
+	"dbench/internal/simdisk"
+	"dbench/internal/tpcc"
 	"dbench/internal/trace"
 )
 
@@ -126,6 +132,73 @@ func BenchmarkFigure7LostTransactions(b *testing.B) {
 		}
 		b.ReportMetric(float64(rows[0].Lost), "lost-smallest-log")
 		b.ReportMetric(float64(rows[len(rows)-1].Lost), "lost-largest-log")
+	}
+}
+
+// benchmarkNewOrder measures the per-transaction cost of the New-Order
+// path at a given warehouse count: schema creation and load happen
+// outside the timer, then b.N New-Orders execute round-robin over the
+// warehouses. The buffer cache keeps its per-warehouse share so the
+// number measures the transaction path (partition routing, sharded
+// cache, striped locks), not cache starvation. W=1 is the CI regression
+// gate (see BENCH_NEWORDER.json); W=4/16 track the cost of scale.
+func benchmarkNewOrder(b *testing.B, warehouses int) {
+	k := sim.NewKernel(42)
+	fs := simdisk.NewFS(
+		simdisk.DefaultSpec(engine.DiskData1),
+		simdisk.DefaultSpec(engine.DiskData2),
+		simdisk.DefaultSpec(engine.DiskRedo),
+		simdisk.DefaultSpec(engine.DiskArch),
+	)
+	ecfg := engine.DefaultConfig()
+	ecfg.Redo.GroupSizeBytes = 8 << 20
+	ecfg.CacheBlocks = 512 * warehouses
+	ecfg.CheckpointTimeout = 60 * time.Second
+	in, err := engine.New(k, fs, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = warehouses
+	cfg.CustomersPerDistrict = 60
+	cfg.Items = 2000
+	app := tpcc.NewApp(in, cfg)
+	var benchErr error
+	k.Go("bench", func(p *sim.Proc) {
+		benchErr = func() error {
+			if err := in.Open(p); err != nil {
+				return err
+			}
+			if err := app.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+				return err
+			}
+			if err := app.Load(p, rand.New(rand.NewSource(1))); err != nil {
+				return err
+			}
+			if err := in.Checkpoint(p); err != nil {
+				return err
+			}
+			rnd := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := 1 + i%warehouses
+				if _, err := app.NewOrder(p, rnd, w); err != nil && !errors.Is(err, tpcc.ErrUserAbort) {
+					return err
+				}
+			}
+			return nil
+		}()
+	})
+	k.Run(sim.Time(1000 * time.Hour))
+	b.StopTimer()
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+}
+
+func BenchmarkNewOrder(b *testing.B) {
+	for _, w := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) { benchmarkNewOrder(b, w) })
 	}
 }
 

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	dbench [-scale quick|std|full] [-exp t3,f4,f5,t4,t5,f6,f7|all] [-parallel N]
-//	dbench -exp chaos [-crashpoints N] [-seed S] [-parallel N]
+//	dbench -exp chaos [-crashpoints N] [-seed S] [-parallel N] [-warehouses W]
+//	dbench -exp scale [-warehouses 1,2,4,8] [-parallel N]
 //
 // Output is the paper-style text table for each experiment, preceded by
 // per-run progress lines on stderr. -parallel sets the campaign worker
@@ -17,12 +18,19 @@
 // "all" — it validates the recovery machinery rather than regenerating a
 // paper table — and exits non-zero if any invariant is violated. Its
 // stdout report is byte-identical for a given -crashpoints/-seed pair.
+// -warehouses sets its TPC-C scale (first value if a list is given).
+//
+// The scale experiment sweeps the warehouse count (-warehouses, default
+// 1,2,4,8): per W, fault-free and shutdown-abort runs for the baseline
+// and perf-tuned recovery configurations, producing a throughput-vs-W and
+// recovery-time-vs-W table. Like chaos it is opt-in (not part of "all").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,9 +39,24 @@ import (
 	"dbench/internal/trace"
 )
 
-// experiments is the known -exp token set, in campaign order. "chaos" is
-// opt-in: it is a valid token but not part of "all".
-var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7", "chaos"}
+// experiments is the known -exp token set, in campaign order. "chaos" and
+// "scale" are opt-in: valid tokens but not part of "all".
+var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7", "chaos", "scale"}
+
+// parseWarehouses parses the -warehouses flag: a comma-separated list of
+// positive warehouse counts.
+func parseWarehouses(list string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		w, err := strconv.Atoi(tok)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -warehouses value %q: want positive integers, e.g. 1,2,4,8", tok)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -68,6 +91,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "campaign workers: 0 = one per CPU, 1 = sequential, N = exactly N")
 	crashPoints := fs.Int("crashpoints", 50, "chaos: number of crash points to explore")
 	seed := fs.Int64("seed", 1, "chaos: campaign seed (same seed = byte-identical report)")
+	warehousesList := fs.String("warehouses", "1,2,4,8", "scale: warehouse counts to sweep; chaos: warehouse count (first value)")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file (virtual timebase) for the campaign's first run; open in chrome://tracing or ui.perfetto.dev")
 	timeline := fs.Bool("timeline", false, "print the traced run's recovery-phase timeline after the reports")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +115,10 @@ func run(args []string) error {
 	sc.Parallel = *parallel
 
 	want, err := parseExperiments(*expList)
+	if err != nil {
+		return err
+	}
+	warehouses, err := parseWarehouses(*warehousesList)
 	if err != nil {
 		return err
 	}
@@ -201,11 +229,19 @@ func run(args []string) error {
 		}
 		fmt.Println(core.FormatFigure7(rows))
 	}
+	if want["scale"] {
+		rows, err := core.RunScaling(sc, warehouses, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatScaling(rows))
+	}
 	if want["chaos"] {
 		cfg := chaos.DefaultConfig()
 		cfg.Points = *crashPoints
 		cfg.Seed = *seed
 		cfg.Parallel = *parallel
+		cfg.TPCC.Warehouses = warehouses[0]
 		cfg.Tracer = tracer
 		rep, err := chaos.Explore(cfg, progress)
 		if err != nil {

@@ -6,6 +6,13 @@
 // — is the central performance/recovery trade-off the paper studies: the
 // more often the cache is drained, the less redo crash recovery must
 // replay, but the more disk bandwidth the foreground workload loses.
+//
+// The cache is sharded: each shard owns its own buffer map, LRU list and
+// dirty list, sized so a multi-warehouse working set does not funnel every
+// lookup through one LRU and — more importantly — so DBWR/CKPT walk only
+// per-shard dirty lists instead of scanning every resident buffer. Shard
+// placement mixes the datafile's stable ShardHint with the block number,
+// so it is deterministic across runs and identical for every worker count.
 package bufcache
 
 import (
@@ -41,6 +48,24 @@ type buffer struct {
 	firstDirtySCN redo.SCN
 
 	elem *list.Element
+}
+
+// shard is one independently evictable slice of the cache: its own
+// residency map, LRU order, and dirty list.
+type shard struct {
+	capacity int
+	buffers  map[bufKey]*buffer
+	lru      *list.List // front = most recently used
+	dirty    map[bufKey]*buffer
+}
+
+func newShard(capacity int) *shard {
+	return &shard{
+		capacity: capacity,
+		buffers:  make(map[bufKey]*buffer, capacity),
+		lru:      list.New(),
+		dirty:    make(map[bufKey]*buffer),
+	}
 }
 
 // Stats counts cache activity for the benchmark reports. It is a
@@ -85,9 +110,9 @@ type Cache struct {
 	k        *sim.Kernel
 	capacity int
 
-	buffers map[bufKey]*buffer
-	lru     *list.List // front = most recently used
-	dirty   int
+	shards []*shard
+	mask   uint32
+	nDirty int
 
 	// FlushLog, when set, is called before any dirty block is written
 	// to disk, with the block's last-change SCN. It enforces the
@@ -111,18 +136,75 @@ type Cache struct {
 	c counters
 }
 
-// New returns a cache holding at most capacity blocks.
+// minShardCapacity is the smallest per-shard buffer count worth splitting
+// for: below it, sharding a tiny cache would just multiply eviction
+// pressure. Small caches therefore get a single shard (preserving the
+// exact LRU semantics the eviction tests pin down).
+const minShardCapacity = 256
+
+// maxShards bounds the shard fan-out.
+const maxShards = 16
+
+// shardCountFor picks a power-of-two shard count such that every shard
+// keeps at least minShardCapacity buffers.
+func shardCountFor(capacity int) int {
+	n := 1
+	for n < maxShards && capacity/(n*2) >= minShardCapacity {
+		n *= 2
+	}
+	return n
+}
+
+// New returns a cache holding at most capacity blocks, sharded
+// automatically by size.
 func New(k *sim.Kernel, capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
+	return NewSharded(k, capacity, shardCountFor(capacity))
+}
+
+// NewSharded returns a cache with an explicit shard count (rounded up to a
+// power of two, capped so every shard holds at least one block).
+func NewSharded(k *sim.Kernel, capacity, shards int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	pow := 1
+	for pow < shards && pow < maxShards {
+		pow *= 2
+	}
+	for pow > capacity {
+		pow /= 2
+	}
+	c := &Cache{
 		k:        k,
 		capacity: capacity,
-		buffers:  make(map[bufKey]*buffer, capacity),
-		lru:      list.New(),
+		mask:     uint32(pow - 1),
 		c:        newCounters(),
 	}
+	base, extra := capacity/pow, capacity%pow
+	for i := 0; i < pow; i++ {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		c.shards = append(c.shards, newShard(cap))
+	}
+	return c
+}
+
+// Shards returns the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardFor maps a block to its home shard: the datafile's creation-time
+// hash mixed with the block number (Fibonacci hashing), masked to the
+// power-of-two shard count.
+func (c *Cache) shardFor(key bufKey) *shard {
+	return c.shards[(key.file.ShardHint()+uint32(key.no)*2654435761)&c.mask]
 }
 
 // Stats returns a snapshot of the activity counters.
@@ -147,24 +229,39 @@ func (c *Cache) Counters() []*trace.Counter {
 }
 
 // Len returns the number of cached blocks.
-func (c *Cache) Len() int { return len(c.buffers) }
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		n += len(s.buffers)
+	}
+	return n
+}
 
 // DirtyCount returns the number of dirty buffers.
-func (c *Cache) DirtyCount() int { return c.dirty }
+func (c *Cache) DirtyCount() int { return c.nDirty }
+
+// setClean marks a resident buffer clean and removes it from its shard's
+// dirty list.
+func (c *Cache) setClean(s *shard, key bufKey, b *buffer) {
+	b.dirty = false
+	delete(s.dirty, key)
+	c.nDirty--
+}
 
 // Get returns the cached block for ref, reading it from disk on a miss
 // (charged to the datafile's disk). The returned block is the cache's own
 // copy: callers that mutate it must call MarkDirty before yielding.
 func (c *Cache) Get(p *sim.Proc, ref storage.BlockRef) (*storage.Block, error) {
 	key := bufKey{file: ref.File, no: ref.No}
-	if b, ok := c.buffers[key]; ok {
+	s := c.shardFor(key)
+	if b, ok := s.buffers[key]; ok {
 		c.c.hits.Inc()
-		c.lru.MoveToFront(b.elem)
+		s.lru.MoveToFront(b.elem)
 		return b.block, nil
 	}
 	c.c.misses.Inc()
-	for len(c.buffers) >= c.capacity {
-		if err := c.evictOne(p); err != nil {
+	for len(s.buffers) >= s.capacity {
+		if err := c.evictOne(p, s); err != nil {
 			return nil, err
 		}
 	}
@@ -175,19 +272,20 @@ func (c *Cache) Get(p *sim.Proc, ref storage.BlockRef) (*storage.Block, error) {
 	// The disk read yielded: another process may have loaded the block
 	// meanwhile. Use the resident buffer in that case — two live copies
 	// of one block would lose whichever's updates are written last.
-	if b, ok := c.buffers[key]; ok {
-		c.lru.MoveToFront(b.elem)
+	if b, ok := s.buffers[key]; ok {
+		s.lru.MoveToFront(b.elem)
 		return b.block, nil
 	}
 	b := &buffer{ref: ref, block: blk}
-	b.elem = c.lru.PushFront(b)
-	c.buffers[key] = b
+	b.elem = s.lru.PushFront(b)
+	s.buffers[key] = b
 	return b.block, nil
 }
 
 // Peek returns the cached block without promotion or I/O; ok reports a hit.
 func (c *Cache) Peek(ref storage.BlockRef) (*storage.Block, bool) {
-	b, ok := c.buffers[bufKey{file: ref.File, no: ref.No}]
+	key := bufKey{file: ref.File, no: ref.No}
+	b, ok := c.shardFor(key).buffers[key]
 	if !ok {
 		return nil, false
 	}
@@ -197,29 +295,32 @@ func (c *Cache) Peek(ref storage.BlockRef) (*storage.Block, bool) {
 // MarkDirty records that the block for ref was modified at scn. The block
 // must be resident (callers mutate the pointer returned by Get).
 func (c *Cache) MarkDirty(ref storage.BlockRef, scn redo.SCN) {
-	b, ok := c.buffers[bufKey{file: ref.File, no: ref.No}]
+	key := bufKey{file: ref.File, no: ref.No}
+	s := c.shardFor(key)
+	b, ok := s.buffers[key]
 	if !ok {
 		panic(fmt.Sprintf("bufcache: MarkDirty on non-resident block %v", ref))
 	}
 	if !b.dirty {
 		b.dirty = true
 		b.firstDirtySCN = scn
-		c.dirty++
+		s.dirty[key] = b
+		c.nDirty++
 	}
 	b.block.SCN = scn
 }
 
-// evictOne makes room for one buffer: it writes out and drops the least
-// recently used evictable buffer. When concurrent processes race for the
-// same victims it retries (bounded), waiting a beat for their writes to
-// finish; ErrNoEvictable is returned only when every buffer is dirty on an
-// unwritable file.
-func (c *Cache) evictOne(p *sim.Proc) error {
+// evictOne makes room for one buffer in shard s: it writes out and drops
+// the least recently used evictable buffer. When concurrent processes race
+// for the same victims it retries (bounded), waiting a beat for their
+// writes to finish; ErrNoEvictable is returned only when every buffer is
+// dirty on an unwritable file.
+func (c *Cache) evictOne(p *sim.Proc, s *shard) error {
 	for attempt := 0; attempt < 64; attempt++ {
-		if len(c.buffers) < c.capacity {
+		if len(s.buffers) < s.capacity {
 			return nil // concurrent evictions made room
 		}
-		yielded, evicted, err := c.tryEvict(p)
+		yielded, evicted, err := c.tryEvict(p, s)
 		if err != nil {
 			return err
 		}
@@ -227,7 +328,7 @@ func (c *Cache) evictOne(p *sim.Proc) error {
 			return nil
 		}
 		if !yielded {
-			// The pass observed a stable cache with nothing
+			// The pass observed a stable shard with nothing
 			// evictable: give up.
 			return ErrNoEvictable
 		}
@@ -237,17 +338,17 @@ func (c *Cache) evictOne(p *sim.Proc) error {
 	return ErrNoEvictable
 }
 
-// tryEvict runs one eviction pass over a snapshot of the LRU order. It
-// reports whether the pass yielded control (so the cache may have changed)
-// and whether a buffer was evicted.
-func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
+// tryEvict runs one eviction pass over a snapshot of the shard's LRU
+// order. It reports whether the pass yielded control (so the cache may
+// have changed) and whether a buffer was evicted.
+func (c *Cache) tryEvict(p *sim.Proc, s *shard) (yielded, evicted bool, err error) {
 	var candidates []*buffer
-	for e := c.lru.Back(); e != nil; e = e.Prev() {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
 		candidates = append(candidates, e.Value.(*buffer))
 	}
 	for _, b := range candidates {
 		key := bufKey{file: b.ref.File, no: b.ref.No}
-		if c.buffers[key] != b {
+		if s.buffers[key] != b {
 			continue // evicted by a concurrent process meanwhile
 		}
 		if b.dirty {
@@ -262,7 +363,7 @@ func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
 				return yielded, false, ferr
 			}
 			yielded = true
-			if c.buffers[key] != b {
+			if s.buffers[key] != b {
 				continue // gone while we forced the log
 			}
 			if !b.dirty {
@@ -275,8 +376,7 @@ func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
 				c.Trace.Instant(p.Now(), trace.CatDBWR, "DBWR", "evict write",
 					trace.S("file", b.ref.File.Name), trace.I("block", int64(b.ref.No)), trace.I("scn", int64(img.SCN)))
 				if b.block.SCN == img.SCN {
-					b.dirty = false
-					c.dirty--
+					c.setClean(s, key, b)
 				} else {
 					// Changes up to the written snapshot are durable; only
 					// the newer ones still need recovery.
@@ -284,18 +384,36 @@ func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
 				}
 			}
 		}
-		if c.buffers[key] != b {
+		if s.buffers[key] != b {
 			continue
 		}
 		if b.dirty {
 			continue // modified while writing: the newer change is not durable yet
 		}
-		c.lru.Remove(b.elem)
-		delete(c.buffers, key)
+		s.lru.Remove(b.elem)
+		delete(s.buffers, key)
 		c.c.evictions.Inc()
 		return yielded, true, nil
 	}
 	return yielded, false, nil
+}
+
+// dirtySnapshot collects the current dirty buffers (optionally restricted
+// to one datafile) from the per-shard dirty lists — the sharding win: the
+// scan touches only dirty buffers, never the full residency maps — and
+// sorts them by (file name, block number) so write order is deterministic
+// regardless of shard layout.
+func (c *Cache) dirtySnapshot(f *storage.Datafile) []*buffer {
+	var snap []*buffer
+	for _, s := range c.shards {
+		for _, b := range s.dirty {
+			if f == nil || b.ref.File == f {
+				snap = append(snap, b)
+			}
+		}
+	}
+	sortBuffers(snap)
+	return snap
 }
 
 // Checkpoint writes every dirty buffer that existed when the call started
@@ -305,14 +423,7 @@ func (c *Cache) tryEvict(p *sim.Proc) (yielded, evicted bool, err error) {
 func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 	// Snapshot the dirty set: blocks dirtied while the checkpoint is in
 	// progress belong to the next checkpoint.
-	var snap []*buffer
-	for _, b := range c.buffers {
-		if b.dirty {
-			snap = append(snap, b)
-		}
-	}
-	// Deterministic order: by file name then block number.
-	sortBuffers(snap)
+	snap := c.dirtySnapshot(nil)
 	written := 0
 	for _, b := range snap {
 		if !b.dirty {
@@ -341,7 +452,8 @@ func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 			continue // cleaned while forcing the log
 		}
 		key := bufKey{file: b.ref.File, no: b.ref.No}
-		if c.buffers[key] != b {
+		s := c.shardFor(key)
+		if s.buffers[key] != b {
 			continue // evicted (and therefore written) meanwhile
 		}
 		if err := b.ref.File.WriteBlock(p, b.ref.No, img); err != nil {
@@ -349,8 +461,7 @@ func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 			continue
 		}
 		if b.block.SCN == img.SCN {
-			b.dirty = false
-			c.dirty--
+			c.setClean(s, key, b)
 		} else {
 			// A buffer that changed while being written stays dirty: its
 			// newer change has SCN above this checkpoint's position, so
@@ -366,15 +477,15 @@ func (c *Cache) Checkpoint(p *sim.Proc) (int, error) {
 
 // MinDirtySCN returns the earliest first-dirty SCN among dirty buffers, or
 // -1 when the cache is clean. Crash recovery must begin at or before this
-// SCN to reconstruct the lost buffers.
+// SCN to reconstruct the lost buffers. Only the per-shard dirty lists are
+// scanned.
 func (c *Cache) MinDirtySCN() redo.SCN {
 	minSCN := redo.SCN(-1)
-	for _, b := range c.buffers {
-		if !b.dirty {
-			continue
-		}
-		if minSCN < 0 || b.firstDirtySCN < minSCN {
-			minSCN = b.firstDirtySCN
+	for _, s := range c.shards {
+		for _, b := range s.dirty {
+			if minSCN < 0 || b.firstDirtySCN < minSCN {
+				minSCN = b.firstDirtySCN
+			}
 		}
 	}
 	return minSCN
@@ -383,9 +494,10 @@ func (c *Cache) MinDirtySCN() redo.SCN {
 // InvalidateAll drops every buffer without writing, modelling instance
 // crash (SHUTDOWN ABORT): the cache content is simply lost.
 func (c *Cache) InvalidateAll() {
-	c.buffers = make(map[bufKey]*buffer, c.capacity)
-	c.lru.Init()
-	c.dirty = 0
+	for i, s := range c.shards {
+		c.shards[i] = newShard(s.capacity)
+	}
+	c.nDirty = 0
 }
 
 // FlushFileForce writes every dirty buffer of one datafile, bypassing the
@@ -393,13 +505,7 @@ func (c *Cache) InvalidateAll() {
 // DML, so the dirty set can only shrink while we write). Buffers stay
 // resident and clean.
 func (c *Cache) FlushFileForce(p *sim.Proc, f *storage.Datafile) error {
-	var snap []*buffer
-	for _, b := range c.buffers {
-		if b.dirty && b.ref.File == f {
-			snap = append(snap, b)
-		}
-	}
-	sortBuffers(snap)
+	snap := c.dirtySnapshot(f)
 	for _, b := range snap {
 		if !b.dirty {
 			continue
@@ -414,15 +520,15 @@ func (c *Cache) FlushFileForce(p *sim.Proc, f *storage.Datafile) error {
 			continue
 		}
 		key := bufKey{file: b.ref.File, no: b.ref.No}
-		if c.buffers[key] != b {
+		s := c.shardFor(key)
+		if s.buffers[key] != b {
 			continue
 		}
 		if err := b.ref.File.WriteBlockForce(p, b.ref.No, img); err != nil {
 			return err
 		}
 		if b.block.SCN == img.SCN {
-			b.dirty = false
-			c.dirty--
+			c.setClean(s, key, b)
 		} else {
 			b.firstDirtySCN = img.SCN + 1
 		}
@@ -434,15 +540,17 @@ func (c *Cache) FlushFileForce(p *sim.Proc, f *storage.Datafile) error {
 // when a file is taken offline for media recovery, so stale cache content
 // cannot mask the restored images).
 func (c *Cache) InvalidateFile(f *storage.Datafile) {
-	for key, b := range c.buffers {
-		if key.file != f {
-			continue
+	for _, s := range c.shards {
+		for key, b := range s.buffers {
+			if key.file != f {
+				continue
+			}
+			if b.dirty {
+				c.setClean(s, key, b)
+			}
+			s.lru.Remove(b.elem)
+			delete(s.buffers, key)
 		}
-		if b.dirty {
-			c.dirty--
-		}
-		c.lru.Remove(b.elem)
-		delete(c.buffers, key)
 	}
 }
 

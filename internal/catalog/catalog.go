@@ -26,8 +26,16 @@ type Table struct {
 	// lines, history) land in a hot "right edge" block like a B-tree,
 	// which is what gives real databases their cache locality.
 	Cluster int
+	// PartDiv, when non-zero, makes the table range-partitioned by
+	// warehouse: a row with key k belongs to partition k/PartDiv - 1
+	// (warehouse numbers are 1-based). Each partition owns its own
+	// segment, typically in its own per-warehouse tablespace.
+	PartDiv int64
 
+	// blocks is the whole segment (the concatenation of parts for a
+	// partitioned table); parts[i] is partition i's slice of it.
 	blocks []storage.BlockRef
+	parts  [][]storage.BlockRef
 }
 
 // Blocks returns the table's block refs (callers must not modify).
@@ -36,16 +44,47 @@ func (t *Table) Blocks() []storage.BlockRef { return t.blocks }
 // NumBlocks returns the segment size in blocks.
 func (t *Table) NumBlocks() int { return len(t.blocks) }
 
+// Partitions returns the number of partitions (1 for an unpartitioned
+// table).
+func (t *Table) Partitions() int {
+	if len(t.parts) == 0 {
+		return 1
+	}
+	return len(t.parts)
+}
+
+// PartitionOf maps a row key to its partition index (always 0 for an
+// unpartitioned table). Out-of-range keys clamp to the edge partitions, so
+// a stray key misses its row rather than panicking.
+func (t *Table) PartitionOf(key int64) int {
+	if t.PartDiv <= 0 || len(t.parts) == 0 {
+		return 0
+	}
+	p := int(key/t.PartDiv) - 1
+	if p < 0 {
+		return 0
+	}
+	if p >= len(t.parts) {
+		return len(t.parts) - 1
+	}
+	return p
+}
+
 // BlockFor maps a row key to its home block: keys are grouped in runs of
-// Cluster consecutive keys, and runs are spread over the segment.
+// Cluster consecutive keys, and runs are spread over the segment (over
+// the key's partition segment for a partitioned table).
 func (t *Table) BlockFor(key int64) storage.BlockRef {
 	c := t.Cluster
 	if c < 1 {
 		c = 1
 	}
+	seg := t.blocks
+	if len(t.parts) > 0 {
+		seg = t.parts[t.PartitionOf(key)]
+	}
 	run := uint64(key) / uint64(c)
-	idx := int(run % uint64(len(t.blocks)))
-	return t.blocks[idx]
+	idx := int(run % uint64(len(seg)))
+	return seg[idx]
 }
 
 // User is a database account.
@@ -144,6 +183,63 @@ func (c *Catalog) CreateTableClustered(name, owner string, ts *storage.Tablespac
 	return t, nil
 }
 
+// CreateTablePartitioned creates a warehouse-partitioned table: partition
+// i (serving keys k with k/partDiv == i+1) gets its own segment of
+// blocksPerPart blocks allocated in tablespaces[i]. Rows within a
+// partition are clustered in runs of `cluster` consecutive keys, exactly
+// as in CreateTableClustered.
+func (c *Catalog) CreateTablePartitioned(name, owner string, tablespaces []*storage.Tablespace, blocksPerPart, cluster int, partDiv int64) (*Table, error) {
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q exists", name)
+	}
+	if len(tablespaces) == 0 {
+		return nil, fmt.Errorf("catalog: table %q needs at least 1 partition", name)
+	}
+	if blocksPerPart < 1 {
+		return nil, fmt.Errorf("catalog: table %q needs at least 1 block per partition", name)
+	}
+	if partDiv < 1 {
+		return nil, fmt.Errorf("catalog: table %q needs a positive partition divisor", name)
+	}
+	t := &Table{Name: name, Owner: owner, Tablespace: tablespaces[0].Name, Cluster: cluster, PartDiv: partDiv}
+	for _, ts := range tablespaces {
+		if len(ts.Files) == 0 {
+			return nil, fmt.Errorf("catalog: tablespace %q has no datafiles", ts.Name)
+		}
+		start := len(t.blocks)
+		perFile := (blocksPerPart + len(ts.Files) - 1) / len(ts.Files)
+		for _, f := range ts.Files {
+			base := c.allocated(f) + c.pending(t, f)
+			for i := 0; i < perFile && len(t.blocks)-start < blocksPerPart; i++ {
+				no := base + i
+				if no >= f.NumBlocks() {
+					return nil, fmt.Errorf("%w: tablespace %q file %q", storage.ErrNoSpace, ts.Name, f.Name)
+				}
+				t.blocks = append(t.blocks, storage.BlockRef{File: f, No: no})
+			}
+		}
+		if len(t.blocks)-start < blocksPerPart {
+			return nil, fmt.Errorf("%w: tablespace %q", storage.ErrNoSpace, ts.Name)
+		}
+		t.parts = append(t.parts, t.blocks[start:len(t.blocks):len(t.blocks)])
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// pending counts blocks of f already claimed by the in-construction table
+// t (not yet in c.tables), so successive partitions sharing a datafile do
+// not overlap.
+func (c *Catalog) pending(t *Table, f *storage.Datafile) int {
+	n := 0
+	for _, ref := range t.blocks {
+		if ref.File == f {
+			n++
+		}
+	}
+	return n
+}
+
 // allocated returns the number of blocks of f already assigned to tables.
 func (c *Catalog) allocated(f *storage.Datafile) int {
 	n := 0
@@ -199,15 +295,29 @@ func (c *Catalog) TablesIn(tablespace string) []string {
 	return names
 }
 
-// Snapshot deep-copies the dictionary (table block refs still point at the
-// same datafile objects, which is what restore wants: the physical layout
-// is identified by file, not duplicated).
+// copyTable deep-copies a table's metadata, including partition bounds
+// (backup restore depends on partition segments surviving the round trip;
+// block refs still point at the same datafile objects — the physical
+// layout is identified by file, not duplicated).
+func copyTable(t *Table) *Table {
+	ct := &Table{Name: t.Name, Owner: t.Owner, Tablespace: t.Tablespace, Cluster: t.Cluster, PartDiv: t.PartDiv}
+	ct.blocks = append([]storage.BlockRef(nil), t.blocks...)
+	if t.parts != nil {
+		ct.parts = make([][]storage.BlockRef, len(t.parts))
+		off := 0
+		for i, p := range t.parts {
+			ct.parts[i] = ct.blocks[off : off+len(p) : off+len(p)]
+			off += len(p)
+		}
+	}
+	return ct
+}
+
+// Snapshot deep-copies the dictionary.
 func (c *Catalog) Snapshot() *Catalog {
 	s := New()
 	for n, t := range c.tables {
-		ct := &Table{Name: t.Name, Owner: t.Owner, Tablespace: t.Tablespace, Cluster: t.Cluster}
-		ct.blocks = append([]storage.BlockRef(nil), t.blocks...)
-		s.tables[n] = ct
+		s.tables[n] = copyTable(t)
 	}
 	for n, u := range c.users {
 		cu := *u
@@ -221,9 +331,7 @@ func (c *Catalog) Restore(snap *Catalog) {
 	c.tables = make(map[string]*Table, len(snap.tables))
 	c.users = make(map[string]*User, len(snap.users))
 	for n, t := range snap.tables {
-		ct := &Table{Name: t.Name, Owner: t.Owner, Tablespace: t.Tablespace, Cluster: t.Cluster}
-		ct.blocks = append([]storage.BlockRef(nil), t.blocks...)
-		c.tables[n] = ct
+		c.tables[n] = copyTable(t)
 	}
 	for n, u := range snap.users {
 		cu := *u

@@ -77,6 +77,19 @@ func QuickScale() Scale {
 	}
 }
 
+// Validate rejects scales that would silently run an empty campaign: a
+// workload with no warehouses or no terminals produces no transactions,
+// and every table would be a column of zeros rather than an error.
+func (sc Scale) Validate() error {
+	if sc.TPCC.Warehouses < 1 {
+		return fmt.Errorf("core: scale needs Warehouses >= 1 (got %d)", sc.TPCC.Warehouses)
+	}
+	if sc.TPCC.TerminalsPerWarehouse < 1 {
+		return fmt.Errorf("core: scale needs TerminalsPerWarehouse >= 1 (got %d)", sc.TPCC.TerminalsPerWarehouse)
+	}
+	return nil
+}
+
 // spec builds a base Spec for this scale.
 func (sc Scale) spec(name string, cfg RecoveryConfig) Spec {
 	return Spec{
@@ -131,6 +144,9 @@ func perfRow(cfg RecoveryConfig, sc Scale, res *Result) PerfRow {
 
 // RunTable3 measures every Table 3 configuration without faults.
 func RunTable3(sc Scale, progress Progress) ([]PerfRow, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	specs := make([]Spec, len(Table3Configs))
 	for i, cfg := range Table3Configs {
 		specs[i] = sc.spec("T3/"+cfg.Name, cfg)
@@ -163,6 +179,9 @@ type Fig4Row struct {
 // Table 3 rows to avoid re-running the fault-free side; pass nil to run
 // them here.
 func RunFigure4(sc Scale, perf []PerfRow, progress Progress) ([]Fig4Row, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	var err error
 	if perf == nil {
 		perf, err = RunTable3(sc, progress)
@@ -212,6 +231,9 @@ func (r Fig5Row) OverheadPct() float64 {
 
 // RunFigure5 reproduces Figure 5 over the archive-relevant configurations.
 func RunFigure5(sc Scale, progress Progress) ([]Fig5Row, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	configs := ArchiveConfigs()
 	// Two jobs per configuration: archiver off (even indices), on (odd).
 	specs := make([]Spec, 0, 2*len(configs))
@@ -261,6 +283,9 @@ type RecRow struct {
 
 // runRecoveryGrid executes fault × config × inject-time with archives on.
 func runRecoveryGrid(sc Scale, kinds []faults.Kind, configs []RecoveryConfig, label string, progress Progress) ([]RecRow, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	targets := map[faults.Kind]string{
 		faults.DeleteDatafile:       "TPCC_01.dbf",
 		faults.SetDatafileOffline:   "TPCC_01.dbf",
@@ -344,6 +369,9 @@ type Fig6Row struct {
 
 // RunFigure6 reproduces Figure 6 over the archive configurations.
 func RunFigure6(sc Scale, progress Progress) ([]Fig6Row, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	configs := ArchiveConfigs()
 	// Four jobs per configuration, in this fixed order.
 	f6Jobs := [4]string{"arch", "sb", "failover", "media"}
@@ -423,6 +451,9 @@ var Figure7Grid = struct {
 // RunFigure7 reproduces Figure 7: primary crash at the late instant with
 // a stand-by, varying the online log geometry.
 func RunFigure7(sc Scale, progress Progress) ([]Fig7Row, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	var specs []Spec
 	var rows []Fig7Row // filled with the grid coordinates, Lost folded in below
 	for _, sizeMB := range Figure7Grid.SizesMB {

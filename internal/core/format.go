@@ -132,3 +132,23 @@ func FormatFigure7(rows []Fig7Row) string {
 	}
 	return b.String()
 }
+
+// FormatScaling renders the scaling sweep: throughput and crash-recovery
+// time versus warehouse count, baseline and perf-tuned side by side.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling. Throughput and crash-recovery time vs warehouses.\n")
+	fmt.Fprintf(&b, "(%s = baseline, %s = perf-tuned; Shutdown Abort at full throughput)\n",
+		ScalingBaselineConfig.Name, ScalingTunedConfig.Name)
+	fmt.Fprintf(&b, "%4s %6s | %8s %8s %9s | %8s %8s %9s\n",
+		"W", "terms",
+		"tpmC", "rec (s)", "redo MB/s",
+		"tpmC", "rec (s)", "redo MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %6d | %8.0f %8s %9.2f | %8.0f %8s %9.2f\n",
+			r.Warehouses, r.Terminals,
+			r.Base.TpmC, secs(r.Base.RecoveryTime), r.Base.RedoMBps,
+			r.Tuned.TpmC, secs(r.Tuned.RecoveryTime), r.Tuned.RedoMBps)
+	}
+	return b.String()
+}

@@ -40,6 +40,14 @@ type Spec struct {
 	CacheBlocks int
 	// Cost is the simulated platform cost model.
 	Cost engine.CostModel
+	// CPUs sizes the platform's CPU pool serving per-row-op costs
+	// (0 = 1, the paper's single-server setup). The scaling experiment
+	// grows it with the warehouse count.
+	CPUs int
+	// DataDisks is the number of data disks (0 = 2, the paper's layout).
+	// The tablespaces spread over them; more warehouses want more
+	// spindles.
+	DataDisks int
 
 	// Duration is the measured workload run length (paper: 20 minutes).
 	Duration time.Duration
@@ -146,6 +154,31 @@ func (r *Result) String() string {
 // debugTrace enables phase tracing on stdout (used while calibrating).
 var debugTrace = false
 
+// dataDiskNames returns the data disk names for a spec: data1..dataN
+// (n = 0 means the paper's two-disk layout, keeping the control file on
+// data1 as always).
+func dataDiskNames(n int) []string {
+	if n < 2 {
+		n = 2
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("data%d", i+1)
+	}
+	return names
+}
+
+// diskSpecs builds the platform's disk set: the data disks plus the
+// dedicated redo and archive disks.
+func diskSpecs(dataDisks []string) []simdisk.DiskSpec {
+	specs := make([]simdisk.DiskSpec, 0, len(dataDisks)+2)
+	for _, d := range dataDisks {
+		specs = append(specs, simdisk.DefaultSpec(d))
+	}
+	specs = append(specs, simdisk.DefaultSpec(engine.DiskRedo), simdisk.DefaultSpec(engine.DiskArch))
+	return specs
+}
+
 // Run executes one experiment end to end: build the simulated platform,
 // create and load the database, take the reference backup, run TPC-C for
 // the configured duration with the optional fault, then collect measures.
@@ -156,18 +189,15 @@ var debugTrace = false
 // results identical to sequential execution.
 func Run(spec Spec) (*Result, error) {
 	k := sim.NewKernel(spec.Seed)
-	fs := simdisk.NewFS(
-		simdisk.DefaultSpec(engine.DiskData1),
-		simdisk.DefaultSpec(engine.DiskData2),
-		simdisk.DefaultSpec(engine.DiskRedo),
-		simdisk.DefaultSpec(engine.DiskArch),
-	)
+	dataDisks := dataDiskNames(spec.DataDisks)
+	fs := simdisk.NewFS(diskSpecs(dataDisks)...)
 	ecfg := engine.DefaultConfig()
 	ecfg.Redo.GroupSizeBytes = spec.Recovery.FileSize
 	ecfg.Redo.Groups = spec.Recovery.Groups
 	ecfg.Redo.ArchiveMode = spec.Archive
 	ecfg.CheckpointTimeout = spec.Recovery.CheckpointTimeout
 	ecfg.CacheBlocks = spec.CacheBlocks
+	ecfg.CPUs = spec.CPUs
 	ecfg.Cost = spec.Cost
 	ecfg.Tracer = spec.Tracer
 	in, err := engine.New(k, fs, ecfg)
@@ -208,7 +238,7 @@ func Run(spec Spec) (*Result, error) {
 			fail(err)
 			return
 		}
-		if err := app.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+		if err := app.CreateSchema(p, dataDisks); err != nil {
 			fail(err)
 			return
 		}
@@ -382,12 +412,8 @@ func Run(spec Spec) (*Result, error) {
 // backup of the primary" procedure, reproduced by re-running the
 // deterministic load), left mounted in managed recovery from startSCN.
 func buildStandby(p *sim.Proc, k *sim.Kernel, ecfg engine.Config, spec Spec, startSCN redo.SCN) (*standby.Standby, error) {
-	sbFS := simdisk.NewFS(
-		simdisk.DefaultSpec(engine.DiskData1),
-		simdisk.DefaultSpec(engine.DiskData2),
-		simdisk.DefaultSpec(engine.DiskRedo),
-		simdisk.DefaultSpec(engine.DiskArch),
-	)
+	dataDisks := dataDiskNames(spec.DataDisks)
+	sbFS := simdisk.NewFS(diskSpecs(dataDisks)...)
 	sbCfg := ecfg
 	sbCfg.Name = "standby"
 	// The stand-by shares the primary's kernel but is a second database:
@@ -399,7 +425,7 @@ func buildStandby(p *sim.Proc, k *sim.Kernel, ecfg engine.Config, spec Spec, sta
 		return nil, fmt.Errorf("core: standby: %w", err)
 	}
 	sbApp := tpcc.NewApp(sbIn, spec.TPCC)
-	if err := sbApp.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+	if err := sbApp.CreateSchema(p, dataDisks); err != nil {
 		return nil, fmt.Errorf("core: standby schema: %w", err)
 	}
 	if err := sbApp.Load(p, rand.New(rand.NewSource(spec.Seed))); err != nil {

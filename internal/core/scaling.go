@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dbench/internal/faults"
+)
+
+// ---------------------------------------------------------------------
+// Scaling experiment (-exp scale): throughput and crash-recovery time as
+// the database and traffic grow with the warehouse count. The paper
+// measures one warehouse; this experiment extends its Table 3 / Figure 4
+// axes along W, comparing the paper's baseline configuration against the
+// perf-tuned one so the performance/recovery trade-off is visible at
+// every scale.
+
+// ScalingBaselineConfig and ScalingTunedConfig are the two recovery
+// configurations compared at every warehouse count: the paper's default
+// installation and its largest-log, laziest-checkpoint tuning (the best
+// performer / worst recoverer of Table 3).
+var (
+	ScalingBaselineConfig = mustConfig("F100G3T10")
+	ScalingTunedConfig    = mustConfig("F400G3T20")
+)
+
+// DefaultScalingWarehouses is the -exp scale default sweep.
+var DefaultScalingWarehouses = []int{1, 2, 4, 8}
+
+// ScalingCell is one configuration's measures at one warehouse count.
+type ScalingCell struct {
+	TpmC         float64
+	RecoveryTime time.Duration
+	RedoMBps     float64
+}
+
+// ScalingRow is one warehouse count: both configurations side by side.
+type ScalingRow struct {
+	Warehouses int
+	Terminals  int
+	Base       ScalingCell
+	Tuned      ScalingCell
+}
+
+// scalingSpec builds one spec of the sweep. The simulated platform grows
+// with the warehouse count — CPU slots and data disks scale with W and
+// the buffer cache keeps its per-warehouse share — so the sweep measures
+// the scaled system, not one starved box.
+func scalingSpec(sc Scale, cfg RecoveryConfig, w int, fault bool) Spec {
+	kind := "perf"
+	if fault {
+		kind = "rec"
+	}
+	spec := sc.spec(fmt.Sprintf("SC/W%d/%s/%s", w, cfg.Name, kind), cfg)
+	spec.TPCC.Warehouses = w
+	spec.CacheBlocks = sc.CacheBlocks * w
+	spec.CPUs = w
+	spec.DataDisks = w
+	if spec.DataDisks > 8 {
+		spec.DataDisks = 8
+	}
+	if fault {
+		spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+		spec.InjectAt = sc.InjectTimes[1] // at full throughput
+		spec.TailAfterRecovery = sc.Tail
+	}
+	return spec
+}
+
+// RunScaling measures the scaling sweep: for every warehouse count, a
+// fault-free run and a shutdown-abort run per configuration (four runs
+// per W). Results are identical for every Parallel setting.
+func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(warehouses) == 0 {
+		warehouses = DefaultScalingWarehouses
+	}
+	for _, w := range warehouses {
+		if w < 1 {
+			return nil, fmt.Errorf("core: scaling needs warehouses >= 1 (got %d)", w)
+		}
+	}
+	// Four jobs per W, in this fixed order.
+	kinds := [4]string{"base/perf", "base/rec", "tuned/perf", "tuned/rec"}
+	specs := make([]Spec, 0, 4*len(warehouses))
+	for _, w := range warehouses {
+		specs = append(specs,
+			scalingSpec(sc, ScalingBaselineConfig, w, false),
+			scalingSpec(sc, ScalingBaselineConfig, w, true),
+			scalingSpec(sc, ScalingTunedConfig, w, false),
+			scalingSpec(sc, ScalingTunedConfig, w, true),
+		)
+	}
+	// Trace the first recovery run (not the first run): the recovery
+	// timeline is what a -trace/-timeline user of this experiment wants.
+	sc.traceFirst(specs[1:])
+	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
+		if i%2 == 1 {
+			return fmt.Sprintf("SC W=%-2d %-10s recovery=%v", warehouses[i/4], kinds[i%4], res.RecoveryTime.Round(time.Second))
+		}
+		return fmt.Sprintf("SC W=%-2d %-10s tpmC=%5.0f", warehouses[i/4], kinds[i%4], res.TpmC)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ScalingRow, len(warehouses))
+	for i, w := range warehouses {
+		r := results[4*i : 4*i+4]
+		cell := func(perf, rec *Result) ScalingCell {
+			return ScalingCell{
+				TpmC:         perf.TpmC,
+				RecoveryTime: rec.RecoveryTime,
+				RedoMBps:     float64(perf.RedoWritten) / (1 << 20) / sc.Duration.Seconds(),
+			}
+		}
+		rows[i] = ScalingRow{
+			Warehouses: w,
+			Terminals:  w * sc.TPCC.TerminalsPerWarehouse,
+			Base:       cell(r[0], r[1]),
+			Tuned:      cell(r[2], r[3]),
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleValidateRejectsEmptyWorkloads(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scale)
+		want   string // substring of the error, "" = valid
+	}{
+		{"valid", func(sc *Scale) {}, ""},
+		{"zero warehouses", func(sc *Scale) { sc.TPCC.Warehouses = 0 }, "Warehouses"},
+		{"negative warehouses", func(sc *Scale) { sc.TPCC.Warehouses = -3 }, "Warehouses"},
+		{"zero terminals", func(sc *Scale) { sc.TPCC.TerminalsPerWarehouse = 0 }, "Terminals"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := miniScale()
+			tc.mutate(&sc)
+			err := sc.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid scale rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid scale accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The campaigns must reject an empty workload up front rather than fold a
+// column of zeros into a paper table.
+func TestCampaignsRejectInvalidScale(t *testing.T) {
+	sc := miniScale()
+	sc.TPCC.TerminalsPerWarehouse = 0
+	if _, err := RunTable3(sc, nil); err == nil {
+		t.Error("RunTable3 accepted a terminal-less scale")
+	}
+	if _, err := RunScaling(sc, []int{1}, nil); err == nil {
+		t.Error("RunScaling accepted a terminal-less scale")
+	}
+	if _, err := RunScaling(miniScale(), []int{1, 0}, nil); err == nil {
+		t.Error("RunScaling accepted warehouses=0 in the sweep")
+	}
+}
+
+// TestScalingSweepShape runs the W ∈ {1,2} sweep at mini scale and checks
+// the properties the experiment exists to show: throughput grows with the
+// warehouse count for both configurations, every cell measured a real
+// recovery, and the rendered table is byte-identical when the same sweep
+// runs on a different worker count (the determinism contract).
+func TestScalingSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := miniScale()
+	sc.Parallel = 0
+	rows, err := RunScaling(sc, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for i, w := range []int{1, 2} {
+		r := rows[i]
+		if r.Warehouses != w {
+			t.Errorf("row %d: warehouses %d, want %d", i, r.Warehouses, w)
+		}
+		if want := w * sc.TPCC.TerminalsPerWarehouse; r.Terminals != want {
+			t.Errorf("W=%d: terminals %d, want %d", w, r.Terminals, want)
+		}
+		for _, cell := range []struct {
+			name string
+			c    ScalingCell
+		}{{"base", r.Base}, {"tuned", r.Tuned}} {
+			if cell.c.TpmC <= 0 {
+				t.Errorf("W=%d %s: tpmC %.1f", w, cell.name, cell.c.TpmC)
+			}
+			if cell.c.RecoveryTime <= 0 {
+				t.Errorf("W=%d %s: recovery time %v", w, cell.name, cell.c.RecoveryTime)
+			}
+		}
+		// The tuned config buys throughput at every W (that trade-off is
+		// the experiment's point).
+		if r.Tuned.TpmC < r.Base.TpmC {
+			t.Errorf("W=%d: tuned tpmC %.0f below baseline %.0f", w, r.Tuned.TpmC, r.Base.TpmC)
+		}
+	}
+	// Monotone growth W=1 -> W=2 for both configurations.
+	if rows[1].Base.TpmC <= rows[0].Base.TpmC {
+		t.Errorf("baseline tpmC not monotone: W=1 %.0f, W=2 %.0f", rows[0].Base.TpmC, rows[1].Base.TpmC)
+	}
+	if rows[1].Tuned.TpmC <= rows[0].Tuned.TpmC {
+		t.Errorf("tuned tpmC not monotone: W=1 %.0f, W=2 %.0f", rows[0].Tuned.TpmC, rows[1].Tuned.TpmC)
+	}
+	// Byte-identical across worker counts.
+	sc2 := miniScale()
+	sc2.Parallel = 2
+	rows2, err := RunScaling(sc2, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatScaling(rows) != FormatScaling(rows2) {
+		t.Errorf("scaling table differs across -parallel:\n--- parallel 0\n%s--- parallel 2\n%s",
+			FormatScaling(rows), FormatScaling(rows2))
+	}
+	t.Logf("\n%s", FormatScaling(rows))
+}
+
+// FormatScaling renders one aligned row per warehouse count.
+func TestFormatScalingShape(t *testing.T) {
+	rows := []ScalingRow{
+		{Warehouses: 1, Terminals: 10, Base: ScalingCell{TpmC: 1234.5, RecoveryTime: 42e9, RedoMBps: 0.4},
+			Tuned: ScalingCell{TpmC: 2345.6, RecoveryTime: 99e9, RedoMBps: 0.8}},
+		{Warehouses: 8, Terminals: 80, Base: ScalingCell{TpmC: 9876.5, RecoveryTime: 44e9, RedoMBps: 3.1},
+			Tuned: ScalingCell{TpmC: 19876.5, RecoveryTime: 180e9, RedoMBps: 6.4}},
+	}
+	out := FormatScaling(rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+	for _, want := range []string{ScalingBaselineConfig.Name, ScalingTunedConfig.Name, "1234", "19876"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var width int
+	for _, l := range lines {
+		if strings.TrimSpace(l) == "" || !strings.Contains(l, "|") {
+			continue
+		}
+		if width == 0 {
+			width = len(l)
+		} else if len(l) != width {
+			t.Errorf("ragged table line (%d vs %d): %q", len(l), width, l)
+		}
+	}
+}

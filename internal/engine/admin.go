@@ -48,6 +48,22 @@ func (in *Instance) CreateTableClustered(p *sim.Proc, table, owner, tablespace s
 	return err
 }
 
+// CreateTablePartitioned allocates a warehouse-partitioned table: one
+// segment of blocksPerPart blocks per named tablespace, partition i
+// serving keys k with k/partDiv == i+1.
+func (in *Instance) CreateTablePartitioned(p *sim.Proc, table, owner string, tablespaces []string, blocksPerPart, cluster int, partDiv int64) error {
+	tss := make([]*storage.Tablespace, 0, len(tablespaces))
+	for _, name := range tablespaces {
+		ts, err := in.db.Tablespace(name)
+		if err != nil {
+			return err
+		}
+		tss = append(tss, ts)
+	}
+	_, err := in.cat.CreateTablePartitioned(table, owner, tss, blocksPerPart, cluster, partDiv)
+	return err
+}
+
 // logDDL records a DDL operation in the redo stream and forces it to disk
 // (DDL commits implicitly).
 func (in *Instance) logDDL(p *sim.Proc, statement string) error {

@@ -61,6 +61,10 @@ type Config struct {
 	Redo redo.Config
 	// CacheBlocks sizes the buffer cache (in 8 KB blocks).
 	CacheBlocks int
+	// CPUs is the number of CPU slots serving per-row-operation costs
+	// (0 = 1). The scaling experiment grows it with the warehouse count
+	// to model a platform provisioned for the load.
+	CPUs int
 	// CheckpointTimeout is Oracle's log_checkpoint_timeout: a periodic
 	// checkpoint trigger. Zero disables timeout checkpoints.
 	CheckpointTimeout time.Duration

@@ -128,7 +128,7 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 		cat:   catalog.New(),
 		log:   log,
 		cache: bufcache.New(k, cfg.CacheBlocks),
-		cpu:   sim.NewResource(1),
+		cpu:   sim.NewResource(cfg.CPUs),
 		state: StateDown,
 	}
 	// One registry per instance: the engine's own counters plus every

@@ -73,13 +73,30 @@ type Datafile struct {
 	// It must be media-recovered before going online.
 	NeedsRecovery bool
 
-	file   *simdisk.File
-	blocks []*Block
-	online bool
+	file      *simdisk.File
+	blocks    []*Block
+	online    bool
+	shardHint uint32
 }
 
 // File returns the underlying simulated file.
 func (d *Datafile) File() *simdisk.File { return d.file }
+
+// ShardHint returns a stable hash of the file's name, computed once at
+// creation. The buffer cache mixes it with block numbers to pick a cache
+// shard, so shard placement is deterministic across runs and per-warehouse
+// datafiles spread over shards without hashing strings on every access.
+func (d *Datafile) ShardHint() uint32 { return d.shardHint }
+
+// nameHash is FNV-1a over the file name.
+func nameHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
 
 // Online reports whether the file is online (available for I/O).
 func (d *Datafile) Online() bool { return d.online }
@@ -310,7 +327,7 @@ func (db *DB) CreateTablespace(name string, disks []string, blocksPerFile int) (
 		if err != nil {
 			return nil, fmt.Errorf("storage: datafile: %w", err)
 		}
-		d := &Datafile{Name: fname, Tablespace: name, file: f, online: true}
+		d := &Datafile{Name: fname, Tablespace: name, file: f, online: true, shardHint: nameHash(fname)}
 		d.blocks = make([]*Block, blocksPerFile)
 		for j := range d.blocks {
 			d.blocks[j] = NewBlock()

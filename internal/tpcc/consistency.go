@@ -29,6 +29,16 @@ func (v Violation) String() string { return v.Condition + ": " + v.Detail }
 //	C4: per order, count(ORDER_LINE rows) = O_OL_CNT.
 //	C5: every undelivered order (carrier = 0) has a NEW_ORDER row and
 //	    vice versa (modulo delivered ones).
+//	C8: W_YTD = sum(H_AMOUNT) over the history rows whose home warehouse
+//	    is W (spec §3.3.2.8).
+//	C9: D_YTD = sum(H_AMOUNT) over the history rows whose home district
+//	    is (W, D) (spec §3.3.2.9).
+//
+// C8/C9 matter once Payments cross warehouses: a payment for a remote
+// customer must still book its amount — and its history row — against the
+// *home* warehouse and district. C1 alone cannot see a payment routed to
+// the wrong warehouse (both sides stay internally balanced); the history
+// audit trail can.
 type checker struct {
 	a *App
 	p *sim.Proc
@@ -133,6 +143,24 @@ func (c *checker) run() error {
 		return err
 	}
 
+	// History: per-warehouse and per-district amount sums, keyed by the
+	// row's *home* (WID, DID) — where the payment was entered, not where
+	// the customer lives.
+	hWarehouse := make(map[int]float64)
+	hDistrict := make(map[int64]float64)
+	if err := in.Scan(c.p, TableHistory, func(k int64, v []byte) bool {
+		h, err := DecodeHistory(v)
+		if err != nil {
+			c.addf("decode", "history[%d]: %v", k, err)
+			return true
+		}
+		hWarehouse[h.WID] += h.Amount
+		hDistrict[DKey(h.WID, h.DID)] += h.Amount
+		return true
+	}); err != nil {
+		return err
+	}
+
 	// C1: warehouse YTD equals the sum of its districts' YTD.
 	for w, ytd := range wYTD {
 		var sum float64
@@ -148,6 +176,20 @@ func (c *checker) run() error {
 	for dk, next := range dNext {
 		if got := maxOID[dk]; got != next-1 {
 			c.addf("C2", "district %d: next_o_id-1=%d max(o_id)=%d", dk, next-1, got)
+		}
+	}
+
+	// C8: warehouse YTD equals the warehouse's history amount sum.
+	for w, ytd := range wYTD {
+		if sum := hWarehouse[w]; math.Abs(sum-ytd) > 0.01 {
+			c.addf("C8", "warehouse %d: W_YTD=%.2f sum(H_AMOUNT)=%.2f", w, ytd, sum)
+		}
+	}
+
+	// C9: district YTD equals the district's history amount sum.
+	for dk, ytd := range dYTD {
+		if sum := hDistrict[dk]; math.Abs(sum-ytd) > 0.01 {
+			c.addf("C9", "district %d: D_YTD=%.2f sum(H_AMOUNT)=%.2f", dk, ytd, sum)
 		}
 	}
 

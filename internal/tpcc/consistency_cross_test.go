@@ -1,0 +1,157 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbench/internal/sim"
+)
+
+// Cross-warehouse consistency: with W > 1 the Payment mix sends ~15% of
+// payments to a remote customer, but the amount (and the history row)
+// must still be booked against the *home* warehouse and district. The
+// positive test pins that the real transaction code does this; the
+// negative tests pin that the checker catches a mis-routed payment —
+// which C1 alone cannot see, since both warehouses stay internally
+// balanced.
+
+// crossConfig is smallConfig at two warehouses (partitioned schema path).
+func crossConfig() Config {
+	cfg := smallConfig()
+	cfg.Warehouses = 2
+	return cfg
+}
+
+// corruptAndCheckCfg is corruptAndCheck with a caller-chosen scale.
+func corruptAndCheckCfg(t *testing.T, cfg Config, mutate func(p *sim.Proc, r *rig) error) []Violation {
+	t.Helper()
+	r := newRig(t, cfg, nil)
+	var viols []Violation
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.boot(p); err != nil {
+			return err
+		}
+		if err := mutate(p, r); err != nil {
+			return err
+		}
+		var err error
+		viols, err = r.app.CheckConsistency(p)
+		return err
+	})
+	return viols
+}
+
+func TestCrossWarehousePaymentsStayConsistent(t *testing.T) {
+	r := newRig(t, crossConfig(), nil)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.boot(p); err != nil {
+			return err
+		}
+		rnd := rand.New(rand.NewSource(7))
+		for i := 0; i < 150; i++ {
+			if _, err := r.app.Payment(p, rnd, 1+i%2); err != nil {
+				return err
+			}
+		}
+		// The history audit trail records both the home warehouse (WID)
+		// and the customer's warehouse (CWID); they differ exactly for
+		// remote payments. The run must actually contain some, or this
+		// test proves nothing.
+		remote := 0
+		if err := r.in.Scan(p, TableHistory, func(k int64, v []byte) bool {
+			h, err := DecodeHistory(v)
+			if err == nil && h.CWID != h.WID {
+				remote++
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if remote == 0 {
+			return fmt.Errorf("no remote payments in 150 runs; pick another seed")
+		}
+		viols, err := r.app.CheckConsistency(p)
+		if err != nil {
+			return err
+		}
+		if len(viols) != 0 {
+			return fmt.Errorf("%d remote payments, violations: %v", remote, viols[:min(3, len(viols))])
+		}
+		t.Logf("%d/150 payments were remote, all checks green", remote)
+		return nil
+	})
+}
+
+// payMisrouted books a payment's YTD updates against district (1,1) of
+// warehouse 1 but writes the history row under home (histWID, histDID) —
+// a deliberately wrong audit trail.
+func payMisrouted(p *sim.Proc, r *rig, histWID, histDID int) error {
+	const amount = 777.77
+	tx, err := r.in.Begin()
+	if err != nil {
+		return err
+	}
+	wb, err := r.in.ReadForUpdate(p, tx, TableWarehouse, WKey(1))
+	if err != nil {
+		return err
+	}
+	wh, err := DecodeWarehouse(wb)
+	if err != nil {
+		return err
+	}
+	wh.YTD += amount
+	if err := r.in.Update(p, tx, TableWarehouse, WKey(1), wh.Encode()); err != nil {
+		return err
+	}
+	db, err := r.in.ReadForUpdate(p, tx, TableDistrict, DKey(1, 1))
+	if err != nil {
+		return err
+	}
+	d, err := DecodeDistrict(db)
+	if err != nil {
+		return err
+	}
+	d.YTD += amount
+	if err := r.in.Update(p, tx, TableDistrict, DKey(1, 1), d.Encode()); err != nil {
+		return err
+	}
+	r.app.histSeq++
+	h := History{CID: 1, CDID: 1, CWID: 1, DID: histDID, WID: histWID, Amount: amount}
+	if err := r.in.Insert(p, tx, TableHistory, r.app.histSeq, h.Encode()); err != nil {
+		return err
+	}
+	return r.in.Commit(p, tx)
+}
+
+func TestConsistencyDetectsPaymentMisroutedToWrongWarehouse(t *testing.T) {
+	viols := corruptAndCheckCfg(t, crossConfig(), func(p *sim.Proc, r *rig) error {
+		// YTD booked at warehouse 1, history row claims warehouse 2.
+		return payMisrouted(p, r, 2, 1)
+	})
+	if !hasCondition(viols, "C8") {
+		t.Fatalf("C8 not detected: %v", viols)
+	}
+	if !hasCondition(viols, "C9") {
+		t.Fatalf("C9 not detected: %v", viols)
+	}
+	// The blind spot this check exists for: each warehouse's own
+	// W_YTD/D_YTD books balance, so C1 stays silent.
+	if hasCondition(viols, "C1") {
+		t.Fatalf("C1 unexpectedly fired — mis-routing should be invisible to it: %v", viols)
+	}
+}
+
+func TestConsistencyDetectsPaymentMisroutedToWrongDistrict(t *testing.T) {
+	viols := corruptAndCheckCfg(t, crossConfig(), func(p *sim.Proc, r *rig) error {
+		// Right warehouse, wrong district in the history row: only the
+		// district-level audit (C9) can see it.
+		return payMisrouted(p, r, 1, 2)
+	})
+	if !hasCondition(viols, "C9") {
+		t.Fatalf("C9 not detected: %v", viols)
+	}
+	if hasCondition(viols, "C8") {
+		t.Fatalf("C8 fired for a within-warehouse mis-route: %v", viols)
+	}
+}

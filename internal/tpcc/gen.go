@@ -143,15 +143,15 @@ type tableSpec struct {
 	cluster int
 }
 
-// tableSpecs sizes each table's segment for the configured scale, leaving
+// tableSpecs sizes each table's segment for the given scale, leaving
 // room for run-time growth of orders/order-lines/history, and clusters
 // sequential keys so hot insert paths stay cache-resident (like B-tree
 // right edges in a real DBMS).
-func (a *App) tableSpecs() map[string]tableSpec {
-	w := a.Cfg.Warehouses
-	dist := w * a.Cfg.Districts
-	cust := dist * a.Cfg.CustomersPerDistrict
-	stock := w * a.Cfg.Items
+func (c Config) tableSpecs() map[string]tableSpec {
+	w := c.Warehouses
+	dist := w * c.Districts
+	cust := dist * c.CustomersPerDistrict
+	stock := w * c.Items
 	at := func(n, per int) int { return 1 + n/per }
 	return map[string]tableSpec{
 		TableWarehouse: {at(w, 16), 1},
@@ -161,15 +161,50 @@ func (a *App) tableSpecs() map[string]tableSpec {
 		TableOrder:     {at(4*cust, 64), 64}, // grows
 		TableNewOrder:  {at(cust, 32), 64},
 		TableOrderLine: {at(30*cust, 100), 100}, // grows: ~10 lines per order
-		TableItem:      {at(a.Cfg.Items, 64), 64},
+		TableItem:      {at(c.Items, 64), 64},
 		TableStock:     {at(stock, 24), 24},
 	}
 }
 
-// CreateSchema creates the tablespace (sized with headroom over the
-// segments, like a real installation) and the nine tables.
+// partDivs maps each warehouse-partitioned table to the key divisor that
+// extracts the warehouse number (key/div == w; see the *Key builders).
+// Item (the shared catalogue) and History (runtime rows are keyed by a
+// global sequence, not warehouse-encoded keys) stay unpartitioned in the
+// shared tablespace.
+var partDivs = map[string]int64{
+	TableWarehouse: 1,
+	TableDistrict:  100,
+	TableCustomer:  10000000,
+	TableStock:     1000000,
+	TableOrder:     1000000000,
+	TableNewOrder:  1000000000,
+	TableOrderLine: 100000000000,
+}
+
+// WarehouseTablespace names warehouse w's tablespace in the partitioned
+// (W > 1) layout.
+func (c Config) WarehouseTablespace(w int) string {
+	return fmt.Sprintf("%s_W%02d", c.Tablespace, w)
+}
+
+// CreateSchema creates the physical layout and the nine tables. At W = 1
+// everything lives in one shared tablespace, the exact layout the paper's
+// single-warehouse experiments (and their fault targets, e.g.
+// "TPCC_01.dbf") rely on. At W > 1 each warehouse gets its own tablespace
+// holding its partitions of the seven warehouse-keyed tables, spread
+// round-robin over the data disks; item and history stay in the shared
+// tablespace (which keeps the shared fault targets valid at any W).
 func (a *App) CreateSchema(p *sim.Proc, disks []string) error {
-	specs := a.tableSpecs()
+	if a.Cfg.Warehouses <= 1 {
+		return a.createSchemaShared(p, disks)
+	}
+	return a.createSchemaPartitioned(p, disks)
+}
+
+// createSchemaShared is the single-tablespace layout (sized with headroom
+// over the segments, like a real installation).
+func (a *App) createSchemaShared(p *sim.Proc, disks []string) error {
+	specs := a.Cfg.tableSpecs()
 	total := 0
 	for _, sp := range specs {
 		total += sp.blocks
@@ -184,6 +219,57 @@ func (a *App) CreateSchema(p *sim.Proc, disks []string) error {
 	for _, tbl := range Tables {
 		sp := specs[tbl]
 		if err := a.In.CreateTableClustered(p, tbl, a.Cfg.Owner, a.Cfg.Tablespace, sp.blocks, sp.cluster); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// createSchemaPartitioned is the per-warehouse layout for W > 1.
+func (a *App) createSchemaPartitioned(p *sim.Proc, disks []string) error {
+	full := a.Cfg.tableSpecs()
+	one := a.Cfg
+	one.Warehouses = 1
+	per := one.tableSpecs() // one warehouse's partition sizing
+
+	// Shared tablespace on every data disk: item + history.
+	shared := full[TableItem].blocks + full[TableHistory].blocks
+	sharedPerFile := shared/len(disks) + shared/(4*len(disks)) + 16
+	if _, err := a.In.CreateTablespace(p, a.Cfg.Tablespace, disks, sharedPerFile); err != nil {
+		return err
+	}
+	if err := a.In.CreateUser(p, a.Cfg.Owner, a.Cfg.Tablespace); err != nil {
+		return err
+	}
+
+	// One tablespace per warehouse, one datafile on a round-robin disk,
+	// sized for that warehouse's seven partitions plus headroom.
+	perWarehouse := 0
+	for tbl := range partDivs {
+		perWarehouse += per[tbl].blocks
+	}
+	wts := make([]string, 0, a.Cfg.Warehouses)
+	for w := 1; w <= a.Cfg.Warehouses; w++ {
+		name := a.Cfg.WarehouseTablespace(w)
+		disk := disks[(w-1)%len(disks)]
+		size := perWarehouse + perWarehouse/4 + 16
+		if _, err := a.In.CreateTablespace(p, name, []string{disk}, size); err != nil {
+			return err
+		}
+		wts = append(wts, name)
+	}
+
+	for _, tbl := range Tables {
+		div, partitioned := partDivs[tbl]
+		if !partitioned {
+			sp := full[tbl]
+			if err := a.In.CreateTableClustered(p, tbl, a.Cfg.Owner, a.Cfg.Tablespace, sp.blocks, sp.cluster); err != nil {
+				return err
+			}
+			continue
+		}
+		sp := per[tbl]
+		if err := a.In.CreateTablePartitioned(p, tbl, a.Cfg.Owner, wts, sp.blocks, sp.cluster, div); err != nil {
 			return err
 		}
 	}
@@ -227,8 +313,12 @@ func (a *App) Load(p *sim.Proc, r *rand.Rand) error {
 			City:   randString(r, 10, 20),
 			State:  randString(r, 2, 2),
 			Zip:    randZip(r),
-			Tax:    float64(r.Intn(2000)) / 10000,
-			YTD:    300000,
+			Tax: float64(r.Intn(2000)) / 10000,
+			// W_YTD equals the sum of the warehouse's loaded history
+			// amounts (10 per customer), the identity conditions C8/C9
+			// audit (spec §3.3.2.8–9). The spec's 300,000 is this same
+			// identity at the unscaled 10×3000 customers.
+			YTD: 10 * float64(cfg.Districts*cfg.CustomersPerDistrict),
 		}
 		warehouses[WKey(w)] = wh.Encode()
 
@@ -257,7 +347,8 @@ func (a *App) Load(p *sim.Proc, r *rand.Rand) error {
 				State:   randString(r, 2, 2),
 				Zip:     randZip(r),
 				Tax:     float64(r.Intn(2000)) / 10000,
-				YTD:     30000,
+				// D_YTD = 10 per loaded history row of the district (C9).
+				YTD:     10 * float64(cfg.CustomersPerDistrict),
 				NextOID: cfg.CustomersPerDistrict + 1,
 			}
 			districts[DKey(w, d)] = dist.Encode()

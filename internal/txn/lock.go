@@ -20,6 +20,16 @@ type lockKey struct {
 	key   int64
 }
 
+// heldLock records a granted lock together with the stripe it was granted
+// in. The stripe is captured at acquire time: DDL can drop a table while a
+// transaction still holds locks on it, and recomputing the stripe at
+// release (via the then-missing catalog entry) would hand the release to
+// the wrong stripe and leak the lock.
+type heldLock struct {
+	lk     lockKey
+	stripe int
+}
+
 type lockWaiter struct {
 	txn      *Txn
 	proc     *sim.Proc
@@ -33,38 +43,72 @@ type lockState struct {
 	waiters []*lockWaiter
 }
 
+// lockStripe is one independently managed slice of the lock namespace.
+type lockStripe struct {
+	locks map[lockKey]*lockState
+}
+
 // lockTable grants exclusive row locks in FIFO order with a wait timeout.
+// The lock namespace is striped — by warehouse when the caller wires a
+// partition-aware stripeOf — so hot tables at high warehouse counts do not
+// funnel every grant and release through one map.
 type lockTable struct {
 	k       *sim.Kernel
 	timeout time.Duration
-	locks   map[lockKey]*lockState
+	stripes []*lockStripe
+
+	// stripeOf maps a row to its stripe; when nil everything lands in
+	// stripe 0. The Manager wires it to the catalog's partition routing
+	// so stripes align with warehouse partitions.
+	stripeOf func(table string, key int64) int
 
 	waits    int64
 	timeouts int64
 }
 
-func newLockTable(k *sim.Kernel, timeout time.Duration) *lockTable {
+func newLockTable(k *sim.Kernel, timeout time.Duration, stripes int) *lockTable {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	return &lockTable{k: k, timeout: timeout, locks: make(map[lockKey]*lockState)}
+	if stripes < 1 {
+		stripes = 1
+	}
+	lt := &lockTable{k: k, timeout: timeout}
+	for i := 0; i < stripes; i++ {
+		lt.stripes = append(lt.stripes, &lockStripe{locks: make(map[lockKey]*lockState)})
+	}
+	return lt
+}
+
+// stripeFor returns the stripe index serving (table, key).
+func (lt *lockTable) stripeFor(table string, key int64) int {
+	if lt.stripeOf == nil || len(lt.stripes) == 1 {
+		return 0
+	}
+	s := lt.stripeOf(table, key)
+	if s < 0 {
+		s = 0
+	}
+	return s % len(lt.stripes)
 }
 
 // acquire obtains the exclusive lock on (table, key) for t, blocking p
 // until granted or timed out. Re-acquiring a held lock is a no-op.
 func (lt *lockTable) acquire(p *sim.Proc, t *Txn, table string, key int64) error {
 	lk := lockKey{table: table, key: key}
-	st, ok := lt.locks[lk]
+	sn := lt.stripeFor(table, key)
+	stripe := lt.stripes[sn]
+	st, ok := stripe.locks[lk]
 	if !ok {
 		st = &lockState{}
-		lt.locks[lk] = st
+		stripe.locks[lk] = st
 	}
 	if st.holder == t {
 		return nil
 	}
 	if st.holder == nil && len(st.waiters) == 0 {
 		st.holder = t
-		t.locks = append(t.locks, lk)
+		t.locks = append(t.locks, heldLock{lk: lk, stripe: sn})
 		return nil
 	}
 	w := &lockWaiter{txn: t, proc: p}
@@ -98,7 +142,7 @@ func (lt *lockTable) acquire(p *sim.Proc, t *Txn, table string, key int64) error
 		lt.grantNext(st)
 		return ErrTxnDone
 	}
-	t.locks = append(t.locks, lk)
+	t.locks = append(t.locks, heldLock{lk: lk, stripe: sn})
 	return nil
 }
 
@@ -133,16 +177,18 @@ func (w *lockWaiter) wake() {
 }
 
 // releaseAll frees every lock held by t, handing each to its next waiter.
+// Each release goes to the stripe recorded at acquire time.
 func (lt *lockTable) releaseAll(t *Txn) {
-	for _, lk := range t.locks {
-		st, ok := lt.locks[lk]
+	for _, hl := range t.locks {
+		stripe := lt.stripes[hl.stripe]
+		st, ok := stripe.locks[hl.lk]
 		if !ok || st.holder != t {
 			continue
 		}
 		st.holder = nil
 		lt.grantNext(st)
 		if st.holder == nil && len(st.waiters) == 0 {
-			delete(lt.locks, lk)
+			delete(stripe.locks, hl.lk)
 		}
 	}
 	t.locks = nil
@@ -150,6 +196,17 @@ func (lt *lockTable) releaseAll(t *Txn) {
 
 // held reports whether t holds the lock (used by tests).
 func (lt *lockTable) held(t *Txn, table string, key int64) bool {
-	st, ok := lt.locks[lockKey{table: table, key: key}]
+	stripe := lt.stripes[lt.stripeFor(table, key)]
+	st, ok := stripe.locks[lockKey{table: table, key: key}]
 	return ok && st.holder == t
+}
+
+// stripeLoads returns the number of live lock entries per stripe (used by
+// tests to verify warehouse traffic actually spreads over stripes).
+func (lt *lockTable) stripeLoads() []int {
+	loads := make([]int, len(lt.stripes))
+	for i, s := range lt.stripes {
+		loads[i] = len(s.locks)
+	}
+	return loads
 }

@@ -44,7 +44,7 @@ type Txn struct {
 	state State
 
 	undo      []undoRec
-	locks     []lockKey
+	locks     []heldLock
 	firstSCN  redo.SCN // SCN of the transaction's first redo record
 	CommitSCN redo.SCN
 	zombie    bool // client gave up after a failed rollback; PMON owns it
@@ -62,7 +62,15 @@ type Config struct {
 	LockTimeout time.Duration
 	// CPUPerOp is the processing cost charged per row operation.
 	CPUPerOp time.Duration
+	// LockStripes is the number of lock-table stripes (0 = default 8).
+	// Stripes are keyed by the catalog's warehouse partition routing, so
+	// multi-warehouse traffic spreads across them.
+	LockStripes int
 }
+
+// defaultLockStripes serves warehouse counts up to the scaling
+// experiment's target without resizing.
+const defaultLockStripes = 8
 
 // Stats counts transaction-layer activity.
 type Stats struct {
@@ -96,17 +104,31 @@ type Manager struct {
 // NewManager wires a transaction manager. cpu may be nil to skip CPU
 // charging.
 func NewManager(k *sim.Kernel, log *redo.Manager, cache *bufcache.Cache, cat *catalog.Catalog, cpu *sim.Resource, cfg Config) *Manager {
-	return &Manager{
+	stripes := cfg.LockStripes
+	if stripes == 0 {
+		stripes = defaultLockStripes
+	}
+	m := &Manager{
 		k:      k,
 		log:    log,
 		cache:  cache,
 		cat:    cat,
-		locks:  newLockTable(k, cfg.LockTimeout),
+		locks:  newLockTable(k, cfg.LockTimeout, stripes),
 		cpu:    cpu,
 		cfg:    cfg,
 		nextID: 1,
 		active: make(map[redo.TxnID]*Txn),
 	}
+	// Stripe by the table's warehouse partition: rows of warehouse w land
+	// in stripe (w-1) mod stripes, and unpartitioned tables in stripe 0.
+	m.locks.stripeOf = func(table string, key int64) int {
+		tbl, err := cat.Table(table)
+		if err != nil {
+			return 0
+		}
+		return tbl.PartitionOf(key)
+	}
+	return m
 }
 
 // Stats returns a copy of the counters, folding in lock-table numbers.
