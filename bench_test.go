@@ -16,6 +16,7 @@ import (
 
 	"dbench/internal/core"
 	"dbench/internal/engine"
+	"dbench/internal/recovery"
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
 	"dbench/internal/tpcc"
@@ -199,6 +200,95 @@ func benchmarkNewOrder(b *testing.B, warehouses int) {
 func BenchmarkNewOrder(b *testing.B) {
 	for _, w := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) { benchmarkNewOrder(b, w) })
+	}
+}
+
+// benchmarkInstanceRecovery measures one crash recovery of a TPC-C
+// database at the given apply-worker count. Schema creation, load, the
+// workload and the crash all happen outside the timer (and are identical
+// across worker counts — same kernel seed); the timed region is exactly
+// the recovery. ns/op is the host cost of the recovery path — the CI
+// regression gate for workers=1 (see BENCH_RECOVERY.json) — and the
+// rec-s metric is the recovery's virtual time, where the parallel
+// pipeline's speedup shows.
+func benchmarkInstanceRecovery(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		k := sim.NewKernel(42)
+		fs := simdisk.NewFS(
+			simdisk.DefaultSpec(engine.DiskData1),
+			simdisk.DefaultSpec(engine.DiskData2),
+			simdisk.DefaultSpec(engine.DiskRedo),
+			simdisk.DefaultSpec(engine.DiskArch),
+		)
+		ecfg := engine.DefaultConfig()
+		ecfg.Redo.GroupSizeBytes = 8 << 20
+		ecfg.CacheBlocks = 512
+		ecfg.CheckpointTimeout = 0 // checkpoint explicitly, before the workload
+		ecfg.CPUs = 4
+		ecfg.RecoveryParallelism = workers
+		in, err := engine.New(k, fs, ecfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := tpcc.DefaultConfig()
+		cfg.Warehouses = 1
+		cfg.CustomersPerDistrict = 60
+		cfg.Items = 1000
+		app := tpcc.NewApp(in, cfg)
+		var setupErr error
+		k.Go("setup", func(p *sim.Proc) {
+			setupErr = func() error {
+				if err := in.Open(p); err != nil {
+					return err
+				}
+				if err := app.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+					return err
+				}
+				if err := app.Load(p, rand.New(rand.NewSource(1))); err != nil {
+					return err
+				}
+				if err := in.Checkpoint(p); err != nil {
+					return err
+				}
+				rnd := rand.New(rand.NewSource(2))
+				for j := 0; j < 1500; j++ {
+					if _, err := app.NewOrder(p, rnd, 1); err != nil && !errors.Is(err, tpcc.ErrUserAbort) {
+						return err
+					}
+				}
+				in.Crash()
+				return nil
+			}()
+		})
+		k.Run(sim.Time(1000 * time.Hour))
+		if setupErr != nil {
+			b.Fatal(setupErr)
+		}
+		rm := recovery.NewManager(in, nil)
+		var rep *recovery.Report
+		var recErr error
+		b.StartTimer()
+		k.Go("recover", func(p *sim.Proc) {
+			rep, recErr = rm.InstanceRecovery(p)
+			k.Stop() // end the timed region the instant recovery returns
+		})
+		k.Run(sim.Time(2000 * time.Hour))
+		b.StopTimer()
+		k.KillAll()
+		if recErr != nil {
+			b.Fatal(recErr)
+		}
+		if rep.RecordsApplied == 0 {
+			b.Fatal("recovery applied no records; the benchmark measures nothing")
+		}
+		b.ReportMetric(rep.Duration().Seconds(), "rec-s")
+	}
+}
+
+func BenchmarkInstanceRecovery(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchmarkInstanceRecovery(b, w) })
 	}
 }
 

@@ -24,6 +24,12 @@
 // 1,2,4,8): per W, fault-free and shutdown-abort runs for the baseline
 // and perf-tuned recovery configurations, producing a throughput-vs-W and
 // recovery-time-vs-W table. Like chaos it is opt-in (not part of "all").
+//
+// -recovery-workers sets the parallel-recovery fan-out: for scale it is a
+// comma-separated sweep (recovery time is reported per worker count, the
+// serial baseline always included); every other experiment uses the
+// largest listed count. Recovered state and counts are identical for
+// every value — only recovery time changes.
 package main
 
 import (
@@ -54,6 +60,21 @@ func parseWarehouses(list string) ([]int, error) {
 			return nil, fmt.Errorf("bad -warehouses value %q: want positive integers, e.g. 1,2,4,8", tok)
 		}
 		out = append(out, w)
+	}
+	return out, nil
+}
+
+// parseRecoveryWorkers parses the -recovery-workers flag: a
+// comma-separated list of positive parallel-recovery worker counts.
+func parseRecoveryWorkers(list string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -recovery-workers value %q: want positive integers, e.g. 1,4", tok)
+		}
+		out = append(out, n)
 	}
 	return out, nil
 }
@@ -92,6 +113,7 @@ func run(args []string) error {
 	crashPoints := fs.Int("crashpoints", 50, "chaos: number of crash points to explore")
 	seed := fs.Int64("seed", 1, "chaos: campaign seed (same seed = byte-identical report)")
 	warehousesList := fs.String("warehouses", "1,2,4,8", "scale: warehouse counts to sweep; chaos: warehouse count (first value)")
+	recoveryWorkers := fs.String("recovery-workers", "1", "parallel recovery fan-out: scale sweeps each listed count, other experiments use the largest")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file (virtual timebase) for the campaign's first run; open in chrome://tracing or ui.perfetto.dev")
 	timeline := fs.Bool("timeline", false, "print the traced run's recovery-phase timeline after the reports")
 	if err := fs.Parse(args); err != nil {
@@ -121,6 +143,17 @@ func run(args []string) error {
 	warehouses, err := parseWarehouses(*warehousesList)
 	if err != nil {
 		return err
+	}
+	workers, err := parseRecoveryWorkers(*recoveryWorkers)
+	if err != nil {
+		return err
+	}
+	sc.RecoveryWorkers = workers
+	maxWorkers := 1
+	for _, n := range workers {
+		if n > maxWorkers {
+			maxWorkers = n
+		}
 	}
 	all := want["all"]
 	progress := core.Progress(func(line string) {
@@ -242,6 +275,7 @@ func run(args []string) error {
 		cfg.Seed = *seed
 		cfg.Parallel = *parallel
 		cfg.TPCC.Warehouses = warehouses[0]
+		cfg.RecoveryWorkers = maxWorkers
 		cfg.Tracer = tracer
 		rep, err := chaos.Explore(cfg, progress)
 		if err != nil {

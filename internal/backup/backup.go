@@ -162,6 +162,16 @@ func (b *Backup) RestoreDatafile(p *sim.Proc, fs *simdisk.FS, name string) error
 // dictionary is reset to the backup snapshot. Used by point-in-time
 // (incomplete) recovery.
 func (b *Backup) RestoreAll(p *sim.Proc, fs *simdisk.FS, db *storage.DB, dict *catalog.Catalog) error {
+	return b.RestoreAllWorkers(p, fs, db, dict, 1)
+}
+
+// RestoreAllWorkers is RestoreAll with the per-datafile restores fanned
+// out across `workers` concurrent processes (parallel recovery's restore
+// phase). Datafiles are assigned round-robin in the deterministic
+// tablespace/file order; with workers <= 1 everything runs inline on p,
+// byte-for-byte the serial procedure. Restored state is identical either
+// way — only the I/O overlap differs.
+func (b *Backup) RestoreAllWorkers(p *sim.Proc, fs *simdisk.FS, db *storage.DB, dict *catalog.Catalog, workers int) error {
 	for _, tb := range b.tablespaces {
 		if _, err := db.Tablespace(tb.ts.Name); err != nil {
 			if err := db.ReattachTablespace(tb.ts); err != nil {
@@ -169,14 +179,50 @@ func (b *Backup) RestoreAll(p *sim.Proc, fs *simdisk.FS, db *storage.DB, dict *c
 			}
 		}
 	}
+	var names []string
 	for _, ts := range db.Tablespaces() {
 		for _, f := range ts.Files {
 			if !b.HasFile(f.Name) {
 				continue // file created after the backup; left as-is
 			}
-			if err := b.RestoreDatafile(p, fs, f.Name); err != nil {
+			names = append(names, f.Name)
+		}
+	}
+	if workers <= 1 {
+		for _, name := range names {
+			if err := b.RestoreDatafile(p, fs, name); err != nil {
 				return err
 			}
+		}
+	} else {
+		parts := make([][]string, workers)
+		for i, name := range names {
+			parts[i%workers] = append(parts[i%workers], name)
+		}
+		k := p.Kernel()
+		var wg sim.WaitGroup
+		var firstErr error
+		for i, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			part := part
+			wg.Add(1)
+			k.Go(fmt.Sprintf("restore-%d", i), func(wp *sim.Proc) {
+				defer wg.Done(wp.Kernel())
+				for _, name := range part {
+					if err := b.RestoreDatafile(wp, fs, name); err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						return
+					}
+				}
+			})
+		}
+		wg.Wait(p)
+		if firstErr != nil {
+			return firstErr
 		}
 	}
 	dict.Restore(b.dict)

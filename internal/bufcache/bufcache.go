@@ -200,11 +200,11 @@ func NewSharded(k *sim.Kernel, capacity, shards int) *Cache {
 // Shards returns the shard count.
 func (c *Cache) Shards() int { return len(c.shards) }
 
-// shardFor maps a block to its home shard: the datafile's creation-time
-// hash mixed with the block number (Fibonacci hashing), masked to the
-// power-of-two shard count.
+// shardFor maps a block to its home shard: the shared block routing hash
+// (storage.BlockRef.Route — the datafile's creation-time hash mixed with
+// the block number), masked to the power-of-two shard count.
 func (c *Cache) shardFor(key bufKey) *shard {
-	return c.shards[(key.file.ShardHint()+uint32(key.no)*2654435761)&c.mask]
+	return c.shards[storage.BlockRef{File: key.file, No: key.no}.Route()&c.mask]
 }
 
 // Stats returns a snapshot of the activity counters.

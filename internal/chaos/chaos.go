@@ -110,6 +110,12 @@ type Config struct {
 	// Tail is how long the workload keeps running after recovery
 	// before the database is quiesced and checked.
 	Tail time.Duration
+	// RecoveryWorkers is the parallel-recovery fan-out for every
+	// point's crash recovery (<=1 = serial). The four invariants must
+	// hold for any value; parallel recovery changes the traced event
+	// stream (worker spans, overlapped I/O), so each worker count has
+	// its own deterministic fingerprints.
+	RecoveryWorkers int
 
 	// Tracer, when set, receives one chaos-category instant per crash
 	// point (in point order, after the pool completes, so the stream is
@@ -220,6 +226,7 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 	ecfg.Redo.ArchiveMode = true
 	ecfg.CheckpointTimeout = cfg.CheckpointTimeout
 	ecfg.CacheBlocks = cfg.CacheBlocks
+	ecfg.RecoveryParallelism = cfg.RecoveryWorkers
 	// Every point runs fully traced into a hash sink: the event stream —
 	// every span, instant, timestamp and attribute the instrumentation
 	// emits — is condensed to one value and compared across the

@@ -29,6 +29,12 @@ type Scale struct {
 	// owns its whole simulated platform, so results are identical for
 	// every worker count (see pool.go).
 	Parallel int
+	// RecoveryWorkers is the parallel-recovery fan-out sweep (dbench
+	// -recovery-workers). The scaling experiment measures recovery at
+	// every listed count (the serial baseline is always included); the
+	// other campaigns run recovery at the largest listed count. Empty
+	// means serial recovery everywhere — the paper's configuration.
+	RecoveryWorkers []int
 	// Tracer, when set, is attached to the campaign's first run (runs
 	// have independent virtual timebases, so exactly one is traced; the
 	// first makes the choice reproducible). Nil disables tracing.
@@ -93,15 +99,28 @@ func (sc Scale) Validate() error {
 // spec builds a base Spec for this scale.
 func (sc Scale) spec(name string, cfg RecoveryConfig) Spec {
 	return Spec{
-		Name:        name,
-		Seed:        sc.Seed,
-		Recovery:    cfg,
-		TPCC:        sc.TPCC,
-		CacheBlocks: sc.CacheBlocks,
-		Cost:        engine.DefaultCostModel(),
-		Duration:    sc.Duration,
-		Detection:   2 * time.Second,
+		Name:            name,
+		Seed:            sc.Seed,
+		Recovery:        cfg,
+		TPCC:            sc.TPCC,
+		CacheBlocks:     sc.CacheBlocks,
+		Cost:            engine.DefaultCostModel(),
+		Duration:        sc.Duration,
+		Detection:       2 * time.Second,
+		RecoveryWorkers: sc.maxRecoveryWorkers(),
 	}
+}
+
+// maxRecoveryWorkers returns the largest configured recovery fan-out
+// (1 when none is configured) — the count the non-sweep campaigns use.
+func (sc Scale) maxRecoveryWorkers() int {
+	max := 1
+	for _, n := range sc.RecoveryWorkers {
+		if n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // traceFirst attaches the scale's tracer (if any) to the first spec.

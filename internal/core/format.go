@@ -134,21 +134,34 @@ func FormatFigure7(rows []Fig7Row) string {
 }
 
 // FormatScaling renders the scaling sweep: throughput and crash-recovery
-// time versus warehouse count, baseline and perf-tuned side by side.
+// time versus warehouse count, baseline and perf-tuned side by side. When
+// the sweep measured parallel recovery, two extra columns per worker
+// count show recovery time at that fan-out for each configuration.
 func FormatScaling(rows []ScalingRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scaling. Throughput and crash-recovery time vs warehouses.\n")
 	fmt.Fprintf(&b, "(%s = baseline, %s = perf-tuned; Shutdown Abort at full throughput)\n",
 		ScalingBaselineConfig.Name, ScalingTunedConfig.Name)
-	fmt.Fprintf(&b, "%4s %6s | %8s %8s %9s | %8s %8s %9s\n",
+	fmt.Fprintf(&b, "%4s %6s | %8s %8s %9s | %8s %8s %9s",
 		"W", "terms",
 		"tpmC", "rec (s)", "redo MB/s",
 		"tpmC", "rec (s)", "redo MB/s")
+	if len(rows) > 0 {
+		for _, wc := range rows[0].WorkerRec {
+			fmt.Fprintf(&b, " | %9s %9s",
+				fmt.Sprintf("B.r@%dw", wc.Workers), fmt.Sprintf("T.r@%dw", wc.Workers))
+		}
+	}
+	fmt.Fprintf(&b, "\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%4d %6d | %8.0f %8s %9.2f | %8.0f %8s %9.2f\n",
+		fmt.Fprintf(&b, "%4d %6d | %8.0f %8s %9.2f | %8.0f %8s %9.2f",
 			r.Warehouses, r.Terminals,
 			r.Base.TpmC, secs(r.Base.RecoveryTime), r.Base.RedoMBps,
 			r.Tuned.TpmC, secs(r.Tuned.RecoveryTime), r.Tuned.RedoMBps)
+		for _, wc := range r.WorkerRec {
+			fmt.Fprintf(&b, " | %9s %9s", secs(wc.Base), secs(wc.Tuned))
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	return b.String()
 }

@@ -48,6 +48,11 @@ type Spec struct {
 	// The tablespaces spread over them; more warehouses want more
 	// spindles.
 	DataDisks int
+	// RecoveryWorkers is the parallel-recovery fan-out threaded into
+	// engine.Config.RecoveryParallelism (<=1 = serial, the default).
+	// Recovery results are identical for every value; only the recovery
+	// time changes.
+	RecoveryWorkers int
 
 	// Duration is the measured workload run length (paper: 20 minutes).
 	Duration time.Duration
@@ -198,6 +203,7 @@ func Run(spec Spec) (*Result, error) {
 	ecfg.CheckpointTimeout = spec.Recovery.CheckpointTimeout
 	ecfg.CacheBlocks = spec.CacheBlocks
 	ecfg.CPUs = spec.CPUs
+	ecfg.RecoveryParallelism = spec.RecoveryWorkers
 	ecfg.Cost = spec.Cost
 	ecfg.Tracer = spec.Tracer
 	in, err := engine.New(k, fs, ecfg)

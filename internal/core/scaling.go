@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"dbench/internal/faults"
@@ -13,7 +14,8 @@ import (
 // measures one warehouse; this experiment extends its Table 3 / Figure 4
 // axes along W, comparing the paper's baseline configuration against the
 // perf-tuned one so the performance/recovery trade-off is visible at
-// every scale.
+// every scale. With -recovery-workers the sweep additionally measures
+// crash recovery at each parallel fan-out, next to the serial baseline.
 
 // ScalingBaselineConfig and ScalingTunedConfig are the two recovery
 // configurations compared at every warehouse count: the paper's default
@@ -34,22 +36,57 @@ type ScalingCell struct {
 	RedoMBps     float64
 }
 
+// ScalingWorkerCell is crash-recovery time at one parallel worker count,
+// for both configurations.
+type ScalingWorkerCell struct {
+	Workers int
+	Base    time.Duration
+	Tuned   time.Duration
+}
+
 // ScalingRow is one warehouse count: both configurations side by side.
 type ScalingRow struct {
 	Warehouses int
 	Terminals  int
 	Base       ScalingCell
 	Tuned      ScalingCell
+	// WorkerRec holds recovery time at each configured parallel worker
+	// count beyond the serial baseline already in Base/Tuned (empty
+	// unless the scale sweeps RecoveryWorkers).
+	WorkerRec []ScalingWorkerCell
+}
+
+// scalingWorkerCounts returns the recovery-worker sweep: the configured
+// counts sorted ascending and deduplicated, with the serial baseline (1)
+// always included first so parallel runs are always measured against it.
+func scalingWorkerCounts(sc Scale) []int {
+	counts := []int{1}
+	for _, n := range sc.RecoveryWorkers {
+		if n > 1 {
+			counts = append(counts, n)
+		}
+	}
+	sort.Ints(counts)
+	out := counts[:1]
+	for _, n := range counts[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // scalingSpec builds one spec of the sweep. The simulated platform grows
 // with the warehouse count — CPU slots and data disks scale with W and
 // the buffer cache keeps its per-warehouse share — so the sweep measures
 // the scaled system, not one starved box.
-func scalingSpec(sc Scale, cfg RecoveryConfig, w int, fault bool) Spec {
+func scalingSpec(sc Scale, cfg RecoveryConfig, w int, fault bool, recWorkers int) Spec {
 	kind := "perf"
 	if fault {
 		kind = "rec"
+		if recWorkers > 1 {
+			kind = fmt.Sprintf("rec@%dw", recWorkers)
+		}
 	}
 	spec := sc.spec(fmt.Sprintf("SC/W%d/%s/%s", w, cfg.Name, kind), cfg)
 	spec.TPCC.Warehouses = w
@@ -59,6 +96,7 @@ func scalingSpec(sc Scale, cfg RecoveryConfig, w int, fault bool) Spec {
 	if spec.DataDisks > 8 {
 		spec.DataDisks = 8
 	}
+	spec.RecoveryWorkers = recWorkers
 	if fault {
 		spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
 		spec.InjectAt = sc.InjectTimes[1] // at full throughput
@@ -68,8 +106,9 @@ func scalingSpec(sc Scale, cfg RecoveryConfig, w int, fault bool) Spec {
 }
 
 // RunScaling measures the scaling sweep: for every warehouse count, a
-// fault-free run and a shutdown-abort run per configuration (four runs
-// per W). Results are identical for every Parallel setting.
+// fault-free run per configuration plus a shutdown-abort run per
+// configuration and recovery-worker count (2·(1+len(workers)) runs per
+// W). Results are identical for every Parallel setting.
 func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -82,32 +121,52 @@ func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, er
 			return nil, fmt.Errorf("core: scaling needs warehouses >= 1 (got %d)", w)
 		}
 	}
-	// Four jobs per W, in this fixed order.
-	kinds := [4]string{"base/perf", "base/rec", "tuned/perf", "tuned/rec"}
-	specs := make([]Spec, 0, 4*len(warehouses))
-	for _, w := range warehouses {
-		specs = append(specs,
-			scalingSpec(sc, ScalingBaselineConfig, w, false),
-			scalingSpec(sc, ScalingBaselineConfig, w, true),
-			scalingSpec(sc, ScalingTunedConfig, w, false),
-			scalingSpec(sc, ScalingTunedConfig, w, true),
-		)
-	}
-	// Trace the first recovery run (not the first run): the recovery
-	// timeline is what a -trace/-timeline user of this experiment wants.
-	sc.traceFirst(specs[1:])
-	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
-		if i%2 == 1 {
-			return fmt.Sprintf("SC W=%-2d %-10s recovery=%v", warehouses[i/4], kinds[i%4], res.RecoveryTime.Round(time.Second))
+	ws := scalingWorkerCounts(sc)
+	// Per W and configuration: one perf job then one rec job per worker
+	// count, baseline before tuned, in this fixed order.
+	block := 1 + len(ws)
+	stride := 2 * block
+	labels := make([]string, 0, stride)
+	for _, cfgName := range []string{"base", "tuned"} {
+		labels = append(labels, cfgName+"/perf")
+		for _, n := range ws {
+			if n > 1 {
+				labels = append(labels, fmt.Sprintf("%s/rec@%dw", cfgName, n))
+			} else {
+				labels = append(labels, cfgName+"/rec")
+			}
 		}
-		return fmt.Sprintf("SC W=%-2d %-10s tpmC=%5.0f", warehouses[i/4], kinds[i%4], res.TpmC)
+	}
+	specs := make([]Spec, 0, stride*len(warehouses))
+	for _, w := range warehouses {
+		for _, cfg := range []RecoveryConfig{ScalingBaselineConfig, ScalingTunedConfig} {
+			specs = append(specs, scalingSpec(sc, cfg, w, false, 1))
+			for _, n := range ws {
+				specs = append(specs, scalingSpec(sc, cfg, w, true, n))
+			}
+		}
+	}
+	// Trace the first recovery run at the largest worker count (not the
+	// first run): the recovery timeline — worker spans included when the
+	// sweep is parallel — is what a -trace/-timeline user wants. With no
+	// worker sweep this is specs[1], the first recovery run, as before.
+	sc.traceFirst(specs[len(ws):])
+	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
+		w := warehouses[i/stride]
+		j := i % stride
+		if j%block == 0 {
+			return fmt.Sprintf("SC W=%-2d %-10s tpmC=%5.0f", w, labels[j], res.TpmC)
+		}
+		return fmt.Sprintf("SC W=%-2d %-10s recovery=%v", w, labels[j], res.RecoveryTime.Round(time.Second))
 	})
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]ScalingRow, len(warehouses))
 	for i, w := range warehouses {
-		r := results[4*i : 4*i+4]
+		r := results[stride*i : stride*(i+1)]
+		basePerf, baseRec := r[0], r[1:block]
+		tunedPerf, tunedRec := r[block], r[block+1:]
 		cell := func(perf, rec *Result) ScalingCell {
 			return ScalingCell{
 				TpmC:         perf.TpmC,
@@ -118,8 +177,15 @@ func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, er
 		rows[i] = ScalingRow{
 			Warehouses: w,
 			Terminals:  w * sc.TPCC.TerminalsPerWarehouse,
-			Base:       cell(r[0], r[1]),
-			Tuned:      cell(r[2], r[3]),
+			Base:       cell(basePerf, baseRec[0]),
+			Tuned:      cell(tunedPerf, tunedRec[0]),
+		}
+		for j := 1; j < len(ws); j++ {
+			rows[i].WorkerRec = append(rows[i].WorkerRec, ScalingWorkerCell{
+				Workers: ws[j],
+				Base:    baseRec[j].RecoveryTime,
+				Tuned:   tunedRec[j].RecoveryTime,
+			})
 		}
 	}
 	return rows, nil

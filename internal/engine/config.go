@@ -65,6 +65,12 @@ type Config struct {
 	// (0 = 1). The scaling experiment grows it with the warehouse count
 	// to model a platform provisioned for the load.
 	CPUs int
+	// RecoveryParallelism is the number of redo-apply workers the
+	// recovery paths fan out to (<=1 = serial, the default). Workers
+	// charge their apply CPU against the instance's CPU slots, so the
+	// effective speedup is bounded by CPUs; results (datafile images,
+	// report counts) are identical for every value.
+	RecoveryParallelism int
 	// CheckpointTimeout is Oracle's log_checkpoint_timeout: a periodic
 	// checkpoint trigger. Zero disables timeout checkpoints.
 	CheckpointTimeout time.Duration

@@ -193,6 +193,11 @@ func (in *Instance) Cache() *bufcache.Cache { return in.cache }
 // Txns returns the transaction manager.
 func (in *Instance) Txns() *txn.Manager { return in.tm }
 
+// CPU returns the instance's CPU slots. Parallel recovery workers charge
+// their redo-apply cost through it, so apply concurrency is bounded by
+// the configured CPU count just like transaction processing.
+func (in *Instance) CPU() *sim.Resource { return in.cpu }
+
 // Archiver returns the ARCH process, or nil when archive mode is off.
 func (in *Instance) Archiver() *archivelog.Archiver { return in.arch }
 

@@ -1,0 +1,384 @@
+// Parallel recovery pipeline. The redo stream is partitioned by block —
+// storage.BlockRef.Route, the same hash the buffer cache shards with —
+// onto N apply workers running as simulation processes, while the
+// coordinator scans archives and the online log ahead of them. One block
+// maps to exactly one worker and each worker consumes its queue in
+// arrival order, so the per-block SCN apply order of serial recovery is
+// preserved; workers charge their apply CPU against the instance's CPU
+// slots, so the speedup is bounded by the configured CPU count. The crew
+// drains to a barrier before every DDL replay and phase transition,
+// which keeps the phase timeline contiguous-by-construction and nests
+// worker spans inside their phase's span. With RecoveryParallelism <= 1
+// none of this code runs: the serial paths are untouched.
+package recovery
+
+import (
+	"fmt"
+	"time"
+
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/storage"
+	"dbench/internal/trace"
+)
+
+// workerCount returns the configured recovery apply fan-out (1 = serial).
+func (m *Manager) workerCount() int {
+	if n := m.in.Config().RecoveryParallelism; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// workerFor routes a block to one of n apply workers via the shared
+// block routing hash. A block always lands on the same worker, so
+// per-worker FIFO queues preserve each block's SCN order.
+func workerFor(ref storage.BlockRef, n int) int {
+	return int(ref.Route() % uint32(n))
+}
+
+// applyChunk mirrors chunkedSleep's threshold: workers pay their accrued
+// apply CPU once it reaches this much, so huge redo streams do not flood
+// the event queue with per-record sleeps.
+const applyChunk = 50 * time.Millisecond
+
+// routed is one redo record queued for a worker, its block already
+// resolved by the coordinator (catalog lookups stay on the coordinator
+// so DDL replay keeps its serial semantics).
+type routed struct {
+	rec *redo.Record
+	ref storage.BlockRef
+}
+
+// applyCrew is a set of redo-apply worker processes fed by the recovery
+// coordinator. pending counts records routed but not yet applied and
+// charged; drain waits for it to reach zero — the barrier used before
+// DDL replay, the undo pass and every phase transition. The kernel runs
+// one process at a time, so the crew's shared state (Report counters,
+// touched set, queues) needs no locking, and execution stays
+// deterministic for a given seed.
+type applyCrew struct {
+	m       *Manager
+	rep     *Report
+	tl      *timeline
+	n       int
+	touched map[storage.BlockRef]bool
+
+	workers []*applyWorker
+	pending int
+	idle    sim.Cond
+	closed  bool
+	wg      sim.WaitGroup
+}
+
+type applyWorker struct {
+	id    int
+	queue []routed
+	work  sim.Cond
+	span  trace.SpanID
+}
+
+// newApplyCrew starts n apply workers on the instance's kernel.
+func (m *Manager) newApplyCrew(p *sim.Proc, rep *Report, tl *timeline, n int) *applyCrew {
+	c := &applyCrew{m: m, rep: rep, tl: tl, n: n, touched: make(map[storage.BlockRef]bool)}
+	k := p.Kernel()
+	for i := 0; i < n; i++ {
+		w := &applyWorker{id: i}
+		c.workers = append(c.workers, w)
+		c.wg.Add(1)
+		k.Go(fmt.Sprintf("recovery-apply-%d", i), func(wp *sim.Proc) {
+			defer c.wg.Done(wp.Kernel())
+			c.runWorker(wp, w)
+		})
+	}
+	return c
+}
+
+func (c *applyCrew) runWorker(p *sim.Proc, w *applyWorker) {
+	k := p.Kernel()
+	cost := c.m.in.Config().Cost.RedoApplyPerRecord
+	cpu := c.m.in.CPU()
+	var owed time.Duration
+	done := 0
+	// settle pays the accrued CPU and only then publishes the consumed
+	// records, so drain returns strictly after every routed record has
+	// been applied and its cost charged.
+	settle := func() {
+		if owed > 0 {
+			cpu.Use(p, owed)
+			owed = 0
+		}
+		if done > 0 {
+			c.pending -= done
+			done = 0
+			if c.pending == 0 {
+				c.idle.Broadcast(k)
+			}
+		}
+	}
+	for {
+		if len(w.queue) == 0 {
+			settle()
+			if len(w.queue) > 0 {
+				// More work arrived while paying the CPU debt.
+				continue
+			}
+			c.endWorkerSpan(p, w)
+			if c.closed {
+				return
+			}
+			w.work.Wait(p)
+			continue
+		}
+		c.beginWorkerSpan(p, w)
+		batch := w.queue
+		w.queue = nil
+		for i := range batch {
+			it := &batch[i]
+			if c.m.applyToImage(it.rec, it.ref) {
+				c.rep.RecordsApplied++
+				c.rep.BytesApplied += it.rec.Size()
+				c.touched[it.ref] = true
+				owed += cost
+			}
+			done++
+			if owed >= applyChunk {
+				cpu.Use(p, owed)
+				owed = 0
+			}
+		}
+	}
+}
+
+// beginWorkerSpan opens the worker's segment span as a child of the
+// current phase span; endWorkerSpan closes it when the worker drains.
+// A worker busy across several dispatches gets one span per busy
+// stretch, always nested inside the phase it worked under.
+func (c *applyCrew) beginWorkerSpan(p *sim.Proc, w *applyWorker) {
+	if w.span != 0 {
+		return
+	}
+	w.span = c.tl.tracer().BeginChild(p.Now(), trace.CatRecovery, "recovery",
+		"apply worker", c.tl.currentSpan(), trace.I("worker", int64(w.id)))
+}
+
+func (c *applyCrew) endWorkerSpan(p *sim.Proc, w *applyWorker) {
+	if w.span == 0 {
+		return
+	}
+	c.tl.tracer().End(p.Now(), w.span)
+	w.span = 0
+}
+
+// dispatch routes one record to its block's worker.
+func (c *applyCrew) dispatch(p *sim.Proc, rec *redo.Record, ref storage.BlockRef) {
+	w := c.workers[workerFor(ref, c.n)]
+	w.queue = append(w.queue, routed{rec: rec, ref: ref})
+	c.pending++
+	w.work.Signal(p.Kernel())
+}
+
+// drain blocks until every routed record has been applied and charged.
+func (c *applyCrew) drain(p *sim.Proc) {
+	for c.pending > 0 {
+		c.idle.Wait(p)
+	}
+}
+
+// close drains outstanding work and shuts the workers down, waiting for
+// their processes to exit so their spans are closed before the next
+// phase opens. Idempotent.
+func (c *applyCrew) close(p *sim.Proc) {
+	if c.closed {
+		return
+	}
+	c.drain(p)
+	c.shutdown(p)
+}
+
+// abort shuts the crew down without the drain barrier (error paths);
+// workers still finish whatever is already queued before exiting.
+func (c *applyCrew) abort(p *sim.Proc) {
+	if c.closed {
+		return
+	}
+	c.shutdown(p)
+}
+
+func (c *applyCrew) shutdown(p *sim.Proc) {
+	c.closed = true
+	k := p.Kernel()
+	for _, w := range c.workers {
+		w.work.Broadcast(k)
+	}
+	c.wg.Wait(p)
+}
+
+// streamApply is the coordinator side of the parallel pipeline: it scans
+// redo in SCN order (batch by batch when the scan itself is pipelined,
+// e.g. archive by archive), keeps bookkeeping and catalog work on the
+// coordinator, and routes data changes to the crew. Loser candidacy is
+// decided with the catalog state at scan position — exactly what serial
+// replay sees — and filtered against the full stream's commit/abort set
+// once the scan completes.
+type streamApply struct {
+	m              *Manager
+	rep            *Report
+	tl             *timeline
+	crew           *applyCrew
+	cs             *chunkedSleep
+	includeOffline bool
+	// only restricts the pass to a single datafile (media recovery);
+	// nil means a whole-database pass (instance / point-in-time).
+	only     *storage.Datafile
+	finished map[redo.TxnID]bool
+	cands    []loserCand
+}
+
+// loserCand is a routed data record that may need the undo pass:
+// whether it actually is a loser is only known once the whole stream has
+// been scanned (its transaction's commit may come later).
+type loserCand struct {
+	rec    *redo.Record
+	active bool
+}
+
+func (m *Manager) newStreamApply(p *sim.Proc, rep *Report, tl *timeline, includeOffline bool, only *storage.Datafile, n int) *streamApply {
+	sa := &streamApply{
+		m: m, rep: rep, tl: tl,
+		cs:             &chunkedSleep{p: p},
+		includeOffline: includeOffline,
+		only:           only,
+		finished:       make(map[redo.TxnID]bool),
+	}
+	sa.crew = m.newApplyCrew(p, rep, tl, n)
+	return sa
+}
+
+// feed scans one batch of redo records in SCN order. DDL is a barrier:
+// the crew drains before the dictionary changes, so refFor resolves
+// every record against the same catalog state serial replay would.
+func (sa *streamApply) feed(p *sim.Proc, recs []redo.Record) {
+	sa.tl.setWorkers(sa.crew.n)
+	cost := sa.m.in.Config().Cost.RedoApplyPerRecord
+	for i := range recs {
+		rec := &recs[i]
+		sa.rep.RecordsScanned++
+		if rec.Op == redo.OpCommit || rec.Op == redo.OpAbort {
+			sa.finished[rec.Txn] = true
+		}
+		if sa.only != nil {
+			// Datafile media recovery: every scanned record costs a
+			// quarter charge; only the target file's changes are routed.
+			sa.cs.add(cost / 4)
+			if !rec.IsDataChange() {
+				continue
+			}
+			ref, ok := sa.m.refFor(rec)
+			if !ok || ref.File != sa.only {
+				continue
+			}
+			sa.crew.dispatch(p, rec, ref)
+			sa.cands = append(sa.cands, loserCand{rec: rec, active: sa.m.in.Txns().IsActive(rec.Txn)})
+			continue
+		}
+		if rec.Op == redo.OpDDL {
+			sa.crew.drain(p)
+			sa.cs.add(cost)
+			sa.m.replayDDL(rec.Meta)
+			continue
+		}
+		if !rec.IsDataChange() {
+			sa.cs.add(cost / 4)
+			continue
+		}
+		ref, ok := sa.m.refFor(rec)
+		if !ok || !participates(ref.File, sa.includeOffline) {
+			continue
+		}
+		sa.crew.dispatch(p, rec, ref)
+		sa.cands = append(sa.cands, loserCand{rec: rec})
+	}
+}
+
+// finish completes the parallel pass: final drain and worker shutdown,
+// then the undo pass — serial on the coordinator, re-resolving each
+// record against the post-DDL catalog exactly like serial recovery —
+// and the block-write phase fanned out across the workers' count.
+func (sa *streamApply) finish(p *sim.Proc, stamp redo.SCN) error {
+	sa.cs.flush()
+	sa.crew.close(p)
+	cost := sa.m.in.Config().Cost
+	sa.tl.phase(p, PhaseUndoRollback)
+	cs := &chunkedSleep{p: p}
+	losers := make(map[redo.TxnID]bool)
+	var loserRecs []*redo.Record
+	for _, c := range sa.cands {
+		if sa.finished[c.rec.Txn] || c.active {
+			continue
+		}
+		losers[c.rec.Txn] = true
+		loserRecs = append(loserRecs, c.rec)
+	}
+	for i := len(loserRecs) - 1; i >= 0; i-- {
+		rec := loserRecs[i]
+		ref, ok := sa.m.refFor(rec)
+		if !ok {
+			continue
+		}
+		if sa.only != nil {
+			if ref.File != sa.only {
+				continue
+			}
+		} else if !participates(ref.File, sa.includeOffline) {
+			continue
+		}
+		sa.m.undoToImage(rec, ref, stamp)
+		sa.crew.touched[ref] = true
+		cs.add(cost.RedoApplyPerRecord)
+	}
+	sa.rep.LosersRolledBack = len(losers)
+	cs.flush()
+	sa.tl.phase(p, PhaseBlockWrites)
+	sa.tl.setWorkers(sa.crew.n)
+	return sa.m.chargeBlockPassesParallel(p, sa.crew.touched, sa.crew.n, sa.tl)
+}
+
+// chargeBlockPassesParallel fans the recovery block read+write passes
+// out across n IO workers, whole files at a time: a file's blocks stay
+// one sorted sequential pass, and different files — spread over the data
+// disks — proceed concurrently. Only the I/O charging is concurrent; the
+// images were already written by the apply and undo passes.
+func (m *Manager) chargeBlockPassesParallel(p *sim.Proc, touched map[storage.BlockRef]bool, n int, tl *timeline) error {
+	if n <= 1 {
+		return m.chargeBlockPasses(p, touched)
+	}
+	refs := sortedRefs(touched)
+	parts := make([][]storage.BlockRef, n)
+	for _, ref := range refs {
+		i := int(ref.File.ShardHint() % uint32(n))
+		parts[i] = append(parts[i], ref)
+	}
+	k := p.Kernel()
+	var wg sim.WaitGroup
+	var firstErr error
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		i, part := i, part
+		wg.Add(1)
+		k.Go(fmt.Sprintf("recovery-io-%d", i), func(wp *sim.Proc) {
+			defer wg.Done(wp.Kernel())
+			span := tl.tracer().BeginChild(wp.Now(), trace.CatRecovery, "recovery",
+				"io worker", tl.currentSpan(), trace.I("worker", int64(i)))
+			err := blockPass(wp, part)
+			tl.tracer().End(wp.Now(), span, trace.I("blocks", int64(len(part))))
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	wg.Wait(p)
+	return firstErr
+}

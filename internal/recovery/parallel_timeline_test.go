@@ -1,0 +1,111 @@
+package recovery
+
+import (
+	"fmt"
+	"testing"
+
+	"dbench/internal/sim"
+	"dbench/internal/trace"
+)
+
+// Parallel recovery must keep every structural guarantee of the phase
+// timeline: phases stay contiguous and sum exactly to the recovery time,
+// the fanned-out phases carry their worker count, and the per-worker
+// trace spans nest inside the phase span they worked for.
+func TestParallelRecoveryPhaseTimeline(t *testing.T) {
+	const workers = 4
+	ring := &trace.RingSink{}
+	r, err := newRigParallel(false, 4<<20, 2, 128, 4, workers, trace.New(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *Report
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		for i := int64(0); i < 300; i++ {
+			if err := r.put(p, i, fmt.Sprintf("v%d", i)); err != nil {
+				return err
+			}
+		}
+		r.in.Crash()
+		rep, err = r.rm.InstanceRecovery(p)
+		return err
+	})
+
+	// The contiguity/ordering/sum guarantees hold unchanged at workers>1.
+	checkPhases(t, rep)
+
+	// Fanned-out phases carry the worker count; coordinator-only phases
+	// stay at 1.
+	for _, ph := range rep.Phases {
+		switch ph.Name {
+		case PhaseRedoReplay, PhaseBlockWrites:
+			if ph.Workers != workers {
+				t.Errorf("phase %s reports %d workers, want %d", ph.Name, ph.Workers, workers)
+			}
+		case PhaseMount, PhaseUndoRollback, PhaseOpen:
+			if ph.Workers != 1 {
+				t.Errorf("phase %s reports %d workers, want 1 (coordinator-only)", ph.Name, ph.Workers)
+			}
+		}
+	}
+
+	// Trace structure: the root recovery span, one child span per phase,
+	// and the worker spans nested under the phase they served.
+	var root *trace.Event
+	phaseSpans := map[trace.SpanID]trace.Event{}
+	var workerSpans []trace.Event
+	for _, ev := range ring.Events() {
+		ev := ev
+		if ev.Kind != trace.KindSpan || ev.Cat != trace.CatRecovery {
+			continue
+		}
+		switch {
+		case ev.Parent == 0:
+			root = &ev
+		case ev.Name == "apply worker" || ev.Name == "io worker":
+			workerSpans = append(workerSpans, ev)
+		default:
+			phaseSpans[ev.ID] = ev
+		}
+	}
+	if root == nil {
+		t.Fatal("no root recovery span traced")
+	}
+	if len(phaseSpans) != len(rep.Phases) {
+		t.Fatalf("traced %d phase spans, report has %d phases", len(phaseSpans), len(rep.Phases))
+	}
+	if len(workerSpans) == 0 {
+		t.Fatal("no worker spans traced at workers=4")
+	}
+	applyIDs := map[int64]bool{}
+	for _, ws := range workerSpans {
+		parent, ok := phaseSpans[ws.Parent]
+		if !ok {
+			t.Errorf("%s span parent %d is not a phase span", ws.Name, ws.Parent)
+			continue
+		}
+		wantPhase := PhaseRedoReplay
+		if ws.Name == "io worker" {
+			wantPhase = PhaseBlockWrites
+		}
+		if parent.Name != wantPhase {
+			t.Errorf("%s span nests under phase %q, want %q", ws.Name, parent.Name, wantPhase)
+		}
+		if ws.Start < parent.Start || ws.Start.Add(ws.Dur) > parent.Start.Add(parent.Dur) {
+			t.Errorf("%s span [%v +%v] escapes its phase span [%v +%v]",
+				ws.Name, ws.Start, ws.Dur, parent.Start, parent.Dur)
+		}
+		for i := 0; i < ws.NAttrs; i++ {
+			if a := ws.Attrs[i]; a.Key == "worker" && ws.Name == "apply worker" {
+				applyIDs[a.Int] = true
+			}
+		}
+	}
+	// The fan-out is real: more than one distinct apply worker was busy.
+	if len(applyIDs) < 2 {
+		t.Errorf("only %d distinct apply workers traced, want >= 2", len(applyIDs))
+	}
+}

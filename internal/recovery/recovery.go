@@ -143,7 +143,10 @@ func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
 		// so the undo pass can see them.
 		from = ctl.UndoSCN
 	}
-	recs, err := m.redoRange(p, rep, from, tl)
+	// Instance recovery collects the stream before applying (no sink):
+	// the clamp retry below may rescan from a lower SCN, and records must
+	// not reach the apply crew from a scan that is then abandoned.
+	recs, err := m.redoRange(p, rep, from, tl, nil)
 	if err != nil && from <= ctl.CheckpointSCN {
 		// The undo extension below the checkpoint was overwritten.
 		// That is safe to clamp: the log's reuse undo-floor keeps the
@@ -152,7 +155,7 @@ func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
 		// that finished (and need no undo). The redo pass itself only
 		// needs records after the checkpoint.
 		if lowest := log.LowestOnlineSCN(); lowest >= 0 && lowest <= ctl.CheckpointSCN+1 {
-			recs, err = m.redoRange(p, rep, lowest, tl)
+			recs, err = m.redoRange(p, rep, lowest, tl, nil)
 		}
 	}
 	if err != nil {
@@ -206,7 +209,22 @@ func (m *Manager) recoverDatafile(p *sim.Proc, name string, f *storage.Datafile,
 		from = f.UndoSCN
 	}
 	end := in.Log().FlushedSCN()
-	recs, err := m.redoRange(p, rep, from, tl)
+	if n := m.workerCount(); n > 1 {
+		// Parallel media recovery pipelines the archive scan ahead of
+		// apply: each archived log's records are routed to the crew as
+		// soon as they are read, so workers replay one archive while the
+		// coordinator pays the open-and-read cost of the next.
+		sa := m.newStreamApply(p, rep, tl, false, f, n)
+		if _, err := m.redoRange(p, rep, from, tl, sa.feed); err != nil {
+			sa.crew.abort(p)
+			return nil, err
+		}
+		if err := sa.finish(p, end); err != nil {
+			return nil, err
+		}
+		return m.finishDatafile(p, name, f, rep, tl, end)
+	}
+	recs, err := m.redoRange(p, rep, from, tl, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -214,12 +232,7 @@ func (m *Manager) recoverDatafile(p *sim.Proc, name string, f *storage.Datafile,
 	cs := &chunkedSleep{p: p}
 	cost := in.Config().Cost
 
-	finished := make(map[redo.TxnID]bool)
-	for i := range recs {
-		if recs[i].Op == redo.OpCommit || recs[i].Op == redo.OpAbort {
-			finished[recs[i].Txn] = true
-		}
-	}
+	finished := redo.FinishedTxns(recs)
 	touched := make(map[storage.BlockRef]bool)
 	losers := make(map[redo.TxnID]bool)
 	var loserRecs []redo.Record
@@ -262,10 +275,16 @@ func (m *Manager) recoverDatafile(p *sim.Proc, name string, f *storage.Datafile,
 	if err := m.chargeBlockPasses(p, touched); err != nil {
 		return nil, err
 	}
+	return m.finishDatafile(p, name, f, rep, tl, end)
+}
+
+// finishDatafile is the shared tail of serial and parallel media
+// recovery: stamp the file consistent as of `end` and bring it online.
+func (m *Manager) finishDatafile(p *sim.Proc, name string, f *storage.Datafile, rep *Report, tl *timeline, end redo.SCN) (*Report, error) {
 	tl.phase(p, PhaseOpen)
 	f.CkptSCN = end
 	f.NeedsRecovery = false
-	if err := in.OnlineDatafile(p, name); err != nil {
+	if err := m.in.OnlineDatafile(p, name); err != nil {
 		return nil, err
 	}
 	rep.Finished = p.Now()
@@ -327,26 +346,58 @@ func (m *Manager) PointInTime(p *sim.Proc, untilSCN redo.SCN) (*Report, error) {
 	}
 	tl.phase(p, PhaseRestore)
 	p.Sleep(in.Config().Cost.BackupRestoreOverhead)
-	if err := b.RestoreAll(p, in.FS(), in.DB(), in.Catalog()); err != nil {
-		return nil, err
-	}
-
-	// Gather redo from the backup SCN forward and count what will be
-	// lost beyond the stop point.
-	recs, err := m.redoRange(p, rep, b.SCN+1, tl)
-	if err != nil {
-		return nil, err
-	}
-	var apply []redo.Record
-	for _, rec := range recs {
-		if rec.SCN <= untilSCN {
-			apply = append(apply, rec)
-		} else if rec.Op == redo.OpCommit {
-			rep.LostCommits++
+	if n := m.workerCount(); n > 1 {
+		// Parallel point-in-time recovery restores datafiles on n
+		// concurrent workers, then streams the redo scan into the apply
+		// crew, filtering at the stop point: records past untilSCN are
+		// never routed and their commits are counted as lost.
+		tl.setWorkers(n)
+		if err := b.RestoreAllWorkers(p, in.FS(), in.DB(), in.Catalog(), n); err != nil {
+			return nil, err
 		}
-	}
-	if err := m.applyAndUndo(p, rep, apply, true, untilSCN, tl); err != nil {
-		return nil, err
+		sa := m.newStreamApply(p, rep, tl, true, nil, n)
+		if _, err := m.redoRange(p, rep, b.SCN+1, tl, func(sp *sim.Proc, batch []redo.Record) {
+			cut := len(batch)
+			for i := range batch {
+				if batch[i].SCN > untilSCN {
+					cut = i
+					break
+				}
+			}
+			sa.feed(sp, batch[:cut])
+			for i := cut; i < len(batch); i++ {
+				if batch[i].Op == redo.OpCommit {
+					rep.LostCommits++
+				}
+			}
+		}); err != nil {
+			sa.crew.abort(p)
+			return nil, err
+		}
+		if err := sa.finish(p, untilSCN); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := b.RestoreAll(p, in.FS(), in.DB(), in.Catalog()); err != nil {
+			return nil, err
+		}
+		// Gather redo from the backup SCN forward and count what will be
+		// lost beyond the stop point.
+		recs, err := m.redoRange(p, rep, b.SCN+1, tl, nil)
+		if err != nil {
+			return nil, err
+		}
+		var apply []redo.Record
+		for _, rec := range recs {
+			if rec.SCN <= untilSCN {
+				apply = append(apply, rec)
+			} else if rec.Op == redo.OpCommit {
+				rep.LostCommits++
+			}
+		}
+		if err := m.applyAndUndo(p, rep, apply, true, untilSCN, tl); err != nil {
+			return nil, err
+		}
 	}
 	tl.phase(p, PhaseOpen)
 	// Open RESETLOGS: discard post-untilSCN redo, new log incarnation.
@@ -378,7 +429,13 @@ func (m *Manager) latestBackup() (*backup.Backup, error) {
 // the online logs. It advances the timeline into the archive-replay
 // phase while reading archives and into redo-replay when it reaches the
 // online log (the forward apply that follows stays in redo-replay).
-func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN, tl *timeline) ([]redo.Record, error) {
+//
+// A non-nil sink receives each newly scanned segment (one per archived
+// log, one for the online top-up) in SCN order as soon as it is read —
+// parallel recovery feeds the apply crew through it, so workers replay
+// one archive while the coordinator pays the open-and-read cost of the
+// next. The full stream is still returned.
+func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN, tl *timeline, sink func(*sim.Proc, []redo.Record)) ([]redo.Record, error) {
 	in := m.in
 	log := in.Log()
 	cost := in.Config().Cost
@@ -387,6 +444,9 @@ func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN, tl *timelin
 	if recs, ok := log.OnlineRecords(from); ok {
 		tl.phase(p, PhaseRedoReplay)
 		m.chargeLogScan(p, recs)
+		if sink != nil {
+			sink(p, recs)
+		}
 		return recs, nil
 	}
 	arch := in.Archiver()
@@ -416,11 +476,15 @@ func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN, tl *timelin
 		if logRecs := al.Records(); len(logRecs) > 0 && logRecs[0].SCN > next {
 			return nil, fmt.Errorf("recovery: gap in archived redo: need SCN %d but archived log seq %d starts at SCN %d", next, al.Seq, logRecs[0].SCN)
 		}
+		segStart := len(recs)
 		for _, rec := range al.Records() {
 			if rec.SCN >= next {
 				recs = append(recs, rec)
 				next = rec.SCN + 1
 			}
+		}
+		if sink != nil && len(recs) > segStart {
+			sink(p, recs[segStart:])
 		}
 	}
 	online, ok := log.OnlineRecords(next)
@@ -429,6 +493,9 @@ func (m *Manager) redoRange(p *sim.Proc, rep *Report, from redo.SCN, tl *timelin
 	}
 	tl.phase(p, PhaseRedoReplay)
 	m.chargeLogScan(p, online)
+	if sink != nil && len(online) > 0 {
+		sink(p, online)
+	}
 	recs = append(recs, online...)
 	return recs, nil
 }
@@ -510,18 +577,19 @@ func participates(f *storage.Datafile, includeOffline bool) bool {
 // applyAndUndo runs the forward pass over recs and then rolls back losers
 // — transactions with changes but no commit/abort record within recs.
 // stamp is the SCN recovery ends at (images touched by undo are stamped
-// with it).
+// with it). With RecoveryParallelism > 1 the forward pass is fanned out
+// across the apply crew; results are identical, only the timing differs.
 func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, includeOffline bool, stamp redo.SCN, tl *timeline) error {
+	if n := m.workerCount(); n > 1 {
+		sa := m.newStreamApply(p, rep, tl, includeOffline, nil, n)
+		sa.feed(p, recs)
+		return sa.finish(p, stamp)
+	}
 	in := m.in
 	cost := in.Config().Cost
 	cs := &chunkedSleep{p: p}
 
-	finished := make(map[redo.TxnID]bool)
-	for i := range recs {
-		if recs[i].Op == redo.OpCommit || recs[i].Op == redo.OpAbort {
-			finished[recs[i].Txn] = true
-		}
-	}
+	finished := redo.FinishedTxns(recs)
 	touched := make(map[storage.BlockRef]bool)
 	var loserRecs []redo.Record
 	losers := make(map[redo.TxnID]bool)
@@ -636,6 +704,12 @@ func firstWord(s string) string {
 // chargeBlockPasses charges the recovery block I/O: one sorted sequential
 // read pass and one sorted sequential write pass over the touched blocks.
 func (m *Manager) chargeBlockPasses(p *sim.Proc, touched map[storage.BlockRef]bool) error {
+	return blockPass(p, sortedRefs(touched))
+}
+
+// sortedRefs flattens a touched-block set into (file name, block number)
+// order — the deterministic sequential-pass order the I/O is charged in.
+func sortedRefs(touched map[storage.BlockRef]bool) []storage.BlockRef {
 	refs := make([]storage.BlockRef, 0, len(touched))
 	for ref := range touched {
 		refs = append(refs, ref)
@@ -646,6 +720,12 @@ func (m *Manager) chargeBlockPasses(p *sim.Proc, touched map[storage.BlockRef]bo
 		}
 		return refs[i].No < refs[j].No
 	})
+	return refs
+}
+
+// blockPass charges one sequential read pass and one sequential write
+// pass over the given (already sorted) refs.
+func blockPass(p *sim.Proc, refs []storage.BlockRef) error {
 	for _, ref := range refs {
 		if ref.File.Lost() {
 			continue

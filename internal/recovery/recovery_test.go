@@ -34,6 +34,10 @@ func newRigCache(archive bool, groupSize int64, groups, cacheBlocks int) (*rig, 
 }
 
 func newRigTraced(archive bool, groupSize int64, groups, cacheBlocks int, tr *trace.Tracer) (*rig, error) {
+	return newRigParallel(archive, groupSize, groups, cacheBlocks, 0, 0, tr)
+}
+
+func newRigParallel(archive bool, groupSize int64, groups, cacheBlocks, cpus, workers int, tr *trace.Tracer) (*rig, error) {
 	k := sim.NewKernel(42)
 	fs := simdisk.NewFS(
 		simdisk.DefaultSpec(engine.DiskData1),
@@ -47,6 +51,8 @@ func newRigTraced(archive bool, groupSize int64, groups, cacheBlocks int, tr *tr
 	cfg.Redo.ArchiveMode = archive
 	cfg.CheckpointTimeout = 0 // tests trigger checkpoints explicitly
 	cfg.CacheBlocks = cacheBlocks
+	cfg.CPUs = cpus
+	cfg.RecoveryParallelism = workers
 	cfg.Tracer = tr
 	in, err := engine.New(k, fs, cfg)
 	if err != nil {

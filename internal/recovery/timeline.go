@@ -35,6 +35,11 @@ type Phase struct {
 	Scanned int
 	Records int
 	Bytes   int64
+	// Workers is the apply/IO fan-out active during the phase (1 for
+	// coordinator-only phases and all of serial recovery). The phase
+	// interval is still the coordinator's contiguous wall-clock slice;
+	// worker activity shows up as child spans of the phase span.
+	Workers int
 }
 
 // Duration returns the phase's elapsed virtual time.
@@ -72,12 +77,41 @@ func (tl *timeline) phase(p *sim.Proc, name string) {
 		return
 	}
 	tl.closePhase(p)
-	tl.rep.Phases = append(tl.rep.Phases, Phase{Name: name, Start: p.Now()})
+	tl.rep.Phases = append(tl.rep.Phases, Phase{Name: name, Start: p.Now(), Workers: 1})
 	tl.open = true
 	tl.baseScanned = tl.rep.RecordsScanned
 	tl.baseApplied = tl.rep.RecordsApplied
 	tl.baseBytes = tl.rep.BytesApplied
 	tl.cur = tl.tr.BeginChild(p.Now(), trace.CatRecovery, "recovery", name, tl.root)
+}
+
+// setWorkers records the fan-out active during the open phase.
+func (tl *timeline) setWorkers(n int) {
+	if tl == nil || !tl.open || n < 1 {
+		return
+	}
+	tl.rep.Phases[len(tl.rep.Phases)-1].Workers = n
+}
+
+// currentSpan returns the open phase's span (the parent for worker
+// spans), falling back to the root when no phase is open.
+func (tl *timeline) currentSpan() trace.SpanID {
+	if tl == nil {
+		return 0
+	}
+	if tl.open {
+		return tl.cur
+	}
+	return tl.root
+}
+
+// tracer returns the trace bus worker spans are emitted on (nil when the
+// timeline itself is nil; the trace package treats a nil tracer as off).
+func (tl *timeline) tracer() *trace.Tracer {
+	if tl == nil {
+		return nil
+	}
+	return tl.tr
 }
 
 func (tl *timeline) closePhase(p *sim.Proc) {

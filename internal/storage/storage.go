@@ -433,3 +433,11 @@ type BlockRef struct {
 
 // String implements fmt.Stringer for diagnostics.
 func (r BlockRef) String() string { return fmt.Sprintf("%s#%d", r.File.Name, r.No) }
+
+// Route returns a stable 32-bit routing hash of the block's identity:
+// the datafile's creation-time name hash mixed with the block number
+// (Fibonacci hashing). It is the single routing function shared by the
+// buffer cache (masked to a power-of-two shard count) and the parallel
+// recovery pipeline (reduced modulo the worker count), so for a given
+// fan-out a block always lands in exactly one place.
+func (r BlockRef) Route() uint32 { return r.File.ShardHint() + uint32(r.No)*2654435761 }

@@ -75,6 +75,37 @@ func (s *TimelineSink) Render() string {
 		for _, ev := range children {
 			sum += time.Duration(ev.Dur)
 			fmt.Fprintf(&b, "  %-16s %14s %14s  %s\n", ev.Name, ev.Start, time.Duration(ev.Dur), attrString(ev))
+			// Parallel-recovery worker spans nest one level below the
+			// phase; summarize them as one sub-row per worker kind.
+			type agg struct {
+				spans int
+				busy  time.Duration
+				ids   map[int64]bool
+			}
+			workers := map[string]*agg{}
+			for _, ws := range s.spans {
+				if ws.Parent != ev.ID {
+					continue
+				}
+				a := workers[ws.Name]
+				if a == nil {
+					a = &agg{ids: map[int64]bool{}}
+					workers[ws.Name] = a
+				}
+				a.spans++
+				a.busy += time.Duration(ws.Dur)
+				for i := 0; i < ws.NAttrs; i++ {
+					if ws.Attrs[i].Key == "worker" {
+						a.ids[ws.Attrs[i].Int] = true
+					}
+				}
+			}
+			for _, name := range []string{"apply worker", "io worker"} {
+				if a := workers[name]; a != nil {
+					fmt.Fprintf(&b, "    %-14s %14s %14s  workers=%d spans=%d\n",
+						name, "", a.busy, len(a.ids), a.spans)
+				}
+			}
 		}
 		cover := 100.0
 		if root.Dur > 0 {

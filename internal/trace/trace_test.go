@@ -277,6 +277,44 @@ func TestTimelineSinkRendersPhases(t *testing.T) {
 	}
 }
 
+func TestTimelineSinkRendersWorkerSpans(t *testing.T) {
+	ts := NewTimelineSink()
+	tr := New(ts)
+	root := tr.Begin(at(0), CatRecovery, "recovery", "recovery:instance")
+	rr := tr.BeginChild(at(0), CatRecovery, "recovery", "redo replay", root)
+	// Two apply workers, worker 0 with two busy stretches.
+	w0a := tr.BeginChild(at(0), CatRecovery, "recovery", "apply worker", rr)
+	tr.End(at(2), w0a, I("worker", 0))
+	w1 := tr.BeginChild(at(1), CatRecovery, "recovery", "apply worker", rr)
+	tr.End(at(4), w1, I("worker", 1))
+	w0b := tr.BeginChild(at(3), CatRecovery, "recovery", "apply worker", rr)
+	tr.End(at(6), w0b, I("worker", 0))
+	tr.End(at(6), rr)
+	bw := tr.BeginChild(at(6), CatRecovery, "recovery", "block writes", root)
+	io := tr.BeginChild(at(6), CatRecovery, "recovery", "io worker", bw)
+	tr.End(at(8), io, I("worker", 0))
+	tr.End(at(8), bw)
+	tr.End(at(8), root)
+
+	out := ts.Render()
+	// worker 0 busy 2s+3s, worker 1 busy 3s: 8s over 2 workers, 3 spans.
+	for _, want := range []string{
+		"apply worker", "workers=2 spans=3",
+		"io worker", "workers=1 spans=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "8s  workers=2") {
+		t.Errorf("apply worker busy sum not rendered as 8s:\n%s", out)
+	}
+	// Worker sub-rows must not count toward the phase-sum coverage line.
+	if !strings.Contains(out, "phase sum 8s of 8s (100.0% coverage)") {
+		t.Errorf("coverage line wrong:\n%s", out)
+	}
+}
+
 func TestMultiSink(t *testing.T) {
 	a, b := &RingSink{}, &RingSink{}
 	if MultiSink() != nil || MultiSink(nil, nil) != nil {
