@@ -157,6 +157,39 @@ func (b *Backup) RestoreDatafile(p *sim.Proc, fs *simdisk.FS, name string) error
 	return nil
 }
 
+// RestoreTablespace re-creates one tablespace from the backup: the
+// tablespace is reattached if it was dropped (the dictionary is NOT
+// touched — online tablespace recovery repairs physical storage under a
+// live catalog), and every one of its datafiles is restored. The files
+// are left offline with NeedsRecovery set; media recovery rolls them
+// forward.
+func (b *Backup) RestoreTablespace(p *sim.Proc, fs *simdisk.FS, db *storage.DB, name string) error {
+	var ts *storage.Tablespace
+	for _, tb := range b.tablespaces {
+		if tb.ts.Name == name {
+			ts = tb.ts
+			break
+		}
+	}
+	if ts == nil {
+		return fmt.Errorf("%w: tablespace %q not in backup %d", ErrNoBackup, name, b.ID)
+	}
+	if _, err := db.Tablespace(name); err != nil {
+		if err := db.ReattachTablespace(ts); err != nil {
+			return fmt.Errorf("backup: reattach %q: %w", name, err)
+		}
+	}
+	for _, f := range ts.Files {
+		if !b.HasFile(f.Name) {
+			continue // file created after the backup; left as-is
+		}
+		if err := b.RestoreDatafile(p, fs, f.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RestoreAll restores the entire database: every tablespace in the backup
 // is reattached if it was dropped, every datafile is restored, and the
 // dictionary is reset to the backup snapshot. Used by point-in-time

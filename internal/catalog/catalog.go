@@ -295,6 +295,33 @@ func (c *Catalog) TablesIn(tablespace string) []string {
 	return names
 }
 
+// TablesFullyIn returns the names of tables whose every block lives in
+// the given tablespace. A partitioned table with one partition in the
+// tablespace and the rest elsewhere is NOT included: dropping a
+// per-warehouse tablespace must not take the other warehouses' partitions
+// with it. (TablesIn matches only the Tablespace attribute, which for a
+// partitioned table is the first partition's tablespace.)
+func (c *Catalog) TablesFullyIn(tablespace string) []string {
+	var names []string
+	for n, t := range c.tables {
+		if len(t.blocks) == 0 {
+			continue
+		}
+		all := true
+		for _, ref := range t.blocks {
+			if ref.File.Tablespace != tablespace {
+				all = false
+				break
+			}
+		}
+		if all {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // copyTable deep-copies a table's metadata, including partition bounds
 // (backup restore depends on partition segments surviving the round trip;
 // block refs still point at the same datafile objects — the physical

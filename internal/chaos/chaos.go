@@ -350,7 +350,14 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		replay := captureRedo(in)
 
 		// Phase 3: the standard recovery procedure, driven through the
-		// fault injector like any operator-fault experiment.
+		// fault injector like any operator-fault experiment. The reopen
+		// instant bounds the dark window for the served-safety check.
+		var reopenAt sim.Time
+		in.OnStateChange = func(now sim.Time, s engine.State) {
+			if s == engine.StateOpen && reopenAt == 0 {
+				reopenAt = now
+			}
+		}
 		o := faults.Observed(faults.Fault{Kind: faults.ShutdownAbort}, res.CrashAt, preSCN)
 		if err := inj.Recover(p, o); err != nil {
 			fail(fmt.Errorf("recovery after crash at %v: %w", res.CrashAt, err))
@@ -384,6 +391,19 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		}
 		res.MissingCommits = missing
 		res.Durable = missing == 0
+
+		// Invariant (e): served traffic is safe. The driver must never
+		// have recorded a commit acknowledgement while the instance was
+		// dark — between the crash and the reopen no transaction can
+		// complete, so any commit timestamped there was acked by nobody.
+		g := drv.Availability(0, p.Now().Add(time.Nanosecond)).Global()
+		res.Offered, res.Served = g.Offered, g.Served
+		for _, c := range drv.Commits() {
+			if c.At > res.CrashAt && (reopenAt == 0 || c.At < reopenAt) {
+				res.DarkCommits++
+			}
+		}
+		res.ServedSafe = res.DarkCommits == 0
 
 		// Invariant (b): the TPC-C consistency conditions.
 		viols, err := app.CheckConsistency(p)

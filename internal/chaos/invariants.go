@@ -123,6 +123,9 @@ func sameOutcome(a, b *PointResult) bool {
 		a.MissingCommits == b.MissingCommits &&
 		a.Violations == b.Violations &&
 		a.ReappliedRecords == b.ReappliedRecords &&
+		a.Offered == b.Offered &&
+		a.Served == b.Served &&
+		a.DarkCommits == b.DarkCommits &&
 		a.TraceHash == b.TraceHash &&
 		a.TraceEvents == b.TraceEvents
 }
@@ -147,6 +150,9 @@ func fingerprint(in *engine.Instance, r *PointResult) uint64 {
 	writeInt(int64(r.MissingCommits))
 	writeInt(int64(r.Violations))
 	writeInt(int64(r.ReappliedRecords))
+	writeInt(int64(r.Offered))
+	writeInt(int64(r.Served))
+	writeInt(int64(r.DarkCommits))
 	writeInt(int64(r.TraceHash))
 	writeInt(int64(r.TraceEvents))
 	return h.Sum64()

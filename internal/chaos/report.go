@@ -43,6 +43,16 @@ type PointResult struct {
 	Idempotent       bool // (c) redo replay applied nothing new
 	ReappliedRecords int
 	Deterministic    bool // (d) rerun with the same seed agreed
+	ServedSafe       bool // (e) no commit acked while the instance was dark
+
+	// Offered/Served count the terminals' transaction attempts over the
+	// whole point (commits and user aborts served, errors refused).
+	// DarkCommits is the evidence count behind ServedSafe: commit
+	// acknowledgements timestamped between the crash and the instance
+	// reopening — traffic no down database could have served.
+	Offered     int
+	Served      int
+	DarkCommits int
 	// Fingerprint condenses final state + measures (the determinism
 	// comparison value).
 	Fingerprint uint64
@@ -56,7 +66,7 @@ type PointResult struct {
 
 // OK reports whether every invariant held at this point.
 func (r *PointResult) OK() bool {
-	return r.Durable && r.Consistent && r.Idempotent && r.Deterministic
+	return r.Durable && r.Consistent && r.Idempotent && r.Deterministic && r.ServedSafe
 }
 
 // Verdict renders the point's overall invariant verdict: "ok" when every
@@ -110,21 +120,23 @@ func verdict(ok bool, n int) string {
 func FormatReport(r *Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Chaos crash-point exploration: %d points, seed %d.\n", len(r.Points), r.Config.Seed)
-	fmt.Fprintf(&b, "%4s %-10s %9s %9s %8s %9s %11s %7s | %7s %7s %6s %6s\n",
+	fmt.Fprintf(&b, "%4s %-10s %9s %9s %8s %9s %11s %7s %8s %8s | %7s %7s %6s %6s %6s\n",
 		"pt", "window", "crash@", "crashSCN", "recovery", "applied", "replayed", "acked",
-		"durable", "consist", "idem", "determ")
+		"offered", "served",
+		"durable", "consist", "idem", "determ", "safe")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%4d %-10s %8.2fs %9d %7.1fs %9d %10.1fKB %7d | %7s %7s %6s %6s\n",
+		fmt.Fprintf(&b, "%4d %-10s %8.2fs %9d %7.1fs %9d %10.1fKB %7d %8d %8d | %7s %7s %6s %6s %6s\n",
 			p.Index, p.Window, time.Duration(p.CrashAt).Seconds(), p.CrashSCN,
 			p.RecoveryTime.Seconds(), p.RecordsApplied, float64(p.BytesReplayed)/1024,
-			p.AckedCommits,
+			p.AckedCommits, p.Offered, p.Served,
 			verdict(p.Durable, p.MissingCommits),
 			verdict(p.Consistent, p.Violations),
 			verdict(p.Idempotent, p.ReappliedRecords),
-			verdict(p.Deterministic, 1))
+			verdict(p.Deterministic, 1),
+			verdict(p.ServedSafe, p.DarkCommits))
 	}
 	if r.AllGreen() {
-		fmt.Fprintf(&b, "%d/%d crash points green: durability, consistency, idempotence, determinism all held.\n",
+		fmt.Fprintf(&b, "%d/%d crash points green: durability, consistency, idempotence, determinism, served-safety all held.\n",
 			len(r.Points), len(r.Points))
 	} else {
 		fmt.Fprintf(&b, "%d/%d crash points VIOLATED an invariant (reproduce one with its point seed).\n",

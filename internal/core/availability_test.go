@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dbench/internal/faults"
+)
+
+// quadSpec is quickSpec at four warehouses, scaled so the run stays
+// test-sized: four partitioned TPCC_W* tablespaces plus the shared one.
+func quadSpec(name string) Spec {
+	spec := quickSpec(name)
+	spec.TPCC.Warehouses = 4
+	spec.TPCC.CustomersPerDistrict = 30
+	spec.TPCC.Items = 300
+	spec.TPCC.TerminalsPerWarehouse = 4
+	spec.CacheBlocks = 1024
+	spec.CPUs = 4
+	spec.DataDisks = 4
+	spec.Duration = 3 * time.Minute
+	spec.InjectAt = 45 * time.Second
+	spec.TailAfterRecovery = 20 * time.Second
+	return spec
+}
+
+// TestAvailabilityLocalizedFaultKeepsOthersServing is the headline
+// acceptance check: deleting one warehouse's datafile at W=4 takes only
+// that warehouse's tablespace offline, and the other three keep serving
+// nearly all their offered load during the online recovery — the paper's
+// fully-dark recovery behaviour is now reserved for instance-wide
+// faults.
+func TestAvailabilityLocalizedFaultKeepsOthersServing(t *testing.T) {
+	spec := quadSpec("avail-localized")
+	spec.Archive = true
+	spec.Fault = &faults.Fault{Kind: faults.DeleteDatafile, Target: "TPCC_W01_01.dbf"}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcome.Localized || res.Outcome.Tablespace != "TPCC_W01" {
+		t.Fatalf("outcome not localized to TPCC_W01: %+v", res.Outcome)
+	}
+	av := res.Availability
+	if av == nil {
+		t.Fatal("no availability measured")
+	}
+	if av.Warehouses() != 4 {
+		t.Fatalf("availability over %d warehouses, want 4", av.Warehouses())
+	}
+	// The affected warehouse is down for the window: its terminals'
+	// transactions all touch TPCC_W01 and fail fast.
+	w1 := av.Warehouse(1)
+	if w1.Offered == 0 {
+		t.Fatal("no load offered against the affected warehouse during recovery")
+	}
+	if f := w1.Fraction(); f > 0.10 {
+		t.Errorf("affected warehouse served %.0f%% during its outage, want ~0", 100*f)
+	}
+	// The three unaffected warehouses keep serving: only the small
+	// remote-warehouse share of their mix (remote Payments, remote
+	// New-Order lines) touches the offline partition.
+	var unaff struct{ offered, served int }
+	for w := 2; w <= 4; w++ {
+		c := av.Warehouse(w)
+		if c.Offered == 0 {
+			t.Errorf("warehouse %d offered nothing during the window", w)
+		}
+		unaff.offered += c.Offered
+		unaff.served += c.Served
+		if f := c.Fraction(); f < 0.90 {
+			t.Errorf("unaffected warehouse %d served only %.0f%% during recovery", w, 100*f)
+		}
+	}
+	if frac := float64(unaff.served) / float64(unaff.offered); frac < 0.95 {
+		t.Errorf("unaffected warehouses served %.1f%% in aggregate, want >= 95%%", 100*frac)
+	}
+	t.Logf("availability: affected=%.3f unaffected=%.3f global=%.3f window=%v",
+		w1.Fraction(), float64(unaff.served)/float64(unaff.offered),
+		av.GlobalFraction(), res.Outcome.OutageDuration())
+	// Global availability blends the dead column with the live ones, so
+	// it must sit strictly between them.
+	unaffFrac := float64(unaff.served) / float64(unaff.offered)
+	if g := av.GlobalFraction(); g < 0.5 || g >= unaffFrac {
+		t.Errorf("global availability %.3f outside (0.5, unaffected %.3f)", g, unaffFrac)
+	}
+	// Online recovery must not lose acknowledged work elsewhere.
+	if res.LostTransactions != 0 {
+		t.Errorf("online tablespace recovery lost %d transactions", res.LostTransactions)
+	}
+	if len(res.IntegrityViolations) != 0 {
+		t.Errorf("violations: %v", res.IntegrityViolations[0])
+	}
+}
+
+// TestAvailabilityShutdownAbortIsFullOutage pins the contrast: an
+// instance-wide fault keeps its full-outage semantics — every warehouse
+// column collapses while the instance is down.
+func TestAvailabilityShutdownAbortIsFullOutage(t *testing.T) {
+	spec := quadSpec("avail-outage")
+	spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Localized {
+		t.Fatalf("shutdown abort claimed a localized outcome: %+v", res.Outcome)
+	}
+	av := res.Availability
+	if av == nil {
+		t.Fatal("no availability measured")
+	}
+	if g := av.Global(); g.Offered == 0 {
+		t.Fatal("no load offered during the outage window")
+	}
+	if f := av.GlobalFraction(); f > 0.05 {
+		t.Errorf("global availability %.2f during a full outage, want ~0", f)
+	}
+}

@@ -298,6 +298,11 @@ type RecRow struct {
 	LostCommits [3]int
 	// Violations[i] counts integrity violations detected afterwards.
 	Violations [3]int
+	// Avail[i] is the global served fraction (0..1) over the fault
+	// window [inject, recovered): how much of the offered load the
+	// database still served while the fault was being repaired. ~0 for
+	// full outages, near 1 for localized faults at W>1.
+	Avail [3]float64
 }
 
 // runRecoveryGrid executes fault × config × inject-time with archives on.
@@ -351,6 +356,9 @@ func runRecoveryGrid(sc Scale, kinds []faults.Kind, configs []RecoveryConfig, la
 			row.LostCommits[instant] = res.Outcome.Report.LostCommits
 		}
 		row.Violations[instant] = len(res.IntegrityViolations)
+		if res.Availability != nil {
+			row.Avail[instant] = res.Availability.GlobalFraction()
+		}
 	}
 	return rows, nil
 }

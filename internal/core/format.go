@@ -64,11 +64,11 @@ func FormatFigure5(rows []Fig5Row) string {
 func formatRecTable(title string, rows []RecRow, injects [3]time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-22s %-10s | %9s %9s %9s | %6s %5s\n", "Fault", "Config",
+	fmt.Fprintf(&b, "%-22s %-10s | %9s %9s %9s | %6s %5s %6s\n", "Fault", "Config",
 		fmt.Sprintf("@%ds", int(injects[0].Seconds())),
 		fmt.Sprintf("@%ds", int(injects[1].Seconds())),
 		fmt.Sprintf("@%ds", int(injects[2].Seconds())),
-		"lost", "viol")
+		"lost", "viol", "avail")
 	var last faults.Kind
 	for _, r := range rows {
 		name := ""
@@ -78,9 +78,10 @@ func formatRecTable(title string, rows []RecRow, injects [3]time.Duration) strin
 		}
 		lost := r.LostCommits[0] + r.LostCommits[1] + r.LostCommits[2]
 		viol := r.Violations[0] + r.Violations[1] + r.Violations[2]
-		fmt.Fprintf(&b, "%-22s %-10s | %9s %9s %9s | %6d %5d\n",
+		avail := (r.Avail[0] + r.Avail[1] + r.Avail[2]) / 3
+		fmt.Fprintf(&b, "%-22s %-10s | %9s %9s %9s | %6d %5d %5.0f%%\n",
 			name, r.Config.Name,
-			secs(r.Times[0]), secs(r.Times[1]), secs(r.Times[2]), lost, viol)
+			secs(r.Times[0]), secs(r.Times[1]), secs(r.Times[2]), lost, viol, 100*avail)
 	}
 	return b.String()
 }
@@ -142,10 +143,12 @@ func FormatScaling(rows []ScalingRow) string {
 	fmt.Fprintf(&b, "Scaling. Throughput and crash-recovery time vs warehouses.\n")
 	fmt.Fprintf(&b, "(%s = baseline, %s = perf-tuned; Shutdown Abort at full throughput)\n",
 		ScalingBaselineConfig.Name, ScalingTunedConfig.Name)
-	fmt.Fprintf(&b, "%4s %6s | %8s %8s %9s | %8s %8s %9s",
+	fmt.Fprintf(&b, "(media = delete W1's datafile; avail = served fraction during media recovery,\n")
+	fmt.Fprintf(&b, " global / unaffected warehouses)\n")
+	fmt.Fprintf(&b, "%4s %6s | %8s %8s %9s %8s %5s %5s | %8s %8s %9s %8s %5s %5s",
 		"W", "terms",
-		"tpmC", "rec (s)", "redo MB/s",
-		"tpmC", "rec (s)", "redo MB/s")
+		"tpmC", "rec (s)", "redo MB/s", "media(s)", "avail", "unaff",
+		"tpmC", "rec (s)", "redo MB/s", "media(s)", "avail", "unaff")
 	if len(rows) > 0 {
 		for _, wc := range rows[0].WorkerRec {
 			fmt.Fprintf(&b, " | %9s %9s",
@@ -153,11 +156,14 @@ func FormatScaling(rows []ScalingRow) string {
 		}
 	}
 	fmt.Fprintf(&b, "\n")
+	pct := func(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%4d %6d | %8.0f %8s %9.2f | %8.0f %8s %9.2f",
+		fmt.Fprintf(&b, "%4d %6d | %8.0f %8s %9.2f %8s %5s %5s | %8.0f %8s %9.2f %8s %5s %5s",
 			r.Warehouses, r.Terminals,
 			r.Base.TpmC, secs(r.Base.RecoveryTime), r.Base.RedoMBps,
-			r.Tuned.TpmC, secs(r.Tuned.RecoveryTime), r.Tuned.RedoMBps)
+			secs(r.Base.MediaRecovery), pct(r.Base.MediaAvail), pct(r.Base.MediaAvailOther),
+			r.Tuned.TpmC, secs(r.Tuned.RecoveryTime), r.Tuned.RedoMBps,
+			secs(r.Tuned.MediaRecovery), pct(r.Tuned.MediaAvail), pct(r.Tuned.MediaAvailOther))
 		for _, wc := range r.WorkerRec {
 			fmt.Fprintf(&b, " | %9s %9s", secs(wc.Base), secs(wc.Tuned))
 		}

@@ -63,6 +63,7 @@ func TestFormatTable4Golden(t *testing.T) {
 			Config:      cfgOrDie(t, "F400G3T20"),
 			Times:       [3]time.Duration{95 * time.Second, 102 * time.Second, 110 * time.Second},
 			LostCommits: [3]int{120, 250, 430},
+			Avail:       [3]float64{0.72, 0.75, 0.78},
 		},
 		{
 			Fault:       faults.DeleteDatafile,
@@ -87,6 +88,7 @@ func TestFormatTable5Golden(t *testing.T) {
 			Fault:  faults.ShutdownAbort,
 			Config: cfgOrDie(t, "F400G3T20"),
 			Times:  [3]time.Duration{35 * time.Second, 48 * time.Second, 61 * time.Second},
+			Avail:  [3]float64{0.01, 0.02, 0.01},
 		},
 		{
 			Fault:  faults.ShutdownAbort,

@@ -8,6 +8,7 @@ import (
 	"dbench/internal/backup"
 	"dbench/internal/engine"
 	"dbench/internal/faults"
+	"dbench/internal/metrics"
 	"dbench/internal/recovery"
 	"dbench/internal/redo"
 	"dbench/internal/sim"
@@ -120,6 +121,13 @@ type Result struct {
 	// UserOutage is the end-user view: from injection to the first
 	// successful transaction after it.
 	UserOutage time.Duration
+
+	// Availability is the per-warehouse served-fraction over the fault
+	// window [InjectedAt, RecoveredAt) (nil without fault): how much of
+	// the offered load the database kept serving while recovering. A
+	// localized fault keeps the unaffected warehouses near 1.0; a full
+	// outage collapses every column to ~0.
+	Availability *metrics.Availability
 
 	// LostTransactions counts acknowledged commits whose effects are
 	// missing after the experiment (the paper's lost-transaction
@@ -366,6 +374,11 @@ func Run(spec Spec) (*Result, error) {
 			} else {
 				res.UserOutage = end.Sub(res.Outcome.InjectedAt)
 			}
+			availEnd := res.Outcome.RecoveredAt
+			if availEnd <= res.Outcome.InjectedAt {
+				availEnd = end
+			}
+			res.Availability = drv.Availability(res.Outcome.InjectedAt, availEnd)
 		}
 		// Lost transactions from the end-user view: with an incomplete
 		// recovery point, count acknowledged commits beyond it (row

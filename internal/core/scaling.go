@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dbench/internal/faults"
+	"dbench/internal/metrics"
 )
 
 // ---------------------------------------------------------------------
@@ -34,6 +35,16 @@ type ScalingCell struct {
 	TpmC         float64
 	RecoveryTime time.Duration
 	RedoMBps     float64
+
+	// MediaRecovery is the delete-datafile (one warehouse's tablespace)
+	// recovery time at this scale. At W>1 the tablespace is repaired
+	// online while the other warehouses keep serving.
+	MediaRecovery time.Duration
+	// MediaAvail is the global served fraction during the media
+	// recovery window; MediaAvailOther the served fraction over the
+	// warehouses the fault did not touch (1.0 when W=1 offers none).
+	MediaAvail      float64
+	MediaAvailOther float64
 }
 
 // ScalingWorkerCell is crash-recovery time at one parallel worker count,
@@ -105,6 +116,31 @@ func scalingSpec(sc Scale, cfg RecoveryConfig, w int, fault bool, recWorkers int
 	return spec
 }
 
+// scalingMediaTarget is the datafile deleted by the sweep's media-fault
+// job: warehouse 1's tablespace file (the whole database's single file
+// pair at W=1, where the layout has no per-warehouse tablespaces).
+func scalingMediaTarget(w int) string {
+	if w == 1 {
+		return "TPCC_01.dbf"
+	}
+	return "TPCC_W01_01.dbf"
+}
+
+// scalingMediaSpec builds the media-fault job: delete warehouse 1's
+// datafile at full throughput, with archives on so media recovery can
+// roll the restored file forward. At W>1 only that warehouse's
+// tablespace goes offline and the run measures how much traffic the
+// rest of the database keeps serving.
+func scalingMediaSpec(sc Scale, cfg RecoveryConfig, w int) Spec {
+	spec := scalingSpec(sc, cfg, w, false, sc.maxRecoveryWorkers())
+	spec.Name = fmt.Sprintf("SC/W%d/%s/media", w, cfg.Name)
+	spec.Archive = true
+	spec.Fault = &faults.Fault{Kind: faults.DeleteDatafile, Target: scalingMediaTarget(w)}
+	spec.InjectAt = sc.InjectTimes[1]
+	spec.TailAfterRecovery = sc.Tail
+	return spec
+}
+
 // RunScaling measures the scaling sweep: for every warehouse count, a
 // fault-free run per configuration plus a shutdown-abort run per
 // configuration and recovery-worker count (2·(1+len(workers)) runs per
@@ -122,9 +158,10 @@ func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, er
 		}
 	}
 	ws := scalingWorkerCounts(sc)
-	// Per W and configuration: one perf job then one rec job per worker
-	// count, baseline before tuned, in this fixed order.
-	block := 1 + len(ws)
+	// Per W and configuration: one perf job, one rec job per worker
+	// count, then one media-fault job, baseline before tuned, in this
+	// fixed order.
+	block := 1 + len(ws) + 1
 	stride := 2 * block
 	labels := make([]string, 0, stride)
 	for _, cfgName := range []string{"base", "tuned"} {
@@ -136,6 +173,7 @@ func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, er
 				labels = append(labels, cfgName+"/rec")
 			}
 		}
+		labels = append(labels, cfgName+"/media")
 	}
 	specs := make([]Spec, 0, stride*len(warehouses))
 	for _, w := range warehouses {
@@ -144,6 +182,7 @@ func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, er
 			for _, n := range ws {
 				specs = append(specs, scalingSpec(sc, cfg, w, true, n))
 			}
+			specs = append(specs, scalingMediaSpec(sc, cfg, w))
 		}
 	}
 	// Trace the first recovery run at the largest worker count (not the
@@ -154,10 +193,19 @@ func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, er
 	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
 		w := warehouses[i/stride]
 		j := i % stride
-		if j%block == 0 {
+		switch {
+		case j%block == 0:
 			return fmt.Sprintf("SC W=%-2d %-10s tpmC=%5.0f", w, labels[j], res.TpmC)
+		case j%block == block-1:
+			avail := 0.0
+			if res.Availability != nil {
+				avail = res.Availability.GlobalFraction()
+			}
+			return fmt.Sprintf("SC W=%-2d %-10s recovery=%v avail=%.0f%%", w, labels[j],
+				res.RecoveryTime.Round(time.Second), 100*avail)
+		default:
+			return fmt.Sprintf("SC W=%-2d %-10s recovery=%v", w, labels[j], res.RecoveryTime.Round(time.Second))
 		}
-		return fmt.Sprintf("SC W=%-2d %-10s recovery=%v", w, labels[j], res.RecoveryTime.Round(time.Second))
 	})
 	if err != nil {
 		return nil, err
@@ -165,20 +213,32 @@ func RunScaling(sc Scale, warehouses []int, progress Progress) ([]ScalingRow, er
 	rows := make([]ScalingRow, len(warehouses))
 	for i, w := range warehouses {
 		r := results[stride*i : stride*(i+1)]
-		basePerf, baseRec := r[0], r[1:block]
-		tunedPerf, tunedRec := r[block], r[block+1:]
-		cell := func(perf, rec *Result) ScalingCell {
-			return ScalingCell{
-				TpmC:         perf.TpmC,
-				RecoveryTime: rec.RecoveryTime,
-				RedoMBps:     float64(perf.RedoWritten) / (1 << 20) / sc.Duration.Seconds(),
+		basePerf, baseRec, baseMedia := r[0], r[1:1+len(ws)], r[block-1]
+		tunedPerf, tunedRec, tunedMedia := r[block], r[block+1:block+1+len(ws)], r[2*block-1]
+		cell := func(perf, rec, media *Result) ScalingCell {
+			c := ScalingCell{
+				TpmC:          perf.TpmC,
+				RecoveryTime:  rec.RecoveryTime,
+				RedoMBps:      float64(perf.RedoWritten) / (1 << 20) / sc.Duration.Seconds(),
+				MediaRecovery: media.RecoveryTime,
 			}
+			if a := media.Availability; a != nil {
+				c.MediaAvail = a.GlobalFraction()
+				var other metrics.AvailabilityCell
+				for wn := 2; wn <= a.Warehouses(); wn++ {
+					cw := a.Warehouse(wn)
+					other.Offered += cw.Offered
+					other.Served += cw.Served
+				}
+				c.MediaAvailOther = other.Fraction()
+			}
+			return c
 		}
 		rows[i] = ScalingRow{
 			Warehouses: w,
 			Terminals:  w * sc.TPCC.TerminalsPerWarehouse,
-			Base:       cell(basePerf, baseRec[0]),
-			Tuned:      cell(tunedPerf, tunedRec[0]),
+			Base:       cell(basePerf, baseRec[0], baseMedia),
+			Tuned:      cell(tunedPerf, tunedRec[0], tunedMedia),
 		}
 		for j := 1; j < len(ws); j++ {
 			rows[i].WorkerRec = append(rows[i].WorkerRec, ScalingWorkerCell{

@@ -71,7 +71,14 @@ func (in *Instance) logDDL(p *sim.Proc, statement string) error {
 		return err
 	}
 	scn := in.log.Append(redo.Record{Op: redo.OpDDL, Meta: statement})
-	return in.log.WaitFlushed(p, scn)
+	if err := in.log.WaitFlushed(p, scn); err != nil {
+		return err
+	}
+	// The DDL is durable and in effect from this instant; stamp it so
+	// observers (the fault injector) can timestamp the event atomically.
+	in.lastDDLSCN = scn
+	in.lastDDLAt = p.Now()
+	return nil
 }
 
 // DropTable removes a table (DDL; implicitly committed). The segment's
@@ -107,7 +114,11 @@ func (in *Instance) DropTablespace(p *sim.Proc, name string) error {
 	if err := in.logDDL(p, "DROP TABLESPACE "+name+" INCLUDING CONTENTS"); err != nil {
 		return err
 	}
-	for _, tbl := range in.cat.TablesIn(name) {
+	// Only tables fully contained in the tablespace are dropped with it: a
+	// partitioned table that merely has one partition here survives (its
+	// other partitions live in other tablespaces), losing only this
+	// tablespace's blocks until the tablespace is restored.
+	for _, tbl := range in.cat.TablesFullyIn(name) {
 		if err := in.cat.DropTable(tbl); err != nil {
 			return err
 		}
@@ -115,6 +126,7 @@ func (in *Instance) DropTablespace(p *sim.Proc, name string) error {
 	for _, f := range ts.Files {
 		in.cache.InvalidateFile(f)
 	}
+	in.markTablespaceDown(name)
 	p.Sleep(adminLatency)
 	return in.db.DropTablespace(name)
 }
@@ -194,13 +206,52 @@ func (in *Instance) OfflineTablespace(p *sim.Proc, name string) error {
 	// Doing the checkpoint before going offline would race concurrent
 	// transactions and lose whatever they wrote after the snapshot.
 	ts.SetOnline(false)
+	in.markTablespaceDown(name)
 	for _, f := range ts.Files {
 		if err := in.cache.FlushFileForce(p, f); err != nil {
 			ts.SetOnline(true)
+			in.clearTablespaceDown(name)
 			return err
 		}
 	}
 	for _, f := range ts.Files {
+		in.cache.InvalidateFile(f)
+		f.CkptSCN = in.log.FlushedSCN()
+	}
+	p.Sleep(adminLatency)
+	return nil
+}
+
+// OfflineTablespaceForRecovery takes a damaged tablespace offline so the
+// rest of the database keeps serving while it is repaired: the reaction
+// of the DBMS to a lost or force-offlined datafile. Damaged files keep
+// their checkpoint SCN (media recovery must roll forward from there);
+// intact sibling files are checkpointed cleanly like OFFLINE NORMAL so
+// only the damaged files need redo.
+func (in *Instance) OfflineTablespaceForRecovery(p *sim.Proc, name string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	ts, err := in.db.Tablespace(name)
+	if err != nil {
+		return err
+	}
+	if ts.System() {
+		return fmt.Errorf("engine: cannot offline SYSTEM tablespace")
+	}
+	ts.SetOnline(false)
+	in.markTablespaceDown(name)
+	for _, f := range ts.Files {
+		if f.Lost() || f.NeedsRecovery {
+			// Damaged: buffers are unflushable (or stale); recovery will
+			// reconstruct the images from backup + redo.
+			in.cache.InvalidateFile(f)
+			f.NeedsRecovery = true
+			continue
+		}
+		if err := in.cache.FlushFileForce(p, f); err != nil {
+			return err
+		}
 		in.cache.InvalidateFile(f)
 		f.CkptSCN = in.log.FlushedSCN()
 	}
@@ -226,6 +277,7 @@ func (in *Instance) OnlineTablespace(p *sim.Proc, name string) error {
 		}
 	}
 	ts.SetOnline(true)
+	in.clearTablespaceDown(name)
 	p.Sleep(adminLatency)
 	return nil
 }

@@ -12,6 +12,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"dbench/internal/archivelog"
 	"dbench/internal/bufcache"
@@ -70,6 +71,8 @@ type counters struct {
 	switchCheckpoints  *trace.Counter
 	timeoutCheckpoints *trace.Counter
 	crashes            *trace.Counter
+	tsOfflines         *trace.Counter
+	tsOnlines          *trace.Counter
 }
 
 // Instance is one database server instance plus its database.
@@ -99,6 +102,18 @@ type Instance struct {
 	openedAt  sim.Time
 	downSince sim.Time
 
+	// tsDown records, per tablespace, when it became unavailable to DML
+	// (offlined, dropped, or damaged): the start of the localized outage
+	// window. Cleared when the tablespace comes back online.
+	tsDown map[string]sim.Time
+
+	// lastDDLSCN/lastDDLAt stamp the most recent DDL redo record at the
+	// moment it was durably flushed — the instant a destructive DDL takes
+	// effect, which the fault injector uses as its atomic
+	// (PreFaultSCN, InjectedAt) capture point.
+	lastDDLSCN redo.SCN
+	lastDDLAt  sim.Time
+
 	// ckptActive is true while the checkpoint procedure is between its
 	// start and its control-file update — the window in which a crash
 	// leaves a half-drained cache behind.
@@ -121,15 +136,16 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	inst := &Instance{
-		k:     k,
-		fs:    fs,
-		cfg:   cfg,
-		db:    db,
-		cat:   catalog.New(),
-		log:   log,
-		cache: bufcache.New(k, cfg.CacheBlocks),
-		cpu:   sim.NewResource(cfg.CPUs),
-		state: StateDown,
+		k:      k,
+		fs:     fs,
+		cfg:    cfg,
+		db:     db,
+		cat:    catalog.New(),
+		log:    log,
+		cache:  bufcache.New(k, cfg.CacheBlocks),
+		cpu:    sim.NewResource(cfg.CPUs),
+		state:  StateDown,
+		tsDown: make(map[string]sim.Time),
 	}
 	// One registry per instance: the engine's own counters plus every
 	// subsystem block, in construction order. Status() derives its
@@ -142,6 +158,8 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 		switchCheckpoints:  inst.reg.Counter("engine.switch_checkpoints"),
 		timeoutCheckpoints: inst.reg.Counter("engine.timeout_checkpoints"),
 		crashes:            inst.reg.Counter("engine.crashes"),
+		tsOfflines:         inst.reg.Counter("engine.ts_offlines"),
+		tsOnlines:          inst.reg.Counter("engine.ts_onlines"),
 	}
 	inst.reg.Register(inst.cache.Counters()...)
 	inst.reg.Register(log.Counters()...)
@@ -235,6 +253,41 @@ func (in *Instance) MarkRecovered() { in.recovered = true }
 // DownSince reports when the instance last left the open state.
 func (in *Instance) DownSince() sim.Time { return in.downSince }
 
+// TablespaceDownSince reports when the named tablespace became
+// unavailable to DML, and whether it currently is. Faults that never
+// crash the instance (datafile deletion, tablespace offline/drop) show
+// up here rather than in DownSince.
+func (in *Instance) TablespaceDownSince(name string) (sim.Time, bool) {
+	t, ok := in.tsDown[name]
+	return t, ok
+}
+
+// markTablespaceDown records the start of a tablespace outage (first
+// marking wins: a fault followed by a recovery offline keeps the fault's
+// timestamp).
+func (in *Instance) markTablespaceDown(name string) {
+	if _, ok := in.tsDown[name]; ok {
+		return
+	}
+	in.tsDown[name] = in.k.Now()
+	in.c.tsOfflines.Inc()
+	in.tr.Instant(in.k.Now(), trace.CatEngine, "engine", "tablespace down", trace.S("ts", name))
+}
+
+// clearTablespaceDown ends a tablespace outage window.
+func (in *Instance) clearTablespaceDown(name string) {
+	if _, ok := in.tsDown[name]; !ok {
+		return
+	}
+	delete(in.tsDown, name)
+	in.c.tsOnlines.Inc()
+	in.tr.Instant(in.k.Now(), trace.CatEngine, "engine", "tablespace up", trace.S("ts", name))
+}
+
+// LastDDL returns the SCN and virtual time at which the most recent DDL
+// redo record was durably flushed.
+func (in *Instance) LastDDL() (redo.SCN, sim.Time) { return in.lastDDLSCN, in.lastDDLAt }
+
 // Mount starts the instance without opening the database: the SGA is
 // allocated, background process slots created and the control file read.
 // Recovery runs against a mounted instance; Open completes the startup.
@@ -292,6 +345,19 @@ func (in *Instance) Open(p *sim.Proc) error {
 	}
 	in.tr.Instant(p.Now(), trace.CatEngine, "engine", "open",
 		trace.I("scn", int64(in.log.NextSCN())))
+	// Whole-instance recovery paths (PIT restore) bring tablespaces back
+	// without an explicit ALTER ... ONLINE; close their outage windows
+	// here. Sorted for deterministic trace/counter order.
+	var reopened []string
+	for name := range in.tsDown {
+		if t, err := in.db.Tablespace(name); err == nil && t.Online() {
+			reopened = append(reopened, name)
+		}
+	}
+	sort.Strings(reopened)
+	for _, name := range reopened {
+		in.clearTablespaceDown(name)
+	}
 	if in.OnStateChange != nil {
 		in.OnStateChange(in.k.Now(), StateOpen)
 	}

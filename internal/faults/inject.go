@@ -92,8 +92,18 @@ type Outcome struct {
 	Fault      Fault
 	InjectedAt sim.Time
 	// PreFaultSCN is the last SCN before the fault took effect; the
-	// recovery target for incomplete recoveries.
+	// recovery target for incomplete recoveries. Captured atomically with
+	// InjectedAt at the instant the destructive action takes effect, so
+	// commits landing during the simulated operator action cannot fall
+	// between the two.
 	PreFaultSCN redo.SCN
+	// Tablespace names the tablespace the fault's damage localized to
+	// ("" when the fault hits the whole instance, e.g. ShutdownAbort).
+	Tablespace string
+	// Localized reports whether the blast radius was contained to
+	// Tablespace, making online tablespace recovery applicable while the
+	// rest of the database keeps serving.
+	Localized bool
 	// DetectedAt is when the (simulated) DBA notices and starts acting.
 	DetectedAt sim.Time
 	// Report is the recovery manager's account; nil when the recovery
@@ -108,6 +118,19 @@ type Outcome struct {
 func (o *Outcome) RecoveryDuration() time.Duration {
 	return o.RecoveredAt.Sub(o.DetectedAt)
 }
+
+// OutageDuration is the end-user outage window: from the instant the
+// fault took effect to the end of recovery, detection time included. For
+// a localized fault this is the affected tablespace's outage — the rest
+// of the database keeps serving inside it — whereas RecoveryDuration is
+// the DBA-procedure time the paper's tables report.
+func (o *Outcome) OutageDuration() time.Duration {
+	return o.RecoveredAt.Sub(o.InjectedAt)
+}
+
+// zombieCleanupDeadline bounds how long Recover waits for PMON to roll a
+// killed session's transaction back before declaring the cleanup wedged.
+const zombieCleanupDeadline = 5 * time.Minute
 
 // Injector reproduces operator faults on one instance and automates the
 // matching recovery procedure.
@@ -130,32 +153,95 @@ func NewInjector(in *engine.Instance, rm *recovery.Manager, ex *sqladmin.Executo
 // Inject performs the wrong operator action right now, through the same
 // means a real DBA would use: administrative SQL for commands, file
 // deletion at the "operating system" level for file faults.
+//
+// (PreFaultSCN, InjectedAt) are captured atomically at the instant the
+// fault takes effect: for immediate actions that is the moment the call
+// starts damaging state, for DDL mistakes it is the instant the DROP's
+// redo record is durably flushed (engine.LastDDL) — commits landing
+// while the operator "types" can no longer fall between the SCN and the
+// timestamp.
+//
+// Faults whose damage is contained to one tablespace (a deleted,
+// corrupted or offlined datafile; an offlined or — at multi-tablespace
+// layouts — dropped tablespace) take only that tablespace offline: the
+// instance stays open, transactions touching it fail fast with
+// storage.ErrTbsOffline, and Recover repairs it online.
 func (inj *Injector) Inject(p *sim.Proc, f Fault) (*Outcome, error) {
-	o := &Outcome{
-		Fault:       f,
-		PreFaultSCN: inj.in.Log().NextSCN() - 1,
+	o := &Outcome{Fault: f}
+	// capture stamps the fault instant for actions that take effect the
+	// moment they are invoked.
+	capture := func() {
+		o.PreFaultSCN = inj.in.Log().NextSCN() - 1
+		o.InjectedAt = p.Now()
+	}
+	// captureDDL stamps the fault instant of a DDL mistake: the moment
+	// its redo record hit disk, excluding the DROP record itself.
+	captureDDL := func() {
+		scn, at := inj.in.LastDDL()
+		o.PreFaultSCN = scn - 1
+		o.InjectedAt = at
+	}
+	// offlineFileTablespace reacts to a damaged datafile: the owning
+	// tablespace goes offline so the rest of the database keeps serving
+	// while the tablespace awaits media recovery.
+	offlineFileTablespace := func() error {
+		df, err := inj.in.DB().Datafile(f.Target)
+		if err != nil {
+			return err
+		}
+		o.Tablespace = df.Tablespace
+		o.Localized = true
+		return inj.in.OfflineTablespaceForRecovery(p, df.Tablespace)
 	}
 	var err error
 	switch f.Kind {
 	case ShutdownAbort:
+		capture()
 		_, err = inj.ex.Execute(p, "SHUTDOWN ABORT")
 	case DeleteDatafile:
 		// The operator deletes the file at OS level (rm).
-		err = inj.in.FS().Delete(f.Target)
+		capture()
+		if err = inj.in.FS().Delete(f.Target); err == nil {
+			err = offlineFileTablespace()
+		}
 	case DeleteTablespace:
+		// Whether the drop is recoverable online is decided by what it
+		// destroys: if no table lives fully inside the tablespace (the
+		// per-warehouse layout), restoring its files brings everything
+		// back; otherwise the tables are gone and point-in-time recovery
+		// is needed.
+		o.Tablespace = f.Target
+		o.Localized = len(inj.in.Catalog().TablesFullyIn(f.Target)) == 0
 		_, err = inj.ex.Execute(p, "DROP TABLESPACE "+f.Target+" INCLUDING CONTENTS")
+		if err == nil {
+			captureDDL()
+		}
 	case SetDatafileOffline:
+		capture()
 		_, err = inj.ex.Execute(p, "ALTER DATABASE DATAFILE '"+f.Target+"' OFFLINE")
+		if err == nil {
+			err = offlineFileTablespace()
+		}
 	case SetTablespaceOffline:
+		capture()
+		o.Tablespace = f.Target
+		o.Localized = true
 		_, err = inj.ex.Execute(p, "ALTER TABLESPACE "+f.Target+" OFFLINE")
 	case DeleteUsersObject:
 		_, err = inj.ex.Execute(p, "DROP TABLE "+f.Target)
+		if err == nil {
+			captureDDL()
+		}
 	case CorruptDatafile:
 		// The operator overwrites part of the file at OS level.
-		err = inj.in.FS().Corrupt(f.Target)
+		capture()
+		if err = inj.in.FS().Corrupt(f.Target); err == nil {
+			err = offlineFileTablespace()
+		}
 	case KillUserSession:
 		// ALTER SYSTEM KILL SESSION: the oldest in-flight transaction
 		// is killed; PMON rolls it back.
+		capture()
 		err = inj.in.Txns().KillOldestActive()
 	default:
 		err = fmt.Errorf("faults: unknown kind %v", f.Kind)
@@ -163,7 +249,6 @@ func (inj *Injector) Inject(p *sim.Proc, f Fault) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("faults: inject %v: %w", f, err)
 	}
-	o.InjectedAt = p.Now()
 	inj.in.Tracer().Instant(p.Now(), trace.CatFault, "fault", "inject",
 		trace.S("fault", f.String()), trace.I("pre_scn", int64(o.PreFaultSCN)))
 	return o, nil
@@ -190,26 +275,58 @@ func (inj *Injector) Recover(p *sim.Proc, o *Outcome) error {
 	switch o.Fault.Kind {
 	case ShutdownAbort:
 		o.Report, err = inj.rm.InstanceRecovery(p)
-	case DeleteDatafile:
-		o.Report, err = inj.rm.RestoreAndRecoverDatafile(p, o.Fault.Target)
+	case DeleteDatafile, CorruptDatafile:
+		// The damaged file's tablespace is offline while the rest of the
+		// database serves: restore and roll it forward online. The
+		// whole-file fallback covers outcomes observed without a
+		// tablespace (older callers).
+		if o.Tablespace != "" {
+			o.Report, err = inj.rm.OnlineTablespaceRecovery(p, o.Tablespace)
+		} else {
+			o.Report, err = inj.rm.RestoreAndRecoverDatafile(p, o.Fault.Target)
+		}
 	case SetDatafileOffline:
-		o.Report, err = inj.rm.RecoverDatafile(p, o.Fault.Target)
+		if o.Tablespace != "" {
+			o.Report, err = inj.rm.OnlineTablespaceRecovery(p, o.Tablespace)
+		} else {
+			o.Report, err = inj.rm.RecoverDatafile(p, o.Fault.Target)
+		}
 	case SetTablespaceOffline:
 		// The tablespace was offlined cleanly: bringing it back is a
 		// pure administrative command (the paper measures ~1 s).
 		_, err = inj.ex.Execute(p, "ALTER TABLESPACE "+o.Fault.Target+" ONLINE")
-	case DeleteTablespace, DeleteUsersObject:
+	case DeleteTablespace:
+		if o.Localized && o.Tablespace != "" {
+			// No table lived fully inside the tablespace: restoring its
+			// files online brings every partition back, with no committed
+			// work lost and the other warehouses serving throughout.
+			o.Report, err = inj.rm.OnlineTablespaceRecovery(p, o.Tablespace)
+		} else {
+			// Tables went down with the tablespace: incomplete recovery,
+			// restore the whole database and stop just before the drop.
+			o.Report, err = inj.rm.PointInTime(p, o.PreFaultSCN)
+		}
+	case DeleteUsersObject:
 		// Incomplete recovery: restore the whole database and stop
 		// just before the destructive command.
 		o.Report, err = inj.rm.PointInTime(p, o.PreFaultSCN)
-	case CorruptDatafile:
-		// Same procedure as a deleted file: restore from backup and
-		// roll forward.
-		o.Report, err = inj.rm.RestoreAndRecoverDatafile(p, o.Fault.Target)
 	case KillUserSession:
 		// Nothing for the DBA to do: PMON cleans the session up; wait
-		// for the rollback to land.
+		// for the rollback to land — but not forever: if the instance
+		// goes down or PMON wedges mid-rollback, report it instead of
+		// spinning for eternity.
+		deadline := p.Now().Add(zombieCleanupDeadline)
 		for inj.in.Txns().ZombieCount() > 0 {
+			if inj.in.State() != engine.StateOpen {
+				err = fmt.Errorf("faults: instance went down with %d zombie transaction(s) awaiting PMON cleanup",
+					inj.in.Txns().ZombieCount())
+				break
+			}
+			if p.Now() >= deadline {
+				err = fmt.Errorf("faults: PMON did not clean up %d zombie transaction(s) within %v",
+					inj.in.Txns().ZombieCount(), zombieCleanupDeadline)
+				break
+			}
 			p.Sleep(500 * time.Millisecond)
 		}
 	default:

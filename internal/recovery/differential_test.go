@@ -33,6 +33,12 @@ type repCounts struct {
 	ArchivesProcessed int
 	LosersRolledBack  int
 	LostCommits       int
+	// Offered/Served are the driver's terminal-side counts: identical
+	// pre-fault histories must have offered and served identically at
+	// every worker count, and online recovery must never retroactively
+	// turn served traffic into refused traffic.
+	Offered int
+	Served  int
 }
 
 func countsOf(rep *Report) repCounts {
@@ -203,6 +209,34 @@ func runDifferential(t *testing.T, kind string, warehouses, workers int) (repCou
 				if err != nil {
 					return err
 				}
+			case "tablespace":
+				// Online tablespace recovery: delete one warehouse's
+				// datafile, offline just its tablespace, restore and roll
+				// it forward with the instance open throughout.
+				victim, tsName := "TPCC_01.dbf", "TPCC"
+				if warehouses > 1 {
+					victim, tsName = "TPCC_W01_01.dbf", "TPCC_W01"
+				}
+				if err := fs.Delete(victim); err != nil {
+					return err
+				}
+				if err := in.OfflineTablespaceForRecovery(p, tsName); err != nil {
+					return err
+				}
+				rep, err = rm.OnlineTablespaceRecovery(p, tsName)
+				if err != nil {
+					return err
+				}
+				// Served-traffic invariant: online recovery repairs
+				// storage under a live instance, so no commit the driver
+				// acknowledged may be refused retroactively.
+				lost, err := drv.VerifyDurability(p)
+				if err != nil {
+					return err
+				}
+				if len(lost) > 0 {
+					return fmt.Errorf("online tablespace recovery lost %d acked commits", len(lost))
+				}
 			default:
 				return fmt.Errorf("unknown differential kind %q", kind)
 			}
@@ -216,14 +250,17 @@ func runDifferential(t *testing.T, kind string, warehouses, workers int) (repCou
 	if runErr != nil {
 		t.Fatalf("%s/W%d/workers=%d: %v", kind, warehouses, workers, runErr)
 	}
-	return countsOf(rep), images, rep
+	counts := countsOf(rep)
+	g := drv.Availability(0, sim.Time(100*time.Hour)).Global()
+	counts.Offered, counts.Served = g.Offered, g.Served
+	return counts, images, rep
 }
 
 // TestDifferentialSerialVsParallel is the headline differential: for each
 // recovery kind and warehouse count, the parallel pipeline at 2 and 4
 // workers must recover the database to exactly the serial result.
 func TestDifferentialSerialVsParallel(t *testing.T) {
-	for _, kind := range []string{"instance", "media", "pit"} {
+	for _, kind := range []string{"instance", "media", "pit", "tablespace"} {
 		for _, w := range []int{1, 4} {
 			kind, w := kind, w
 			t.Run(fmt.Sprintf("%s/W%d", kind, w), func(t *testing.T) {

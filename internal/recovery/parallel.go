@@ -228,9 +228,11 @@ type streamApply struct {
 	crew           *applyCrew
 	cs             *chunkedSleep
 	includeOffline bool
-	// only restricts the pass to a single datafile (media recovery);
-	// nil means a whole-database pass (instance / point-in-time).
-	only     *storage.Datafile
+	// only restricts the pass to a set of datafiles (media recovery of
+	// one file or one tablespace); nil means a whole-database pass
+	// (instance / point-in-time). Used for membership only, never
+	// iterated, so map order cannot perturb determinism.
+	only     map[*storage.Datafile]bool
 	finished map[redo.TxnID]bool
 	cands    []loserCand
 }
@@ -243,7 +245,7 @@ type loserCand struct {
 	active bool
 }
 
-func (m *Manager) newStreamApply(p *sim.Proc, rep *Report, tl *timeline, includeOffline bool, only *storage.Datafile, n int) *streamApply {
+func (m *Manager) newStreamApply(p *sim.Proc, rep *Report, tl *timeline, includeOffline bool, only map[*storage.Datafile]bool, n int) *streamApply {
 	sa := &streamApply{
 		m: m, rep: rep, tl: tl,
 		cs:             &chunkedSleep{p: p},
@@ -268,14 +270,14 @@ func (sa *streamApply) feed(p *sim.Proc, recs []redo.Record) {
 			sa.finished[rec.Txn] = true
 		}
 		if sa.only != nil {
-			// Datafile media recovery: every scanned record costs a
-			// quarter charge; only the target file's changes are routed.
+			// Media recovery: every scanned record costs a quarter
+			// charge; only the target files' changes are routed.
 			sa.cs.add(cost / 4)
 			if !rec.IsDataChange() {
 				continue
 			}
 			ref, ok := sa.m.refFor(rec)
-			if !ok || ref.File != sa.only {
+			if !ok || !sa.only[ref.File] {
 				continue
 			}
 			sa.crew.dispatch(p, rec, ref)
@@ -327,7 +329,7 @@ func (sa *streamApply) finish(p *sim.Proc, stamp redo.SCN) error {
 			continue
 		}
 		if sa.only != nil {
-			if ref.File != sa.only {
+			if !sa.only[ref.File] {
 				continue
 			}
 		} else if !participates(ref.File, sa.includeOffline) {

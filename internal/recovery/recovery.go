@@ -35,6 +35,7 @@ const (
 	KindInstance Kind = iota + 1
 	KindDatafile
 	KindPointInTime
+	KindTablespace
 )
 
 func (k Kind) String() string {
@@ -45,6 +46,8 @@ func (k Kind) String() string {
 		return "datafile media"
 	case KindPointInTime:
 		return "point-in-time"
+	case KindTablespace:
+		return "tablespace media"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -203,30 +206,43 @@ func (m *Manager) RecoverDatafile(p *sim.Proc, name string) (*Report, error) {
 // RecoverDatafile and RestoreAndRecoverDatafile; rep and tl were opened
 // by the caller (possibly already past a restore phase).
 func (m *Manager) recoverDatafile(p *sim.Proc, name string, f *storage.Datafile, rep *Report, tl *timeline) (*Report, error) {
-	in := m.in
 	from := f.CkptSCN + 1
 	if f.UndoSCN > 0 && f.UndoSCN < from {
 		from = f.UndoSCN
 	}
+	end, err := m.rollForwardFiles(p, map[*storage.Datafile]bool{f: true}, from, rep, tl)
+	if err != nil {
+		return nil, err
+	}
+	return m.finishDatafile(p, name, f, rep, tl, end)
+}
+
+// rollForwardFiles is the media-recovery roll-forward: replay redo from
+// `from` to the current end of flushed redo for exactly the given file
+// set, then undo transactions that vanished without a commit/abort
+// record. Shared by single-datafile and tablespace recovery; with
+// RecoveryParallelism > 1 the forward pass is pipelined onto the apply
+// crew (each archived log's records are routed as soon as they are read,
+// so workers replay one archive while the coordinator pays the
+// open-and-read cost of the next). Returns the end SCN the files are now
+// consistent at.
+func (m *Manager) rollForwardFiles(p *sim.Proc, files map[*storage.Datafile]bool, from redo.SCN, rep *Report, tl *timeline) (redo.SCN, error) {
+	in := m.in
 	end := in.Log().FlushedSCN()
 	if n := m.workerCount(); n > 1 {
-		// Parallel media recovery pipelines the archive scan ahead of
-		// apply: each archived log's records are routed to the crew as
-		// soon as they are read, so workers replay one archive while the
-		// coordinator pays the open-and-read cost of the next.
-		sa := m.newStreamApply(p, rep, tl, false, f, n)
+		sa := m.newStreamApply(p, rep, tl, false, files, n)
 		if _, err := m.redoRange(p, rep, from, tl, sa.feed); err != nil {
 			sa.crew.abort(p)
-			return nil, err
+			return 0, err
 		}
 		if err := sa.finish(p, end); err != nil {
-			return nil, err
+			return 0, err
 		}
-		return m.finishDatafile(p, name, f, rep, tl, end)
+		return end, nil
 	}
 	recs, err := m.redoRange(p, rep, from, tl, nil)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 
 	cs := &chunkedSleep{p: p}
@@ -244,7 +260,7 @@ func (m *Manager) recoverDatafile(p *sim.Proc, name string, f *storage.Datafile,
 			continue
 		}
 		ref, ok := m.refFor(rec)
-		if !ok || ref.File != f {
+		if !ok || !files[ref.File] {
 			continue
 		}
 		if m.applyToImage(rec, ref) {
@@ -262,7 +278,7 @@ func (m *Manager) recoverDatafile(p *sim.Proc, name string, f *storage.Datafile,
 	for i := len(loserRecs) - 1; i >= 0; i-- {
 		rec := &loserRecs[i]
 		ref, ok := m.refFor(rec)
-		if !ok || ref.File != f {
+		if !ok || !files[ref.File] {
 			continue
 		}
 		m.undoToImage(rec, ref, end)
@@ -273,9 +289,9 @@ func (m *Manager) recoverDatafile(p *sim.Proc, name string, f *storage.Datafile,
 	cs.flush()
 	tl.phase(p, PhaseBlockWrites)
 	if err := m.chargeBlockPasses(p, touched); err != nil {
-		return nil, err
+		return 0, err
 	}
-	return m.finishDatafile(p, name, f, rep, tl, end)
+	return end, nil
 }
 
 // finishDatafile is the shared tail of serial and parallel media
@@ -318,6 +334,108 @@ func (m *Manager) RestoreAndRecoverDatafile(p *sim.Proc, name string) (*Report, 
 		return nil, err
 	}
 	return m.recoverDatafile(p, name, f, rep, tl)
+}
+
+// OnlineTablespaceRecovery repairs one damaged or dropped tablespace
+// while the instance stays open, so unaffected tablespaces keep serving
+// transactions throughout: files lost from media are restored from the
+// latest backup (the whole tablespace when it was dropped), every file
+// needing recovery is rolled forward to the current end of redo — on the
+// parallel pipeline when configured — and the tablespace is brought back
+// online. The dictionary is NOT restored: tables fully contained in a
+// dropped tablespace stay dropped (point-in-time recovery is the paper's
+// answer there), while partitioned tables, which merely lost this
+// tablespace's partitions, come back complete.
+func (m *Manager) OnlineTablespaceRecovery(p *sim.Proc, name string) (*Report, error) {
+	in := m.in
+	if in.State() != engine.StateOpen {
+		return nil, fmt.Errorf("recovery: instance must be open for online tablespace recovery")
+	}
+	rep := &Report{Kind: KindTablespace, Complete: true, Started: p.Now()}
+	tl := m.beginTimeline(p, rep)
+
+	ts, err := in.DB().Tablespace(name)
+	dropped := err != nil
+	lost := false
+	if !dropped {
+		for _, f := range ts.Files {
+			if f.Lost() {
+				lost = true
+			}
+		}
+	}
+	if dropped || lost {
+		b, berr := m.latestBackup()
+		if berr != nil {
+			return nil, berr
+		}
+		tl.phase(p, PhaseRestore)
+		p.Sleep(in.Config().Cost.BackupRestoreOverhead)
+		if dropped {
+			if err := b.RestoreTablespace(p, in.FS(), in.DB(), name); err != nil {
+				return nil, err
+			}
+			if ts, err = in.DB().Tablespace(name); err != nil {
+				return nil, err
+			}
+			// Restored but not yet rolled forward: stays unavailable to
+			// DML until recovery completes.
+			ts.SetOnline(false)
+		} else {
+			for _, f := range ts.Files {
+				if !f.Lost() {
+					continue
+				}
+				if !b.HasFile(f.Name) {
+					return nil, fmt.Errorf("recovery: datafile %q missing from backup %d", f.Name, b.ID)
+				}
+				in.Cache().InvalidateFile(f)
+				if err := b.RestoreDatafile(p, in.FS(), f.Name); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Roll the damaged files forward together from the earliest point any
+	// of them needs; intact siblings were checkpointed clean when the
+	// tablespace went offline and need no redo.
+	files := make(map[*storage.Datafile]bool)
+	from := redo.SCN(-1)
+	for _, f := range ts.Files {
+		if !f.NeedsRecovery {
+			continue
+		}
+		files[f] = true
+		start := f.CkptSCN + 1
+		if f.UndoSCN > 0 && f.UndoSCN < start {
+			start = f.UndoSCN
+		}
+		if from < 0 || start < from {
+			from = start
+		}
+	}
+	if len(files) > 0 {
+		end, err := m.rollForwardFiles(p, files, from, rep, tl)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range ts.Files {
+			if !files[f] {
+				continue
+			}
+			f.CkptSCN = end
+			f.UndoSCN = end + 1
+			f.NeedsRecovery = false
+		}
+	}
+	tl.phase(p, PhaseOpen)
+	if err := in.OnlineTablespace(p, name); err != nil {
+		return nil, err
+	}
+	rep.Finished = p.Now()
+	tl.finish(p)
+	return rep, nil
 }
 
 // PointInTime performs incomplete recovery: crash the instance if needed,
@@ -684,7 +802,9 @@ func (m *Manager) replayDDL(stmt string) {
 		_ = cat.DropTable(name)
 	case strings.HasPrefix(stmt, "DROP TABLESPACE "):
 		name := firstWord(strings.TrimPrefix(stmt, "DROP TABLESPACE "))
-		for _, tbl := range cat.TablesIn(name) {
+		// Same containment rule as engine.DropTablespace: only tables
+		// fully inside the tablespace go down with it.
+		for _, tbl := range cat.TablesFullyIn(name) {
 			_ = cat.DropTable(tbl)
 		}
 		_ = m.in.DB().DropTablespace(name)

@@ -75,12 +75,19 @@ type Datafile struct {
 
 	file      *simdisk.File
 	blocks    []*Block
+	ts        *Tablespace
 	online    bool
 	shardHint uint32
 }
 
 // File returns the underlying simulated file.
 func (d *Datafile) File() *simdisk.File { return d.file }
+
+// Tbs returns the owning tablespace. The back-pointer survives a DROP
+// TABLESPACE (the Tablespace object lives on in backups), so DML routing
+// can report tablespace-level unavailability even while the tablespace is
+// deregistered from the DB.
+func (d *Datafile) Tbs() *Tablespace { return d.ts }
 
 // ShardHint returns a stable hash of the file's name, computed once at
 // creation. The buffer cache mixes it with block numbers to pick a cache
@@ -327,7 +334,7 @@ func (db *DB) CreateTablespace(name string, disks []string, blocksPerFile int) (
 		if err != nil {
 			return nil, fmt.Errorf("storage: datafile: %w", err)
 		}
-		d := &Datafile{Name: fname, Tablespace: name, file: f, online: true, shardHint: nameHash(fname)}
+		d := &Datafile{Name: fname, Tablespace: name, file: f, ts: t, online: true, shardHint: nameHash(fname)}
 		d.blocks = make([]*Block, blocksPerFile)
 		for j := range d.blocks {
 			d.blocks[j] = NewBlock()
@@ -354,6 +361,10 @@ func (db *DB) DropTablespace(name string) error {
 			}
 		}
 	}
+	// The dropped tablespace is unavailable until a restore reattaches
+	// it; marking it offline lets DML routing fail fast with a
+	// tablespace-level error instead of a lost-file one.
+	t.SetOnline(false)
 	delete(db.tbs, name)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"dbench/internal/metrics"
 	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/trace"
@@ -18,8 +19,10 @@ type CommitRecord struct {
 	Type TxnType
 	At   sim.Time
 	SCN  redo.SCN
-	// W/D/OID identify the created order for New-Order commits, so the
-	// harness can verify durability after recovery.
+	// W is the home warehouse the terminal submitted against (set for
+	// every commit); D/OID additionally identify the created order for
+	// New-Order commits, so the harness can verify durability after
+	// recovery.
 	W, D, OID int
 }
 
@@ -27,7 +30,15 @@ type CommitRecord struct {
 type FailureRecord struct {
 	Type TxnType
 	At   sim.Time
+	W    int
 	Err  string
+}
+
+// AbortRecord is one intentional New-Order rollback (TPC-C §2.4.1.4): the
+// database served the request, the "user" chose to abort it.
+type AbortRecord struct {
+	At sim.Time
+	W  int
 }
 
 // DriverConfig tunes the terminal emulator.
@@ -55,9 +66,13 @@ type Driver struct {
 	running   bool
 	terminals []*sim.Proc
 
-	commits   []CommitRecord
-	failures  []FailureRecord
-	userAbort int
+	commits  []CommitRecord
+	failures []FailureRecord
+	aborts   []AbortRecord
+
+	offered *trace.Counter
+	served  *trace.Counter
+	refused *trace.Counter
 }
 
 // NewDriver creates a driver for the loaded application.
@@ -65,7 +80,13 @@ func NewDriver(app *App, cfg DriverConfig) *Driver {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = time.Second
 	}
-	return &Driver{app: app, k: app.In.Kernel(), cfg: cfg}
+	reg := app.In.Registry()
+	return &Driver{
+		app: app, k: app.In.Kernel(), cfg: cfg,
+		offered: reg.Counter("tpcc.offered"),
+		served:  reg.Counter("tpcc.served"),
+		refused: reg.Counter("tpcc.refused"),
+	}
 }
 
 // Start launches the terminal processes.
@@ -118,7 +139,24 @@ func (d *Driver) Commits() []CommitRecord { return d.commits }
 func (d *Driver) Failures() []FailureRecord { return d.failures }
 
 // UserAborts returns the count of intentional New-Order rollbacks.
-func (d *Driver) UserAborts() int { return d.userAbort }
+func (d *Driver) UserAborts() int { return len(d.aborts) }
+
+// Availability tallies offered-vs-served per warehouse over [from, to).
+// Commits and user aborts count as served (the terminal got its answer);
+// failures count as offered-but-refused.
+func (d *Driver) Availability(from, to sim.Time) *metrics.Availability {
+	a := metrics.NewAvailability(from, to, d.app.Cfg.Warehouses)
+	for _, c := range d.commits {
+		a.Record(c.At, c.W, true)
+	}
+	for _, ab := range d.aborts {
+		a.Record(ab.At, ab.W, true)
+	}
+	for _, f := range d.failures {
+		a.Record(f.At, f.W, false)
+	}
+	return a
+}
 
 // newDeck deals the spec §5.2.3 card deck: the mix guaranteeing ≥43%
 // Payment and ≥4% each of Order-Status, Delivery and Stock-Level.
@@ -167,6 +205,7 @@ func (d *Driver) terminalLoop(p *sim.Proc, w int, track string, r *rand.Rand) {
 			span = tr.Begin(p.Now(), trace.CatTxn, track, typ.String())
 		}
 		submitted++
+		d.offered.Inc()
 		res, err := d.exec(p, r, typ, w)
 		now := p.Now()
 		if span != 0 {
@@ -181,15 +220,20 @@ func (d *Driver) terminalLoop(p *sim.Proc, w int, track string, r *rand.Rand) {
 		}
 		switch {
 		case err == nil:
-			rec := CommitRecord{Type: typ, At: now, SCN: res.CommitSCN}
+			rec := CommitRecord{Type: typ, At: now, W: w}
+			rec.SCN = res.CommitSCN
 			if typ == TxnNewOrder {
-				rec.W, rec.D, rec.OID = w, res.districtID, res.orderID
+				rec.D, rec.OID = res.districtID, res.orderID
 			}
 			d.commits = append(d.commits, rec)
+			d.served.Inc()
 		case errors.Is(err, ErrUserAbort):
-			d.userAbort++
+			// The database did its part: a user abort is served traffic.
+			d.aborts = append(d.aborts, AbortRecord{At: now, W: w})
+			d.served.Inc()
 		default:
-			d.failures = append(d.failures, FailureRecord{Type: typ, At: now, Err: err.Error()})
+			d.failures = append(d.failures, FailureRecord{Type: typ, At: now, W: w, Err: err.Error()})
+			d.refused.Inc()
 			p.Sleep(d.cfg.RetryBackoff)
 		}
 	}

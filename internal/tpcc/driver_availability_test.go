@@ -1,0 +1,43 @@
+package tpcc
+
+import (
+	"testing"
+	"time"
+
+	"dbench/internal/sim"
+)
+
+// TestAvailabilityDriverFoldsRecords checks the record-to-cell mapping:
+// commits and intentional user aborts are served (the terminal got its
+// answer), failures are refused, and every record lands in its
+// warehouse's column inside the window.
+func TestAvailabilityDriverFoldsRecords(t *testing.T) {
+	at := func(d time.Duration) sim.Time { return sim.Time(d) }
+	d := &Driver{app: &App{Cfg: Config{Warehouses: 2}}}
+	d.commits = []CommitRecord{
+		{Type: TxnNewOrder, At: at(5 * time.Second), W: 1},
+		{Type: TxnPayment, At: at(6 * time.Second), W: 1},
+		{Type: TxnNewOrder, At: at(7 * time.Second), W: 2},
+		{Type: TxnNewOrder, At: at(90 * time.Second), W: 1}, // outside window
+	}
+	d.aborts = []AbortRecord{
+		{At: at(8 * time.Second), W: 1}, // user abort: served
+	}
+	d.failures = []FailureRecord{
+		{Type: TxnNewOrder, At: at(9 * time.Second), W: 2},
+		{Type: TxnPayment, At: at(10 * time.Second), W: 2},
+	}
+	a := d.Availability(0, at(time.Minute))
+	w1 := a.Warehouse(1)
+	if w1.Offered != 3 || w1.Served != 3 {
+		t.Errorf("w1 = %+v, want 3 offered / 3 served (2 commits + 1 user abort)", w1)
+	}
+	w2 := a.Warehouse(2)
+	if w2.Offered != 3 || w2.Served != 1 || w2.Refused() != 2 {
+		t.Errorf("w2 = %+v, want 3 offered / 1 served / 2 refused", w2)
+	}
+	g := a.Global()
+	if g.Offered != 6 || g.Served != 4 {
+		t.Errorf("global = %+v, want 6 offered / 4 served (late commit excluded)", g)
+	}
+}

@@ -188,6 +188,9 @@ func (m *Manager) charge(p *sim.Proc) {
 // dictionary-level check a real DBMS applies before touching the buffer
 // cache (a cache hit must not hide an offline or lost file).
 func available(ref storage.BlockRef) error {
+	if ts := ref.File.Tbs(); ts != nil && !ts.Online() {
+		return fmt.Errorf("%w: %s", storage.ErrTbsOffline, ts.Name)
+	}
 	if ref.File.Lost() {
 		return fmt.Errorf("%w: %s", storage.ErrFileLost, ref.File.Name)
 	}
