@@ -14,9 +14,11 @@ import (
 	"testing"
 	"time"
 
+	"dbench/internal/backup"
 	"dbench/internal/core"
 	"dbench/internal/engine"
 	"dbench/internal/recovery"
+	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
 	"dbench/internal/tpcc"
@@ -291,6 +293,110 @@ func BenchmarkInstanceRecovery(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchmarkInstanceRecovery(b, w) })
 	}
 }
+
+// benchmarkLogicalRemedy measures one repair of a truncated stock table
+// with the chosen remedy. Schema creation, load, the workload and the
+// truncate all happen outside the timer (identical across remedies — same
+// kernel seed); the timed region is exactly the repair. ns/op is the host
+// cost of the remedy path — the CI regression gate for flashback (see
+// BENCH_FLASHBACK.json) — and the rec-s metric is the repair's virtual
+// time, where the flashback-vs-physical gap the logical campaign reports
+// comes from.
+func benchmarkLogicalRemedy(b *testing.B, physical bool) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		k := sim.NewKernel(42)
+		fs := simdisk.NewFS(
+			simdisk.DefaultSpec(engine.DiskData1),
+			simdisk.DefaultSpec(engine.DiskData2),
+			simdisk.DefaultSpec(engine.DiskRedo),
+			simdisk.DefaultSpec(engine.DiskArch),
+		)
+		ecfg := engine.DefaultConfig()
+		ecfg.Redo.GroupSizeBytes = 8 << 20
+		ecfg.Redo.ArchiveMode = true
+		ecfg.CacheBlocks = 512
+		ecfg.CheckpointTimeout = 0
+		ecfg.CPUs = 4
+		in, err := engine.New(k, fs, ecfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bk := backup.NewManager(k, fs, engine.DiskArch)
+		rm := recovery.NewManager(in, bk)
+		cfg := tpcc.DefaultConfig()
+		cfg.Warehouses = 1
+		cfg.CustomersPerDistrict = 60
+		cfg.Items = 1000
+		app := tpcc.NewApp(in, cfg)
+		var preSCN redo.SCN
+		var setupErr error
+		k.Go("setup", func(p *sim.Proc) {
+			setupErr = func() error {
+				if err := in.Open(p); err != nil {
+					return err
+				}
+				if err := app.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+					return err
+				}
+				if err := app.Load(p, rand.New(rand.NewSource(1))); err != nil {
+					return err
+				}
+				if err := in.Checkpoint(p); err != nil {
+					return err
+				}
+				if _, err := bk.TakeFull(p, in.DB(), in.Catalog(), in.DB().Control.CheckpointSCN); err != nil {
+					return err
+				}
+				if err := in.ForceLogSwitch(p); err != nil {
+					return err
+				}
+				rnd := rand.New(rand.NewSource(2))
+				for j := 0; j < 1500; j++ {
+					if _, err := app.NewOrder(p, rnd, 1); err != nil && !errors.Is(err, tpcc.ErrUserAbort) {
+						return err
+					}
+				}
+				preSCN = in.Log().NextSCN() - 1
+				return in.TruncateTable(p, tpcc.TableStock)
+			}()
+		})
+		k.Run(sim.Time(1000 * time.Hour))
+		if setupErr != nil {
+			b.Fatal(setupErr)
+		}
+		var rep *recovery.Report
+		var recErr error
+		b.StartTimer()
+		k.Go("remedy", func(p *sim.Proc) {
+			if physical {
+				rep, recErr = rm.PointInTime(p, preSCN)
+			} else {
+				rep, recErr = rm.FlashbackTable(p, tpcc.TableStock, preSCN)
+			}
+			k.Stop() // end the timed region the instant the repair returns
+		})
+		k.Run(sim.Time(2000 * time.Hour))
+		b.StopTimer()
+		k.KillAll()
+		if recErr != nil {
+			b.Fatal(recErr)
+		}
+		if rep.RecordsApplied == 0 {
+			b.Fatal("repair applied no records; the benchmark measures nothing")
+		}
+		b.ReportMetric(rep.Duration().Seconds(), "rec-s")
+	}
+}
+
+// BenchmarkFlashbackTable is the logical remedy: one table rewound from
+// the redo stream, instance open. CI-gated via BENCH_FLASHBACK.json.
+func BenchmarkFlashbackTable(b *testing.B) { benchmarkLogicalRemedy(b, false) }
+
+// BenchmarkPointInTime is the paper's physical remedy for the same fault:
+// whole-database restore and roll-forward. Tracked for the rec-s gap, not
+// gated.
+func BenchmarkPointInTime(b *testing.B) { benchmarkLogicalRemedy(b, true) }
 
 // benchmarkCampaign runs the Table 3 configuration sweep (16 independent
 // runs) with the given worker count — the unit of comparison for the

@@ -536,6 +536,59 @@ func (c *Cache) FlushFileForce(p *sim.Proc, f *storage.Datafile) error {
 	return nil
 }
 
+// FlushBlocksForce writes the dirty buffers among the given blocks,
+// bypassing the files' online flags. Flashback uses it on a frozen
+// table's segment: the freeze guarantees the dirty set cannot grow, and
+// restricting the sweep to the segment leaves concurrent traffic to other
+// tables sharing the same datafiles untouched.
+func (c *Cache) FlushBlocksForce(p *sim.Proc, refs []storage.BlockRef) error {
+	for _, ref := range refs {
+		key := bufKey{file: ref.File, no: ref.No}
+		s := c.shardFor(key)
+		b, ok := s.buffers[key]
+		if !ok || !b.dirty {
+			continue
+		}
+		// Same snapshot discipline as Checkpoint.
+		img := b.block.Clone()
+		if err := c.forceLog(p, img.SCN); err != nil {
+			return err
+		}
+		if !b.dirty || s.buffers[key] != b {
+			continue
+		}
+		if err := ref.File.WriteBlockForce(p, ref.No, img); err != nil {
+			return err
+		}
+		if b.block.SCN == img.SCN {
+			c.setClean(s, key, b)
+		} else {
+			b.firstDirtySCN = img.SCN + 1
+		}
+	}
+	return nil
+}
+
+// InvalidateBlocks drops the given blocks' buffers without writing, so
+// stale cache content cannot mask images rewritten underneath the cache
+// (flashback's reverse-apply). Dirty buffers among them must have been
+// flushed first (FlushBlocksForce).
+func (c *Cache) InvalidateBlocks(refs []storage.BlockRef) {
+	for _, ref := range refs {
+		key := bufKey{file: ref.File, no: ref.No}
+		s := c.shardFor(key)
+		b, ok := s.buffers[key]
+		if !ok {
+			continue
+		}
+		if b.dirty {
+			c.setClean(s, key, b)
+		}
+		s.lru.Remove(b.elem)
+		delete(s.buffers, key)
+	}
+}
+
 // InvalidateFile drops all buffers of one datafile without writing (used
 // when a file is taken offline for media recovery, so stale cache content
 // cannot mask the restored images).

@@ -31,6 +31,18 @@ type Table struct {
 	// (warehouse numbers are 1-based). Each partition owns its own
 	// segment, typically in its own per-warehouse tablespace.
 	PartDiv int64
+	// Frozen blocks DML against the table while a flashback rewinds it
+	// (Oracle locks the table exclusively for FLASHBACK TABLE). Reads
+	// and writes fail fast with ErrTableFrozen; other tables are
+	// unaffected.
+	Frozen bool
+	// Quiescing is the milder exclusive-DDL-lock state DROP TABLE holds
+	// while in-flight writers drain: new forward DML fails fast with
+	// ErrTableFrozen, but rollback compensation still goes through, so
+	// aborting transactions can finish cleanly before the DDL record is
+	// logged. (Frozen blocks compensation too — a flashback rewind
+	// requires the table's dirty set not to grow at all.)
+	Quiescing bool
 
 	// blocks is the whole segment (the concatenation of parts for a
 	// partitioned table); parts[i] is partition i's slice of it.
@@ -180,6 +192,7 @@ func (c *Catalog) CreateTableClustered(name, owner string, ts *storage.Tablespac
 		return nil, fmt.Errorf("%w: tablespace %q", storage.ErrNoSpace, ts.Name)
 	}
 	c.tables[name] = t
+	c.stampHeaders(t.files())
 	return t, nil
 }
 
@@ -224,6 +237,7 @@ func (c *Catalog) CreateTablePartitioned(name, owner string, tablespaces []*stor
 		t.parts = append(t.parts, t.blocks[start:len(t.blocks):len(t.blocks)])
 	}
 	c.tables[name] = t
+	c.stampHeaders(t.files())
 	return t, nil
 }
 
@@ -257,10 +271,12 @@ func (c *Catalog) allocated(f *storage.Datafile) int {
 // simply released (their content becomes unreachable, as with Oracle's
 // DROP TABLE).
 func (c *Catalog) DropTable(name string) error {
-	if _, ok := c.tables[name]; !ok {
+	t, ok := c.tables[name]
+	if !ok {
 		return fmt.Errorf("catalog: unknown table %q", name)
 	}
 	delete(c.tables, name)
+	c.stampHeaders(t.files())
 	return nil
 }
 
@@ -327,7 +343,7 @@ func (c *Catalog) TablesFullyIn(tablespace string) []string {
 // block refs still point at the same datafile objects — the physical
 // layout is identified by file, not duplicated).
 func copyTable(t *Table) *Table {
-	ct := &Table{Name: t.Name, Owner: t.Owner, Tablespace: t.Tablespace, Cluster: t.Cluster, PartDiv: t.PartDiv}
+	ct := &Table{Name: t.Name, Owner: t.Owner, Tablespace: t.Tablespace, Cluster: t.Cluster, PartDiv: t.PartDiv, Frozen: t.Frozen, Quiescing: t.Quiescing}
 	ct.blocks = append([]storage.BlockRef(nil), t.blocks...)
 	if t.parts != nil {
 		ct.parts = make([][]storage.BlockRef, len(t.parts))

@@ -62,6 +62,10 @@ type Spec struct {
 	Fault     *faults.Fault
 	InjectAt  time.Duration
 	Detection time.Duration
+	// ForcePhysical disables the flashback remedy for single-table
+	// logical faults, forcing the physical point-in-time baseline (the
+	// control arm of the logical-vs-physical comparison).
+	ForcePhysical bool
 	// TailAfterRecovery, when positive, ends the run that long after
 	// the recovery completes instead of running the full Duration —
 	// recovery-time experiments do not need the remaining workload
@@ -226,6 +230,7 @@ func Run(spec Spec) (*Result, error) {
 	if spec.Detection > 0 {
 		inj.Detection = spec.Detection
 	}
+	inj.ForcePhysical = spec.ForcePhysical
 
 	app := tpcc.NewApp(in, spec.TPCC)
 	drv := tpcc.NewDriver(app, tpcc.DefaultDriverConfig())

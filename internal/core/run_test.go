@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dbench/internal/faults"
+	"dbench/internal/recovery"
 	"dbench/internal/tpcc"
 )
 
@@ -108,6 +109,9 @@ func TestRunWithDropTableIncompleteRecovery(t *testing.T) {
 	spec.Archive = true
 	spec.Fault = &faults.Fault{Kind: faults.DeleteUsersObject, Target: tpcc.TableOrderLine}
 	spec.InjectAt = 90 * time.Second
+	// Flashback is the preferred remedy for a dropped table; force the
+	// physical point-in-time path to keep pinning its gap semantics.
+	spec.ForcePhysical = true
 	res, err := Run(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -128,6 +132,37 @@ func TestRunWithDropTableIncompleteRecovery(t *testing.T) {
 	if res.LostTransactions > res.Outcome.Report.LostCommits {
 		t.Fatalf("driver sees %d lost > recovery reported %d",
 			res.LostTransactions, res.Outcome.Report.LostCommits)
+	}
+}
+
+// TestRunWithDropTableFlashback is the same fault left to the preferred
+// remedy: FLASHBACK TABLE resurrects the dropped table with the instance
+// open, so the recovery is complete and localized, and the driver's
+// durability probe decides the lost-transaction count.
+func TestRunWithDropTableFlashback(t *testing.T) {
+	spec := quickSpec("droptable-flash")
+	spec.Archive = true
+	spec.Fault = &faults.Fault{Kind: faults.DeleteUsersObject, Target: tpcc.TableOrderLine}
+	spec.InjectAt = 90 * time.Second
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Report == nil || res.Outcome.Report.Kind != recovery.KindFlashback {
+		t.Fatalf("report = %+v, want flashback", res.Outcome.Report)
+	}
+	if !res.Outcome.Report.Complete || !res.Outcome.Localized {
+		t.Fatalf("flashback recovery complete=%v localized=%v, want true/true",
+			res.Outcome.Report.Complete, res.Outcome.Localized)
+	}
+	if len(res.IntegrityViolations) != 0 {
+		t.Fatalf("violations: %v", res.IntegrityViolations[0])
+	}
+	// Flashback rewinds only the damaged table: order_line rows written
+	// after the pre-fault SCN are lost (the drop destroyed them; the
+	// rewind cannot invent them), every other table keeps everything.
+	if res.RecoveryTime <= 0 {
+		t.Fatalf("recovery time = %v", res.RecoveryTime)
 	}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"dbench/internal/redo"
@@ -15,6 +16,10 @@ import (
 
 // adminLatency is the fixed cost of processing an administrative command.
 const adminLatency = 500 * time.Millisecond
+
+// ddlLockTimeout bounds how long destructive DDL waits for in-flight
+// writers on the target table to drain (Oracle's ddl_lock_timeout).
+const ddlLockTimeout = 30 * time.Second
 
 // CreateTablespace allocates a tablespace with one datafile per disk.
 func (in *Instance) CreateTablespace(p *sim.Proc, name string, disks []string, blocksPerFile int) (*storage.Tablespace, error) {
@@ -65,12 +70,15 @@ func (in *Instance) CreateTablePartitioned(p *sim.Proc, table, owner string, tab
 }
 
 // logDDL records a DDL operation in the redo stream and forces it to disk
-// (DDL commits implicitly).
-func (in *Instance) logDDL(p *sim.Proc, statement string) error {
-	if err := in.log.Reserve(p, int64(256+len(statement))); err != nil {
+// (DDL commits implicitly). payload, when non-nil, rides in the record's
+// before-image slot: destructive DDL (DROP/TRUNCATE TABLE) logs the
+// victim's logical descriptor there, so FLASHBACK TABLE can resurrect
+// the catalog entry from the redo stream alone.
+func (in *Instance) logDDL(p *sim.Proc, statement string, payload []byte) error {
+	if err := in.log.Reserve(p, int64(256+len(statement)+len(payload))); err != nil {
 		return err
 	}
-	scn := in.log.Append(redo.Record{Op: redo.OpDDL, Meta: statement})
+	scn := in.log.Append(redo.Record{Op: redo.OpDDL, Meta: statement, Before: payload})
 	if err := in.log.WaitFlushed(p, scn); err != nil {
 		return err
 	}
@@ -81,6 +89,12 @@ func (in *Instance) logDDL(p *sim.Proc, statement string) error {
 	return nil
 }
 
+// LogDDL is logDDL for other packages: the recovery manager logs the
+// FLASHBACK TABLE marker through it.
+func (in *Instance) LogDDL(p *sim.Proc, statement string, payload []byte) error {
+	return in.logDDL(p, statement, payload)
+}
+
 // DropTable removes a table (DDL; implicitly committed). The segment's
 // rows become unreachable immediately — this is the paper's "delete
 // user's object" fault when executed by mistake.
@@ -88,14 +102,76 @@ func (in *Instance) DropTable(p *sim.Proc, table string) error {
 	if in.state != StateOpen {
 		return ErrInstanceDown
 	}
-	if _, err := in.cat.Table(table); err != nil {
+	tbl, err := in.cat.Table(table)
+	if err != nil {
 		return err
 	}
-	if err := in.logDDL(p, "DROP TABLE "+table); err != nil {
+	// Take the table's exclusive DDL lock before logging the DROP
+	// record: new DML fails fast while in-flight writers drain — each
+	// either commits (its records predate the DROP record's SCN, so a
+	// flashback keeps its rows) or rolls back (its rows are compensated
+	// away). Without the drain, a transaction straddling the drop could
+	// leave rows the flashback rewind strips (or orphans it resurrects)
+	// while the transaction's writes to other tables survive — a
+	// cross-table inconsistency.
+	tbl.Quiescing = true
+	deadline := p.Now().Add(ddlLockTimeout)
+	for in.tm.ActiveWritersOn(table) > 0 {
+		if p.Now() >= deadline {
+			tbl.Quiescing = false
+			return fmt.Errorf("engine: drop table %s: %d writer(s) still active after %v", table, in.tm.ActiveWritersOn(table), ddlLockTimeout)
+		}
+		p.Sleep(10 * time.Millisecond)
+	}
+	desc := redo.EncodeTableDescriptor(tbl.Descriptor())
+	if err := in.logDDL(p, "DROP TABLE "+table, desc); err != nil {
+		tbl.Quiescing = false
 		return err
 	}
 	p.Sleep(adminLatency)
 	return in.cat.DropTable(table)
+}
+
+// TruncateTable purges every row of a table (DDL; implicitly committed).
+// Unlike Oracle's TRUNCATE, the purge is logged as per-row delete records
+// carrying before-images — logical undo records — so the redo stream
+// alone can rewind the table (FLASHBACK TABLE). The extra redo volume is
+// the price of flashback-ability.
+func (in *Instance) TruncateTable(p *sim.Proc, table string) error {
+	if in.state != StateOpen {
+		return ErrInstanceDown
+	}
+	tbl, err := in.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	// The DDL marker (with the table's descriptor) goes first: the SCN
+	// just below it is the table's last good state, which is what the
+	// fault injector captures and flashback rewinds to.
+	desc := redo.EncodeTableDescriptor(tbl.Descriptor())
+	if err := in.logDDL(p, "TRUNCATE TABLE "+table, desc); err != nil {
+		return err
+	}
+	var keys []int64
+	if err := in.tm.Scan(p, table, func(key int64, _ []byte) bool {
+		keys = append(keys, key)
+		return true
+	}); err != nil {
+		return err
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	t := in.tm.Begin()
+	for _, key := range keys {
+		if err := in.tm.Delete(p, t, table, key); err != nil {
+			in.tm.Rollback(p, t)
+			return fmt.Errorf("engine: truncate %s: %w", table, err)
+		}
+	}
+	if err := in.tm.Commit(p, t); err != nil {
+		return fmt.Errorf("engine: truncate %s: %w", table, err)
+	}
+	p.Sleep(adminLatency)
+	return nil
 }
 
 // DropTablespace removes a tablespace including contents: all tables in it
@@ -111,7 +187,7 @@ func (in *Instance) DropTablespace(p *sim.Proc, name string) error {
 	if ts.System() {
 		return fmt.Errorf("engine: cannot drop SYSTEM tablespace")
 	}
-	if err := in.logDDL(p, "DROP TABLESPACE "+name+" INCLUDING CONTENTS"); err != nil {
+	if err := in.logDDL(p, "DROP TABLESPACE "+name+" INCLUDING CONTENTS", nil); err != nil {
 		return err
 	}
 	// Only tables fully contained in the tablespace are dropped with it: a
@@ -136,7 +212,7 @@ func (in *Instance) DropUser(p *sim.Proc, name string) error {
 	if in.state != StateOpen {
 		return ErrInstanceDown
 	}
-	if err := in.logDDL(p, "DROP USER "+name+" CASCADE"); err != nil {
+	if err := in.logDDL(p, "DROP USER "+name+" CASCADE", nil); err != nil {
 		return err
 	}
 	_, err := in.cat.DropUser(name)

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dbench/internal/catalog"
+	"dbench/internal/sim"
+)
+
+// TestDropTableDrainsInFlightWriters pins DROP TABLE's exclusive DDL
+// lock: an in-flight writer finishes (here: commits) before the DROP
+// record is logged — so every data record for the table predates the
+// record's SCN, the invariant FLASHBACK TABLE's rewind target depends
+// on — while new DML fails fast with ErrTableFrozen during the drain.
+func TestDropTableDrainsInFlightWriters(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		tx, err := in.Begin()
+		if err != nil {
+			return err
+		}
+		if err := in.Insert(p, tx, "t", 100, []byte("in-flight")); err != nil {
+			return err
+		}
+		var committedAt sim.Time
+		k.Go("writer", func(wp *sim.Proc) {
+			wp.Sleep(200 * time.Millisecond)
+			// The drop is draining by now: new DML must fail fast.
+			tx2, err2 := in.Begin()
+			if err2 != nil {
+				t.Error(err2)
+				return
+			}
+			if werr := in.Insert(wp, tx2, "t", 101, []byte("new")); !errors.Is(werr, catalog.ErrTableFrozen) {
+				t.Errorf("insert during drain: %v, want ErrTableFrozen", werr)
+			}
+			_ = in.Rollback(wp, tx2)
+			if cerr := in.Commit(wp, tx); cerr != nil {
+				t.Error(cerr)
+				return
+			}
+			committedAt = wp.Now()
+		})
+		if err := in.DropTable(p, "t"); err != nil {
+			return err
+		}
+		if committedAt == 0 {
+			t.Fatal("writer never committed; the drop did not wait")
+		}
+		ddlSCN, ddlAt := in.LastDDL()
+		if ddlAt < committedAt {
+			t.Fatalf("DROP record at %v predates the writer's commit at %v", ddlAt, committedAt)
+		}
+		if tx.CommitSCN == 0 || tx.CommitSCN >= ddlSCN {
+			t.Fatalf("writer commit SCN %d not below DROP record SCN %d", tx.CommitSCN, ddlSCN)
+		}
+		return nil
+	})
+}
+
+// TestDropTableTimesOutOnWedgedWriter: a writer that never finishes must
+// not wedge the drop forever — it gives up at ddlLockTimeout with a
+// descriptive error and releases the DDL lock, leaving the table usable.
+func TestDropTableTimesOutOnWedgedWriter(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		tx, err := in.Begin()
+		if err != nil {
+			return err
+		}
+		if err := in.Insert(p, tx, "t", 100, []byte("wedged")); err != nil {
+			return err
+		}
+		start := p.Now()
+		derr := in.DropTable(p, "t")
+		if derr == nil {
+			t.Fatal("drop succeeded with a wedged writer")
+		}
+		if !strings.Contains(derr.Error(), "still active") {
+			t.Errorf("error %q does not describe the wedged writer", derr)
+		}
+		if waited := p.Now().Sub(start); waited < ddlLockTimeout || waited > ddlLockTimeout+time.Second {
+			t.Errorf("drop gave up after %v, want ~%v", waited, ddlLockTimeout)
+		}
+		// The DDL lock is released: the wedged writer itself can proceed.
+		if err := in.Insert(p, tx, "t", 101, []byte("more")); err != nil {
+			return err
+		}
+		if err := in.Commit(p, tx); err != nil {
+			return err
+		}
+		if _, err := in.Catalog().Table("t"); err != nil {
+			t.Errorf("table gone after failed drop: %v", err)
+		}
+		return nil
+	})
+}

@@ -182,7 +182,10 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 	}
 	log.OnSwitch = inst.onLogSwitch
 	log.OnFatal = func(err error) { inst.Crash() }
-	log.UndoFloor = inst.tm.OldestActiveFirstSCN
+	// The undo floor folds in the flashback retention horizon: group
+	// reuse stops at the older of the oldest active transaction and any
+	// SCN a logical rewind has pinned (txn.Manager.SetRetention).
+	log.UndoFloor = inst.tm.UndoFloor
 	inst.tm.OnTxnFinished = log.NotifyUndoFloorChanged
 	return inst, nil
 }

@@ -25,6 +25,12 @@ func TestInjectStampsPreFaultSCNAtomically(t *testing.T) {
 		if err := r.setup(p); err != nil {
 			return err
 		}
+		// The committer writes a table the operator does NOT drop: DROP
+		// TABLE's exclusive DDL lock drains writers on its own target, so
+		// only traffic to other tables can still race the operator action.
+		if err := r.in.CreateTable(p, "u", "app", "USERS", 8); err != nil {
+			return err
+		}
 		type ack struct {
 			scn redo.SCN
 			at  sim.Time
@@ -38,8 +44,7 @@ func TestInjectStampsPreFaultSCNAtomically(t *testing.T) {
 				if err != nil {
 					return
 				}
-				if err := r.in.Insert(cp, tx, "t", i, []byte("x")); err != nil {
-					// Table dropped under us: the session is over.
+				if err := r.in.Insert(cp, tx, "u", i, []byte("x")); err != nil {
 					_ = r.in.Rollback(cp, tx)
 					return
 				}

@@ -41,7 +41,7 @@ func TestClassificationCoversAllClasses(t *testing.T) {
 
 func TestCompleteRecoveryClassification(t *testing.T) {
 	complete := []Kind{ShutdownAbort, DeleteDatafile, SetDatafileOffline, SetTablespaceOffline}
-	incomplete := []Kind{DeleteTablespace, DeleteUsersObject}
+	incomplete := []Kind{DeleteTablespace, DeleteUsersObject, TruncateTable, MisroutedBatchUpdate}
 	for _, k := range complete {
 		if !k.CompleteRecovery() {
 			t.Errorf("%v should be complete recovery", k)
@@ -177,8 +177,13 @@ func TestAllSixFaultsInjectAndRecover(t *testing.T) {
 				if o.RecoveryDuration() <= 0 {
 					return fmt.Errorf("recovery duration %v", o.RecoveryDuration())
 				}
-				if o.Report != nil && o.Report.Complete != kind.CompleteRecovery() {
-					return fmt.Errorf("complete=%v, want %v", o.Report.Complete, kind.CompleteRecovery())
+				// Single-table logical faults recover by flashback (a
+				// complete recovery of the database: only the damaged
+				// table is rewound); the rest follow the kind's static
+				// classification.
+				wantComplete := kind.CompleteRecovery() || isLogicalFault(kind)
+				if o.Report != nil && o.Report.Complete != wantComplete {
+					return fmt.Errorf("complete=%v, want %v", o.Report.Complete, wantComplete)
 				}
 				// All committed data back, engine serving.
 				if err := r.verifyData(p, 40); err != nil {
@@ -208,9 +213,51 @@ func TestOfflineTablespaceRecoveryIsFast(t *testing.T) {
 	})
 }
 
+// TestLogicalFaultsFlashbackThenPhysicalBaseline drives every
+// single-table logical fault through both remedies: the preferred
+// FLASHBACK TABLE (instance stays open, table rewound from redo) and the
+// forced physical point-in-time baseline. Both must bring every
+// pre-fault row back.
+func TestLogicalFaultsFlashbackThenPhysicalBaseline(t *testing.T) {
+	for _, kind := range []Kind{DeleteUsersObject, TruncateTable, MisroutedBatchUpdate} {
+		for _, force := range []bool{false, true} {
+			name := fmt.Sprintf("%v/force_physical=%v", kind, force)
+			t.Run(name, func(t *testing.T) {
+				r := newRig(t)
+				r.inj.ForcePhysical = force
+				r.run(t, func(p *sim.Proc) error {
+					if err := r.setup(p); err != nil {
+						return err
+					}
+					o, err := r.inj.InjectAndRecover(p, Fault{Kind: kind, Target: "t"})
+					if err != nil {
+						return err
+					}
+					wantKind := recovery.KindFlashback
+					if force {
+						wantKind = recovery.KindPointInTime
+					}
+					if o.Report == nil || o.Report.Kind != wantKind {
+						return fmt.Errorf("report = %+v, want kind %v", o.Report, wantKind)
+					}
+					if !force && !o.Localized {
+						return fmt.Errorf("flashback outcome not localized")
+					}
+					if err := r.verifyData(p, 40); err != nil {
+						return fmt.Errorf("after %v: %w", kind, err)
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
 func TestIncompleteRecoveryLosesPostBackupGapCommits(t *testing.T) {
 	r := newRig(t)
+	// This test pins the physical point-in-time path's gap semantics.
 	r.run(t, func(p *sim.Proc) error {
+		r.inj.ForcePhysical = true
 		if err := r.setup(p); err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"dbench/internal/engine"
@@ -33,6 +34,16 @@ const (
 	// session, whose in-flight transaction PMON rolls back.
 	CorruptDatafile
 	KillUserSession
+
+	// Logical-damage extension kinds (paper Table 2 "wrong
+	// administration command" family): TruncateTable purges one table's
+	// rows by mistake; MisroutedBatchUpdate commits a batch job's
+	// updates against the wrong table. Both damage exactly one table
+	// while the database stays structurally intact — the home turf of
+	// FLASHBACK TABLE, with point-in-time recovery as the physical
+	// fallback.
+	TruncateTable
+	MisroutedBatchUpdate
 )
 
 var kindNames = map[Kind]string{
@@ -44,6 +55,8 @@ var kindNames = map[Kind]string{
 	DeleteUsersObject:    "Delete user's object",
 	CorruptDatafile:      "Corrupt datafile",
 	KillUserSession:      "Kill user session",
+	TruncateTable:        "Truncate table",
+	MisroutedBatchUpdate: "Mis-routed batch update",
 }
 
 func (k Kind) String() string {
@@ -63,7 +76,11 @@ var Kinds = []Kind{
 // committed transactions lost, paper Table 5) or incomplete (Table 4).
 func (k Kind) CompleteRecovery() bool {
 	switch k {
-	case DeleteTablespace, DeleteUsersObject:
+	case DeleteTablespace, DeleteUsersObject, TruncateTable, MisroutedBatchUpdate:
+		// The physical remedy for these is incomplete (point-in-time)
+		// recovery. Flashback upgrades the single-table kinds to a
+		// complete recovery of the database as a whole — only the damaged
+		// table is rewound — which the per-outcome Report records.
 		return false
 	default:
 		return true
@@ -76,7 +93,8 @@ type Fault struct {
 	// Target names the object the mistake hits: a datafile for
 	// DeleteDatafile/SetDatafileOffline, a tablespace for
 	// DeleteTablespace/SetTablespaceOffline, a table for
-	// DeleteUsersObject. Unused for ShutdownAbort.
+	// DeleteUsersObject/TruncateTable/MisroutedBatchUpdate. Unused for
+	// ShutdownAbort.
 	Target string
 }
 
@@ -142,7 +160,17 @@ type Injector struct {
 	// Detection is the constant error-detection time assumed before the
 	// recovery procedure starts (paper §3.2 fixes this per experiment).
 	Detection time.Duration
+
+	// ForcePhysical disables the flashback remedy for single-table
+	// logical faults, forcing the physical point-in-time procedure — the
+	// paper's baseline, and the control arm of the logical-vs-physical
+	// differential harness.
+	ForcePhysical bool
 }
+
+// misroutedBatchSize is how many rows the mis-routed batch job updates
+// before committing.
+const misroutedBatchSize = 50
 
 // NewInjector wires an injector. The executor carries the DBA interface;
 // the recovery manager runs the procedures.
@@ -243,11 +271,30 @@ func (inj *Injector) Inject(p *sim.Proc, f Fault) (*Outcome, error) {
 		// is killed; PMON rolls it back.
 		capture()
 		err = inj.in.Txns().KillOldestActive()
+	case TruncateTable:
+		_, err = inj.ex.Execute(p, "TRUNCATE TABLE "+f.Target)
+		if err == nil {
+			// The truncate's DDL marker precedes its logged row purge, so
+			// LastDDL-1 is the table's last good SCN.
+			captureDDL()
+		}
+	case MisroutedBatchUpdate:
+		// The batch job was pointed at the wrong table: a committed run
+		// of updates lands on f.Target. The fault instant is when the
+		// batch starts — everything it writes is damage.
+		capture()
+		err = inj.misrouteBatch(p, f.Target)
 	default:
 		err = fmt.Errorf("faults: unknown kind %v", f.Kind)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("faults: inject %v: %w", f, err)
+	}
+	if isLogicalFault(f.Kind) {
+		// Pin the undo retention horizon at the pre-fault SCN so the
+		// online log keeps every record a flashback will need, however
+		// long detection takes. Recover clears the pin.
+		inj.in.Txns().SetRetention(o.PreFaultSCN + 1)
 	}
 	inj.in.Tracer().Instant(p.Now(), trace.CatFault, "fault", "inject",
 		trace.S("fault", f.String()), trace.I("pre_scn", int64(o.PreFaultSCN)))
@@ -306,10 +353,12 @@ func (inj *Injector) Recover(p *sim.Proc, o *Outcome) error {
 			// restore the whole database and stop just before the drop.
 			o.Report, err = inj.rm.PointInTime(p, o.PreFaultSCN)
 		}
-	case DeleteUsersObject:
-		// Incomplete recovery: restore the whole database and stop
-		// just before the destructive command.
-		o.Report, err = inj.rm.PointInTime(p, o.PreFaultSCN)
+	case DeleteUsersObject, TruncateTable, MisroutedBatchUpdate:
+		// Single-table logical damage: the preferred remedy is FLASHBACK
+		// TABLE — rewind just the damaged table from the redo stream
+		// while the instance stays open — with physical point-in-time
+		// recovery as the fallback (and the forced baseline).
+		o.Report, err = inj.recoverLogical(p, o)
 	case KillUserSession:
 		// Nothing for the DBA to do: PMON cleans the session up; wait
 		// for the rollback to land — but not forever: if the instance
@@ -339,6 +388,63 @@ func (inj *Injector) Recover(p *sim.Proc, o *Outcome) error {
 	o.RecoveredAt = p.Now()
 	inj.in.Tracer().End(p.Now(), span)
 	return nil
+}
+
+// isLogicalFault reports whether the fault damages exactly one table
+// logically, making FLASHBACK TABLE applicable.
+func isLogicalFault(k Kind) bool {
+	return k == DeleteUsersObject || k == TruncateTable || k == MisroutedBatchUpdate
+}
+
+// misrouteBatch commits a batch of updates against the wrong table, the
+// mis-routed job's damage: garbage values over the table's lowest
+// misroutedBatchSize keys.
+func (inj *Injector) misrouteBatch(p *sim.Proc, table string) error {
+	var keys []int64
+	if err := inj.in.Scan(p, table, func(key int64, _ []byte) bool {
+		keys = append(keys, key)
+		return true
+	}); err != nil {
+		return err
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) > misroutedBatchSize {
+		keys = keys[:misroutedBatchSize]
+	}
+	t, err := inj.in.Begin()
+	if err != nil {
+		return err
+	}
+	for _, key := range keys {
+		if err := inj.in.Update(p, t, table, key, []byte("misrouted batch value")); err != nil {
+			_ = inj.in.Rollback(p, t)
+			return err
+		}
+	}
+	return inj.in.Commit(p, t)
+}
+
+// recoverLogical runs the flashback-preferred remedy for single-table
+// logical faults and clears the retention pin Inject set. Flashback
+// applies only while the instance is open; if it is unavailable or
+// fails, the physical point-in-time procedure takes over.
+func (inj *Injector) recoverLogical(p *sim.Proc, o *Outcome) (*recovery.Report, error) {
+	defer func() {
+		inj.in.Txns().SetRetention(0)
+		inj.in.Log().NotifyUndoFloorChanged()
+	}()
+	if !inj.ForcePhysical && inj.in.State() == engine.StateOpen {
+		rep, err := inj.rm.FlashbackTable(p, o.Fault.Target, o.PreFaultSCN)
+		if err == nil {
+			// Damage contained to one table; the rest of the database
+			// served throughout.
+			o.Localized = true
+			return rep, nil
+		}
+		inj.in.Tracer().Instant(p.Now(), trace.CatFault, "fault", "flashback-fallback",
+			trace.S("error", err.Error()))
+	}
+	return inj.rm.PointInTime(p, o.PreFaultSCN)
 }
 
 // InjectAndRecover is the full §3.2 procedure: inject, wait detection,

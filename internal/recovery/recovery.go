@@ -36,6 +36,7 @@ const (
 	KindDatafile
 	KindPointInTime
 	KindTablespace
+	KindFlashback
 )
 
 func (k Kind) String() string {
@@ -48,6 +49,8 @@ func (k Kind) String() string {
 		return "point-in-time"
 	case KindTablespace:
 		return "tablespace media"
+	case KindFlashback:
+		return "flashback"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

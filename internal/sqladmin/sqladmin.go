@@ -15,8 +15,11 @@
 //	DROP TABLE <name>
 //	DROP TABLESPACE <name> INCLUDING CONTENTS
 //	DROP USER <name> CASCADE
+//	TRUNCATE TABLE <name>
+//	FLASHBACK TABLE <name> TO SCN <n>
 //	RECOVER DATAFILE '<file>'
 //	RECOVER DATABASE UNTIL SCN <n>
+//	RECOVER CATALOG SCAN
 //	BACKUP DATABASE
 //	SHOW STATUS
 package sqladmin
@@ -97,6 +100,10 @@ func (e *Executor) Execute(p *sim.Proc, stmt string) (string, error) {
 		return e.alter(p, toks)
 	case "DROP":
 		return e.drop(p, toks)
+	case "TRUNCATE":
+		return e.truncate(p, toks)
+	case "FLASHBACK":
+		return e.flashback(p, toks)
 	case "RECOVER":
 		return e.recover(p, toks)
 	case "BACKUP":
@@ -231,6 +238,45 @@ func (e *Executor) drop(p *sim.Proc, toks []string) (string, error) {
 	}
 }
 
+// tableName resolves an admin-SQL table token: names are stored
+// lower-case by the TPC-C schema, and admin SQL is case-insensitive, so
+// prefer the lower-cased form when it resolves.
+func (e *Executor) tableName(tok string) string {
+	if _, err := e.in.Catalog().Table(strings.ToLower(tok)); err == nil {
+		return strings.ToLower(tok)
+	}
+	return tok
+}
+
+func (e *Executor) truncate(p *sim.Proc, toks []string) (string, error) {
+	if len(toks) < 3 || toks[1] != "TABLE" {
+		return "", fmt.Errorf("%w: TRUNCATE TABLE <name>", ErrSyntax)
+	}
+	if err := e.in.TruncateTable(p, e.tableName(toks[2])); err != nil {
+		return "", err
+	}
+	return "table truncated", nil
+}
+
+func (e *Executor) flashback(p *sim.Proc, toks []string) (string, error) {
+	if e.rm == nil {
+		return "", errors.New("sqladmin: no recovery manager configured")
+	}
+	if len(toks) < 6 || toks[1] != "TABLE" || toks[3] != "TO" || toks[4] != "SCN" {
+		return "", fmt.Errorf("%w: FLASHBACK TABLE <name> TO SCN <n>", ErrSyntax)
+	}
+	scn, err := strconv.ParseInt(toks[5], 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("%w: bad SCN %q", ErrSyntax, toks[5])
+	}
+	rep, err := e.rm.FlashbackTable(p, e.tableName(toks[2]), redo.SCN(scn))
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("table flashed back to SCN %d (%d records, %v)",
+		scn, rep.RecordsApplied, rep.Duration()), nil
+}
+
 func (e *Executor) recover(p *sim.Proc, toks []string) (string, error) {
 	if e.rm == nil {
 		return "", errors.New("sqladmin: no recovery manager configured")
@@ -253,6 +299,13 @@ func (e *Executor) recover(p *sim.Proc, toks []string) (string, error) {
 		}
 		return fmt.Sprintf("database recovered until SCN %d (%d commits lost, %v)",
 			scn, rep.LostCommits, rep.Duration()), nil
+	}
+	if len(toks) >= 3 && toks[1] == "CATALOG" && toks[2] == "SCAN" {
+		names, err := e.rm.RebuildCatalog(p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("catalog rebuilt from datafile headers (%d tables)", len(names)), nil
 	}
 	return "", fmt.Errorf("%w: unsupported RECOVER", ErrSyntax)
 }

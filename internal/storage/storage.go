@@ -78,6 +78,39 @@ type Datafile struct {
 	ts        *Tablespace
 	online    bool
 	shardHint uint32
+	header    []byte
+}
+
+// SetHeader stamps the file's metadata header (conceptually block 0): an
+// opaque blob the catalog maintains describing the segments the file
+// hosts. Headers survive everything short of losing the file itself, so
+// `recover --scan` can rebuild dictionary metadata from disk alone.
+func (d *Datafile) SetHeader(b []byte) { d.header = append([]byte(nil), b...) }
+
+// Header returns the metadata header stamped by SetHeader (nil if never
+// stamped). Callers must not modify the returned slice.
+func (d *Datafile) Header() []byte { return d.header }
+
+// CorruptHeader damages the metadata header in place (operator-fault
+// simulation): the blob stays present but no longer decodes.
+func (d *Datafile) CorruptHeader() {
+	for i := range d.header {
+		d.header[i] ^= 0xA5
+	}
+}
+
+// ReadHeader charges one block read and returns the metadata header. It
+// ignores the online flag — scanning headers is exactly what recovery
+// does while the dictionary (and so the notion of "online") is in doubt —
+// but still fails on lost media.
+func (d *Datafile) ReadHeader(p *sim.Proc) ([]byte, error) {
+	if d.file.Deleted() || d.file.Corrupted() {
+		return nil, fmt.Errorf("%w: %s", ErrFileLost, d.Name)
+	}
+	if err := d.file.Read(p, 0, BlockSize); err != nil {
+		return nil, err
+	}
+	return d.header, nil
 }
 
 // File returns the underlying simulated file.

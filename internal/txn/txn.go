@@ -95,6 +95,12 @@ type Manager struct {
 	active map[redo.TxnID]*Txn
 	stats  Stats
 
+	// retention is the flashback retention horizon: while non-zero, redo
+	// groups whose records reach back to this SCN are protected from
+	// reuse (UndoFloor folds it in), so an in-progress or anticipated
+	// FLASHBACK TABLE can still read the stream it needs to rewind.
+	retention redo.SCN
+
 	// OnTxnFinished, when set, fires after any transaction leaves the
 	// active set (commit, rollback, abandon): the redo log uses it to
 	// re-check group-reuse stalls against the undo floor.
@@ -160,6 +166,48 @@ func (m *Manager) OldestActiveFirstSCN() redo.SCN {
 	return oldest
 }
 
+// SetRetention sets (or, with 0, clears) the flashback retention horizon:
+// the oldest SCN a logical rewind may still need. The caller must notify
+// the redo manager (NotifyUndoFloorChanged) after clearing so stalled
+// group switches re-check.
+func (m *Manager) SetRetention(scn redo.SCN) { m.retention = scn }
+
+// Retention returns the current flashback retention horizon (0 = none).
+func (m *Manager) Retention() redo.SCN { return m.retention }
+
+// UndoFloor is the SCN below which redo may be recycled: the smaller of
+// the oldest active transaction's first record and the flashback
+// retention horizon. This is the function the redo manager consults
+// before reusing a log group.
+func (m *Manager) UndoFloor() redo.SCN {
+	floor := m.OldestActiveFirstSCN()
+	if m.retention != 0 && (floor == 0 || m.retention < floor) {
+		floor = m.retention
+	}
+	return floor
+}
+
+// ActiveWritersOn counts in-flight transactions that have written to the
+// table. DROP TABLE's exclusive DDL lock drains them before the DROP
+// record is logged: each either commits (its records predate the record's
+// SCN, so a flashback keeps them) or rolls back (its rows are compensated
+// away) — never half of each.
+func (m *Manager) ActiveWritersOn(table string) int {
+	n := 0
+	for _, t := range m.active {
+		if t.state != StateActive {
+			continue
+		}
+		for _, u := range t.undo {
+			if u.table == table {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
 // IsActive reports whether the transaction with the given ID is in flight
 // (used by online media recovery to leave live transactions to their own
 // commit or rollback).
@@ -210,6 +258,9 @@ func (m *Manager) Read(p *sim.Proc, t *Txn, table string, key int64) ([]byte, er
 	tbl, err := m.cat.Table(table)
 	if err != nil {
 		return nil, err
+	}
+	if tbl.Frozen {
+		return nil, fmt.Errorf("%w: %s", catalog.ErrTableFrozen, table)
 	}
 	if err := available(tbl.BlockFor(key)); err != nil {
 		return nil, err
@@ -265,6 +316,9 @@ func (m *Manager) write(p *sim.Proc, t *Txn, op redo.Op, table string, key int64
 	tbl, err := m.cat.Table(table)
 	if err != nil {
 		return err
+	}
+	if tbl.Frozen || tbl.Quiescing {
+		return fmt.Errorf("%w: %s", catalog.ErrTableFrozen, table)
 	}
 	// Reserve redo space before touching the buffer (Oracle's redo
 	// allocation order): this is where "checkpoint not complete" and
@@ -399,6 +453,11 @@ func (m *Manager) compensate(p *sim.Proc, t *Txn, u undoRec) error {
 		// Table dropped since the change (DDL faultload): nothing to
 		// restore into; skip.
 		return nil
+	}
+	if tbl.Frozen {
+		// A flashback is rewinding the table; the zombie sweep retries
+		// after it finishes.
+		return fmt.Errorf("%w: %s", catalog.ErrTableFrozen, u.table)
 	}
 	if err := m.log.Reserve(p, int64(256+len(u.table)+2*len(u.before))); err != nil {
 		return fmt.Errorf("txn: %w", err)
