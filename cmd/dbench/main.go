@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dbench [-scale quick|std|full] [-exp t3,f4,f5,t4,t5,f6,f7|all] [-parallel N]
+//	dbench -exp t4 [-stats metrics.csv] [-awr] [-sample-interval 1s]
 //	dbench -exp chaos [-crashpoints N] [-seed S] [-parallel N] [-warehouses W]
 //	dbench -exp scale [-warehouses 1,2,4,8] [-parallel N]
 //	dbench -exp logical [-scale quick|std|full] [-parallel N]
@@ -39,6 +40,14 @@
 // restore — per fault class: recovery time, availability during the
 // repair, and lost transactions. Opt-in (not part of "all").
 //
+// -stats/-awr enable the MMON workload repository on the campaign's
+// first run (sampled every -sample-interval of virtual time): -stats
+// exports the full metric time-series — counters, gauges (dirty-buffer
+// depth, checkpoint lag, per-tablespace offline time) and the live
+// recovery-time estimate — as CSV (or JSON for .json paths), -awr
+// prints an AWR-style first-vs-last snapshot diff report. Both outputs
+// are byte-identical across reruns of the same seed.
+//
 // `dbench recover -scan` demonstrates dictionary reconstruction from
 // datafile headers: it builds a seeded TPC-C database, truncates the
 // stock table, destroys the data dictionary, rebuilds it by scanning
@@ -57,6 +66,7 @@ import (
 
 	"dbench/internal/chaos"
 	"dbench/internal/core"
+	"dbench/internal/monitor"
 	"dbench/internal/trace"
 )
 
@@ -165,6 +175,9 @@ func run(args []string) error {
 	recoveryWorkers := fs.String("recovery-workers", "1", "parallel recovery fan-out: scale sweeps each listed count, other experiments use the largest")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file (virtual timebase) for the campaign's first run; open in chrome://tracing or ui.perfetto.dev")
 	timeline := fs.Bool("timeline", false, "print the traced run's recovery-phase timeline after the reports")
+	statsFile := fs.String("stats", "", "sample the campaign's first run with the MMON workload repository and export the metric time-series to this file (CSV; .json for JSON); byte-identical across reruns of the same seed")
+	awr := fs.Bool("awr", false, "sample the campaign's first run and print an AWR-style first-vs-last snapshot diff report")
+	sampleEvery := fs.Duration("sample-interval", time.Second, "MMON sample interval (virtual time) used by -stats/-awr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,6 +242,18 @@ func run(args []string) error {
 	}
 	sc.Tracer = tracer
 
+	// -stats/-awr: sample the campaign's first run with the MMON
+	// repository. The repository pointer lands here when that run
+	// completes (the pool joins before we read it).
+	var repo *monitor.Repository
+	if *statsFile != "" || *awr {
+		if *sampleEvery <= 0 {
+			return fmt.Errorf("-sample-interval must be positive (got %v)", *sampleEvery)
+		}
+		sc.SampleInterval = *sampleEvery
+		sc.OnRepository = func(r *monitor.Repository) { repo = r }
+	}
+
 	// flushTrace writes the collected trace outputs; called once after
 	// the campaigns (including before a chaos-violation exit, so the
 	// evidence is on disk).
@@ -254,6 +279,39 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "trace: %d records written to %s\n", chromeSink.Len(), *traceFile)
+		}
+		return nil
+	}
+
+	// flushStats exports the sampled repository (if a campaign ran one):
+	// the -awr diff report to stdout, the -stats time-series to disk.
+	flushStats := func() error {
+		if repo == nil {
+			if *statsFile != "" || *awr {
+				fmt.Fprintln(os.Stderr, "stats: no run was sampled (selected experiments ran no campaign)")
+			}
+			return nil
+		}
+		if *awr {
+			fmt.Print(monitor.FormatAWR(repo))
+		}
+		if *statsFile != "" {
+			f, err := os.Create(*statsFile)
+			if err != nil {
+				return err
+			}
+			if strings.HasSuffix(*statsFile, ".json") {
+				err = repo.WriteJSON(f)
+			} else {
+				err = repo.WriteCSV(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "stats: %d samples written to %s\n", repo.Len(), *statsFile)
 		}
 		return nil
 	}
@@ -344,6 +402,9 @@ func run(args []string) error {
 			}
 			return fmt.Errorf("chaos: %d/%d crash points violated an invariant", rep.Failed(), len(rep.Points))
 		}
+	}
+	if err := flushStats(); err != nil {
+		return err
 	}
 	return flushTrace()
 }

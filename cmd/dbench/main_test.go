@@ -65,6 +65,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-parallel", "-2"},
 		{"-nosuchflag"},
 		{"-exp", "chaos", "-crashpoints", "0"},
+		{"-exp", "t4", "-stats", "m.csv", "-sample-interval", "0s"},
+		{"-exp", "t4", "-awr", "-sample-interval", "-1s"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

@@ -10,11 +10,17 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"dbench/internal/storage"
 )
+
+// ErrUnknownTable marks lookups of tables absent from the dictionary, so
+// callers can distinguish a bad name from a real DDL failure
+// (errors.Is).
+var ErrUnknownTable = errors.New("catalog: unknown table")
 
 // Table describes one user table and its physical segment.
 type Table struct {
@@ -273,7 +279,7 @@ func (c *Catalog) allocated(f *storage.Datafile) int {
 func (c *Catalog) DropTable(name string) error {
 	t, ok := c.tables[name]
 	if !ok {
-		return fmt.Errorf("catalog: unknown table %q", name)
+		return fmt.Errorf("%w: %q", ErrUnknownTable, name)
 	}
 	delete(c.tables, name)
 	c.stampHeaders(t.files())
@@ -284,7 +290,7 @@ func (c *Catalog) DropTable(name string) error {
 func (c *Catalog) Table(name string) (*Table, error) {
 	t, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown table %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, name)
 	}
 	return t, nil
 }

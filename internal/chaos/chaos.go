@@ -32,6 +32,7 @@ import (
 	"dbench/internal/core"
 	"dbench/internal/engine"
 	"dbench/internal/faults"
+	"dbench/internal/monitor"
 	"dbench/internal/recovery"
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
@@ -117,6 +118,15 @@ type Config struct {
 	// its own deterministic fingerprints.
 	RecoveryWorkers int
 
+	// SampleInterval enables the MMON workload repository on every
+	// point's instance and sets its sampling period. With sampling on,
+	// two more checks join the battery: the metric-stream hash is folded
+	// into the determinism fingerprint, and the estimator-accuracy
+	// invariant (f) compares the crash-instant recovery estimate against
+	// the measured redo-replay phase. Zero disables both (the estimate
+	// verdict is then vacuously true).
+	SampleInterval time.Duration
+
 	// Tracer, when set, receives one chaos-category instant per crash
 	// point (in point order, after the pool completes, so the stream is
 	// deterministic under any worker count). Each point's own engine
@@ -146,6 +156,7 @@ func DefaultConfig() Config {
 		CrashMin:          3 * time.Second,
 		CrashMax:          25 * time.Second,
 		Tail:              5 * time.Second,
+		SampleInterval:    250 * time.Millisecond,
 	}
 }
 
@@ -227,6 +238,7 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 	ecfg.CheckpointTimeout = cfg.CheckpointTimeout
 	ecfg.CacheBlocks = cfg.CacheBlocks
 	ecfg.RecoveryParallelism = cfg.RecoveryWorkers
+	ecfg.SampleInterval = cfg.SampleInterval
 	// Every point runs fully traced into a hash sink: the event stream —
 	// every span, instant, timestamp and attribute the instrumentation
 	// emits — is condensed to one value and compared across the
@@ -324,6 +336,13 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 
 		preSCN := in.Log().NextSCN() - 1
 		in.Crash()
+		// Crash() takes a final repository sample at the crash instant,
+		// so Last() is exactly the pre-crash V$RECOVERY_ESTIMATE — the
+		// prediction invariant (f) holds recovery to.
+		var crashEstimate monitor.Estimate
+		if last, ok := in.Monitor().Last(); ok {
+			crashEstimate = last.Estimate
+		}
 		if helper != nil {
 			// A stalled ForceLogSwitch would otherwise wake up during
 			// recovery (when the log restarts) and inject a phantom
@@ -367,6 +386,21 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		res.RecoveryTime = o.RecoveryDuration()
 		res.RecordsApplied = o.Report.RecordsApplied
 		res.BytesReplayed = o.Report.BytesApplied
+
+		// Invariant (f): the crash-instant recovery estimate must bracket
+		// the measured redo-replay phase. Vacuous when sampling is off.
+		for _, ph := range o.Report.Phases {
+			if ph.Name == recovery.PhaseRedoReplay {
+				res.MeasuredRedoReplay += ph.Duration()
+			}
+		}
+		res.EstimatedRedoReplay = crashEstimate.RedoReplay
+		if cfg.SampleInterval > 0 {
+			res.EstimateOK = crashEstimate.Valid &&
+				estimateWithin(res.EstimatedRedoReplay, res.MeasuredRedoReplay)
+		} else {
+			res.EstimateOK = true
+		}
 
 		// Invariant (c), checked atomically in virtual time (no sleeps
 		// between hash, replay and re-hash, so no other process runs):
@@ -428,6 +462,33 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 	// hash — and the fingerprint that folds it in — is taken here.
 	res.TraceHash = hs.Sum()
 	res.TraceEvents = hs.Count()
+	// The metric stream joins the fingerprint the same way: a divergence
+	// anywhere in the sampled time-series fails determinism even when
+	// the final database state agrees. Nil-safe zero when sampling is off.
+	res.MetricsHash = in.Monitor().Hash()
+	res.MetricSamples = in.Monitor().Len()
 	res.Fingerprint = fingerprint(in, res)
 	return res, nil
+}
+
+// Estimator-accuracy tolerance: the crash-instant redo-replay estimate
+// must land within ±35% of the measured phase, with an absolute floor
+// for tiny phases (a crash seconds after a checkpoint replays almost
+// nothing, where fixed per-phase costs dominate any per-record model).
+const (
+	estimateRelTolerance = 0.35
+	estimateAbsFloor     = 400 * time.Millisecond
+)
+
+// estimateWithin applies the tolerance band.
+func estimateWithin(est, measured time.Duration) bool {
+	diff := est - measured
+	if diff < 0 {
+		diff = -diff
+	}
+	tol := time.Duration(estimateRelTolerance * float64(measured))
+	if tol < estimateAbsFloor {
+		tol = estimateAbsFloor
+	}
+	return diff <= tol
 }

@@ -127,7 +127,11 @@ func sameOutcome(a, b *PointResult) bool {
 		a.Served == b.Served &&
 		a.DarkCommits == b.DarkCommits &&
 		a.TraceHash == b.TraceHash &&
-		a.TraceEvents == b.TraceEvents
+		a.TraceEvents == b.TraceEvents &&
+		a.MetricsHash == b.MetricsHash &&
+		a.MetricSamples == b.MetricSamples &&
+		a.EstimatedRedoReplay == b.EstimatedRedoReplay &&
+		a.MeasuredRedoReplay == b.MeasuredRedoReplay
 }
 
 // fingerprint condenses a finished point — final datafile state plus
@@ -155,5 +159,9 @@ func fingerprint(in *engine.Instance, r *PointResult) uint64 {
 	writeInt(int64(r.DarkCommits))
 	writeInt(int64(r.TraceHash))
 	writeInt(int64(r.TraceEvents))
+	writeInt(int64(r.MetricsHash))
+	writeInt(int64(r.MetricSamples))
+	writeInt(int64(r.EstimatedRedoReplay))
+	writeInt(int64(r.MeasuredRedoReplay))
 	return h.Sum64()
 }

@@ -13,8 +13,8 @@ import "testing"
 // goldens; re-measure from the test log in that case).
 func TestExploreParallelRecoveryAllInvariants(t *testing.T) {
 	golden := map[int64][4]uint64{
-		1: {0x6d0927d6a6389da6, 0xf2f6b3ce64eb4805, 0x711f3e1da24bb90d, 0x59cd11a0a5db0256},
-		2: {0xde1e085aee329624, 0xfba7ccb664849367, 0xfdcd97268f50dc59, 0x2765b3349ed1270c},
+		1: {0xb0d02b9255795310, 0x62a44f9823263508, 0xe4567f060d6d446c, 0x68a6add8a69d34ab},
+		2: {0x90a48db0935a71fb, 0x2335630dcc75f3f0, 0x56c1dd577503e16b, 0x9b43f7cf49ebfbb4},
 	}
 	for _, seed := range []int64{1, 2} {
 		var fps [2][4]uint64

@@ -35,7 +35,7 @@ type PointResult struct {
 	RecordsApplied int
 	BytesReplayed  int64
 
-	// The four invariant verdicts, with their evidence counts.
+	// The invariant verdicts, with their evidence counts.
 	Durable          bool // (a) no acknowledged commit missing
 	MissingCommits   int
 	Consistent       bool // (b) zero TPC-C consistency violations
@@ -44,6 +44,20 @@ type PointResult struct {
 	ReappliedRecords int
 	Deterministic    bool // (d) rerun with the same seed agreed
 	ServedSafe       bool // (e) no commit acked while the instance was dark
+	EstimateOK       bool // (f) crash-instant estimate bracketed the measured redo replay
+
+	// EstimatedRedoReplay is the live V$RECOVERY_ESTIMATE redo-replay
+	// prediction at the crash instant; MeasuredRedoReplay the redo-replay
+	// phase duration the recovery then actually took. The estimator-
+	// accuracy invariant (f) holds the first within the tolerance band of
+	// the second (see estimateWithin). Both zero when sampling is off.
+	EstimatedRedoReplay time.Duration
+	MeasuredRedoReplay  time.Duration
+	// MetricsHash/MetricSamples condense the point's full sampled metric
+	// stream (every counter, gauge and estimate of every sample); folded
+	// into the fingerprint so metric divergence fails determinism.
+	MetricsHash   uint64
+	MetricSamples int
 
 	// Offered/Served count the terminals' transaction attempts over the
 	// whole point (commits and user aborts served, errors refused).
@@ -66,7 +80,8 @@ type PointResult struct {
 
 // OK reports whether every invariant held at this point.
 func (r *PointResult) OK() bool {
-	return r.Durable && r.Consistent && r.Idempotent && r.Deterministic && r.ServedSafe
+	return r.Durable && r.Consistent && r.Idempotent && r.Deterministic &&
+		r.ServedSafe && r.EstimateOK
 }
 
 // Verdict renders the point's overall invariant verdict: "ok" when every
@@ -120,23 +135,25 @@ func verdict(ok bool, n int) string {
 func FormatReport(r *Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Chaos crash-point exploration: %d points, seed %d.\n", len(r.Points), r.Config.Seed)
-	fmt.Fprintf(&b, "%4s %-10s %9s %9s %8s %9s %11s %7s %8s %8s | %7s %7s %6s %6s %6s\n",
+	fmt.Fprintf(&b, "%4s %-10s %9s %9s %8s %9s %11s %7s %8s %8s %9s %9s | %7s %7s %6s %6s %6s %6s\n",
 		"pt", "window", "crash@", "crashSCN", "recovery", "applied", "replayed", "acked",
-		"offered", "served",
-		"durable", "consist", "idem", "determ", "safe")
+		"offered", "served", "est", "measured",
+		"durable", "consist", "idem", "determ", "safe", "estim")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%4d %-10s %8.2fs %9d %7.1fs %9d %10.1fKB %7d %8d %8d | %7s %7s %6s %6s %6s\n",
+		fmt.Fprintf(&b, "%4d %-10s %8.2fs %9d %7.1fs %9d %10.1fKB %7d %8d %8d %8.2fs %8.2fs | %7s %7s %6s %6s %6s %6s\n",
 			p.Index, p.Window, time.Duration(p.CrashAt).Seconds(), p.CrashSCN,
 			p.RecoveryTime.Seconds(), p.RecordsApplied, float64(p.BytesReplayed)/1024,
 			p.AckedCommits, p.Offered, p.Served,
+			p.EstimatedRedoReplay.Seconds(), p.MeasuredRedoReplay.Seconds(),
 			verdict(p.Durable, p.MissingCommits),
 			verdict(p.Consistent, p.Violations),
 			verdict(p.Idempotent, p.ReappliedRecords),
 			verdict(p.Deterministic, 1),
-			verdict(p.ServedSafe, p.DarkCommits))
+			verdict(p.ServedSafe, p.DarkCommits),
+			verdict(p.EstimateOK, 1))
 	}
 	if r.AllGreen() {
-		fmt.Fprintf(&b, "%d/%d crash points green: durability, consistency, idempotence, determinism, served-safety all held.\n",
+		fmt.Fprintf(&b, "%d/%d crash points green: durability, consistency, idempotence, determinism, served-safety, estimator accuracy all held.\n",
 			len(r.Points), len(r.Points))
 	} else {
 		fmt.Fprintf(&b, "%d/%d crash points VIOLATED an invariant (reproduce one with its point seed).\n",

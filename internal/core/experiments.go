@@ -6,6 +6,7 @@ import (
 
 	"dbench/internal/engine"
 	"dbench/internal/faults"
+	"dbench/internal/monitor"
 	"dbench/internal/tpcc"
 	"dbench/internal/trace"
 )
@@ -39,6 +40,15 @@ type Scale struct {
 	// have independent virtual timebases, so exactly one is traced; the
 	// first makes the choice reproducible). Nil disables tracing.
 	Tracer *trace.Tracer
+	// SampleInterval, when positive, enables the MMON workload
+	// repository on the campaign's first run (same single-run rule as
+	// Tracer: each run has its own virtual timeline).
+	SampleInterval time.Duration
+	// RepositoryDepth bounds the sampled repository (0 = monitor default).
+	RepositoryDepth int
+	// OnRepository receives the sampled run's repository after it
+	// completes (dbench's -stats/-awr export hook).
+	OnRepository func(*monitor.Repository)
 }
 
 // FullScale is the paper-faithful setup: 20-minute experiments, operator
@@ -123,12 +133,21 @@ func (sc Scale) maxRecoveryWorkers() int {
 	return max
 }
 
-// traceFirst attaches the scale's tracer (if any) to the first spec.
-// Campaign runners call it after building their spec list, so a -trace
-// run always records the campaign's first experiment.
+// traceFirst attaches the scale's instrumentation — tracer and/or MMON
+// sampling — to the first spec. Campaign runners call it after building
+// their spec list, so -trace/-stats/-awr always observe the campaign's
+// first experiment.
 func (sc Scale) traceFirst(specs []Spec) {
-	if sc.Tracer != nil && len(specs) > 0 {
+	if len(specs) == 0 {
+		return
+	}
+	if sc.Tracer != nil {
 		specs[0].Tracer = sc.Tracer
+	}
+	if sc.SampleInterval > 0 {
+		specs[0].SampleInterval = sc.SampleInterval
+		specs[0].RepositoryDepth = sc.RepositoryDepth
+		specs[0].OnRepository = sc.OnRepository
 	}
 }
 

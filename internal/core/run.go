@@ -9,6 +9,7 @@ import (
 	"dbench/internal/engine"
 	"dbench/internal/faults"
 	"dbench/internal/metrics"
+	"dbench/internal/monitor"
 	"dbench/internal/recovery"
 	"dbench/internal/redo"
 	"dbench/internal/sim"
@@ -78,6 +79,18 @@ type Spec struct {
 	// else, and interleaving several virtual timelines into one sink
 	// would be meaningless. Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+
+	// SampleInterval enables the MMON workload repository on this run's
+	// instance (engine.Config.SampleInterval); zero disables monitoring
+	// at zero cost. Like Tracer, at most one spec per campaign should
+	// sample — the repository rides on a single run's virtual timeline.
+	SampleInterval time.Duration
+	// RepositoryDepth bounds the retained samples (0 = monitor default).
+	RepositoryDepth int
+	// OnRepository, when set, receives the run's workload repository
+	// after the simulation has fully stopped (dbench uses it to export
+	// -stats / -awr). Called once per Run, only when sampling is on.
+	OnRepository func(*monitor.Repository)
 }
 
 // DefaultSpec returns a paper-style 20-minute experiment on F100G3T10
@@ -147,6 +160,11 @@ type Result struct {
 	RedoWritten int64
 	// LogStalls is time transactions spent waiting for log-group reuse.
 	LogStalls time.Duration
+
+	// Repository is the run's MMON workload repository (nil unless
+	// Spec.SampleInterval > 0): the sampled metric time-series, rates
+	// and live recovery estimates, ready for export.
+	Repository *monitor.Repository
 
 	// Diagnostics for calibration and reports.
 	DebugLog     *redo.Manager // the primary instance's log (debug access)
@@ -218,6 +236,8 @@ func Run(spec Spec) (*Result, error) {
 	ecfg.RecoveryParallelism = spec.RecoveryWorkers
 	ecfg.Cost = spec.Cost
 	ecfg.Tracer = spec.Tracer
+	ecfg.SampleInterval = spec.SampleInterval
+	ecfg.RepositoryDepth = spec.RepositoryDepth
 	in, err := engine.New(k, fs, ecfg)
 	if err != nil {
 		return nil, err
@@ -359,6 +379,7 @@ func Run(spec Spec) (*Result, error) {
 		res.RedoWritten = in.Log().Stats().FlushedBytes
 		res.LogStalls = in.Log().Stats().StallTime
 		res.DebugLog = in.Log()
+		res.Repository = in.Monitor()
 		res.ByType = make(map[tpcc.TxnType]int)
 		for _, c := range drv.Commits() {
 			res.ByType[c.Type]++
@@ -427,6 +448,9 @@ func Run(spec Spec) (*Result, error) {
 	k.KillAll()
 	if runErr != nil {
 		return nil, fmt.Errorf("core: run %q: %w", spec.Name, runErr)
+	}
+	if spec.OnRepository != nil && res.Repository != nil {
+		spec.OnRepository(res.Repository)
 	}
 	return res, nil
 }

@@ -17,6 +17,7 @@ import (
 	"dbench/internal/archivelog"
 	"dbench/internal/bufcache"
 	"dbench/internal/catalog"
+	"dbench/internal/monitor"
 	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
@@ -96,6 +97,8 @@ type Instance struct {
 
 	ckpt      *ckptProcess
 	pmon      *pmonProcess
+	mmon      *mmonProcess
+	repo      *monitor.Repository
 	c         counters
 	reg       *trace.Registry
 	tr        *trace.Tracer
@@ -187,6 +190,21 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 	// SCN a logical rewind has pinned (txn.Manager.SetRetention).
 	log.UndoFloor = inst.tm.UndoFloor
 	inst.tm.OnTxnFinished = log.NotifyUndoFloorChanged
+	// A "checkpoint not complete" stall demands a fresh checkpoint: the
+	// switch-triggered one can land short of the blocking group's last
+	// SCN (a mid-drain re-dirty clamps the position), and waiting for
+	// the timer checkpoint would wedge the workload for minutes.
+	log.OnCheckpointNeeded = func() {
+		if inst.ckpt != nil {
+			inst.ckpt.request(reasonSwitch)
+		}
+	}
+	// Monitoring is opt-in: a zero SampleInterval leaves repo nil, and
+	// every sampling site is nil-safe at zero cost (same contract as the
+	// nil tracer).
+	if cfg.SampleInterval > 0 {
+		inst.repo = buildRepository(inst)
+	}
 	return inst, nil
 }
 
@@ -242,6 +260,11 @@ func (in *Instance) Registry() *trace.Registry { return in.reg }
 // Tracer returns the instance's event bus (nil when tracing is off;
 // a nil tracer accepts and drops events).
 func (in *Instance) Tracer() *trace.Tracer { return in.tr }
+
+// Monitor returns the MMON workload repository, nil when monitoring is
+// disabled (Config.SampleInterval == 0). A nil repository accepts every
+// call as a no-op.
+func (in *Instance) Monitor() *monitor.Repository { return in.repo }
 
 // State returns the lifecycle state.
 func (in *Instance) State() State { return in.state }
@@ -337,6 +360,10 @@ func (in *Instance) Open(p *sim.Proc) error {
 	in.ckpt.start()
 	in.pmon = newPmon(in)
 	in.pmon.start()
+	if in.repo != nil {
+		in.mmon = newMmon(in)
+		in.mmon.start()
+	}
 	in.crashed = false
 	in.recovered = false
 	in.state = StateOpen
@@ -361,6 +388,9 @@ func (in *Instance) Open(p *sim.Proc) error {
 	for _, name := range reopened {
 		in.clearTablespaceDown(name)
 	}
+	// Baseline sample at the open instant, so the repository always has a
+	// "window start" snapshot even before the first MMON tick.
+	in.repo.Sample(in.k.Now())
 	if in.OnStateChange != nil {
 		in.OnStateChange(in.k.Now(), StateOpen)
 	}
@@ -374,6 +404,11 @@ func (in *Instance) Crash() {
 	if in.state == StateDown {
 		return
 	}
+	// Final sample at the crash instant, before the crash mutates any
+	// state: the repository's last sample is exactly the pre-crash
+	// picture, which is what the chaos estimator invariant compares the
+	// measured recovery against.
+	in.repo.Sample(in.k.Now())
 	in.state = StateDown
 	in.mounted = false
 	in.crashed = true
@@ -390,6 +425,9 @@ func (in *Instance) Crash() {
 	}
 	if in.pmon != nil {
 		in.pmon.stop()
+	}
+	if in.mmon != nil {
+		in.mmon.stop()
 	}
 	in.cache.InvalidateAll()
 	in.tm.AbandonAll()
@@ -430,6 +468,9 @@ func (in *Instance) ShutdownImmediate(p *sim.Proc) error {
 	}
 	if in.pmon != nil {
 		in.pmon.stop()
+	}
+	if in.mmon != nil {
+		in.mmon.stop()
 	}
 	in.cache.InvalidateAll() // cache is clean after the checkpoint
 	if in.OnStateChange != nil {
@@ -529,6 +570,11 @@ func (in *Instance) checkpoint(p *sim.Proc) error {
 	}
 	in.log.CheckpointCompleted(scn)
 	in.c.checkpoints.Inc()
+	// Sample right after the checkpoint lands: the recovery-scan window
+	// (and so the live recovery estimate) just shrank, and a crash before
+	// the next MMON tick must not be compared against the stale pre-
+	// checkpoint estimate. Pure reads — no virtual time is consumed.
+	in.repo.Sample(p.Now())
 	in.tr.End(p.Now(), span, trace.I("written", int64(written)), trace.I("scn", int64(scn)))
 	return nil
 }

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"sort"
+
+	"dbench/internal/monitor"
+	"dbench/internal/sim"
+)
+
+// mmonProcess is the engine's MMON: a background sampler that snapshots
+// the counter registry, gauge probes and the live recovery-time estimate
+// into the workload repository every Config.SampleInterval of virtual
+// time. It only exists when monitoring is enabled; the repository itself
+// is nil-safe, so every other caller samples unconditionally.
+type mmonProcess struct {
+	in      *Instance
+	proc    *sim.Proc
+	running bool
+}
+
+func newMmon(in *Instance) *mmonProcess { return &mmonProcess{in: in} }
+
+func (m *mmonProcess) start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.proc = m.in.k.Go("MMON", m.loop)
+}
+
+func (m *mmonProcess) stop() {
+	if !m.running {
+		return
+	}
+	m.running = false
+	if m.proc != nil {
+		m.proc.Kill()
+	}
+}
+
+func (m *mmonProcess) loop(p *sim.Proc) {
+	for m.running {
+		p.Sleep(m.in.cfg.SampleInterval)
+		if !m.running {
+			return
+		}
+		m.in.repo.Sample(p.Now())
+	}
+}
+
+// buildRepository wires the workload repository for an instance:
+// registry binding, the gauge probes, and the recovery-time estimator
+// with its physical model and input closure. Called from New when
+// Config.SampleInterval > 0; everything it registers is a pure read of
+// instance state, so sampling never advances virtual time.
+func buildRepository(in *Instance) *monitor.Repository {
+	repo := monitor.New(monitor.Config{Depth: in.cfg.RepositoryDepth})
+	repo.Bind(in.reg)
+
+	repo.AddProbe("db.current_scn", func() int64 { return int64(in.log.NextSCN() - 1) })
+	repo.AddProbe("db.flushed_scn", func() int64 { return int64(in.log.FlushedSCN()) })
+	repo.AddProbe("db.checkpoint_scn", func() int64 { return int64(in.db.Control.CheckpointSCN) })
+	repo.AddProbe("db.undo_scn", func() int64 { return int64(in.db.Control.UndoSCN) })
+	repo.AddProbe("cache.dirty", func() int64 { return int64(in.cache.DirtyCount()) })
+	// Checkpoint lag: how far the oldest dirty change trails the head of
+	// the log — the redo span a crash-now recovery must reapply because
+	// of buffers DBWR has not written back yet.
+	repo.AddProbe("ckpt.lag", func() int64 {
+		md := in.cache.MinDirtySCN()
+		if md < 0 {
+			return 0
+		}
+		return int64(in.log.NextSCN()-1) - int64(md)
+	})
+	repo.AddProbe("txn.active", func() int64 { return int64(in.tm.ActiveCount()) })
+	repo.AddProbe("txn.committed", func() int64 { return int64(in.tm.Stats().Committed) })
+	// One gauge per currently-offline tablespace: its outage duration so
+	// far, in virtual nanoseconds. Sorted for deterministic emission.
+	repo.AddMultiProbe(func(emit func(name string, v int64)) {
+		if len(in.tsDown) == 0 {
+			return
+		}
+		names := make([]string, 0, len(in.tsDown))
+		for name := range in.tsDown {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		now := in.k.Now()
+		for _, name := range names {
+			emit("ts.offline_ns."+name, int64(now.Sub(in.tsDown[name])))
+		}
+	})
+
+	spec := in.fs.Disk(in.cfg.Redo.Disk).Spec()
+	par := in.cfg.RecoveryParallelism
+	if cpus := max(in.cfg.CPUs, 1); par > cpus {
+		par = cpus
+	}
+	est := monitor.NewEstimator(monitor.Model{
+		ApplyPerRecord:  in.cfg.Cost.RedoApplyPerRecord,
+		ScanBytesPerSec: spec.TransferBytesPerSec,
+		SeekOverhead:    spec.Position,
+		MountOverhead:   in.cfg.Cost.InstanceStartup,
+		Parallel:        par,
+	})
+	// The input closure mirrors recovery's scan-start rule exactly
+	// (recovery.go): scan from the checkpoint position plus one, lowered
+	// to the undo low-watermark when older transactions were active.
+	repo.SetEstimator(est, func() (scanStartSCN, flushedSCN, flushedBytes int64) {
+		ctl := in.db.Control
+		from := ctl.CheckpointSCN + 1
+		if ctl.UndoSCN > 0 && ctl.UndoSCN < from {
+			from = ctl.UndoSCN
+		}
+		return int64(from), int64(in.log.FlushedSCN()), in.reg.Value("redo.flushed_bytes")
+	})
+	return repo
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dbench/internal/sim"
+)
+
+// insertRows pushes n rows through table t so redo accumulates.
+func insertRows(p *sim.Proc, in *Instance, n int) error {
+	for i := 0; i < n; i++ {
+		tx, err := in.Begin()
+		if err != nil {
+			return err
+		}
+		if err := in.Insert(p, tx, "t", int64(i+1), []byte("row")); err != nil {
+			return err
+		}
+		if err := in.Commit(p, tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestMmonSamplesOnCadence(t *testing.T) {
+	k, _, in := newInstance(t, func(c *Config) {
+		c.SampleInterval = time.Second
+	})
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		if err := insertRows(p, in, 5); err != nil {
+			return err
+		}
+		p.Sleep(5 * time.Second)
+		return in.ShutdownImmediate(p)
+	})
+	repo := in.Monitor()
+	if repo == nil {
+		t.Fatal("SampleInterval > 0 but no repository")
+	}
+	// Five seconds of idle open time alone guarantees several timer
+	// ticks; the exact count also includes the open-baseline and
+	// checkpoint-inline samples.
+	if repo.Len() < 5 {
+		t.Fatalf("only %d samples after >5s at 1s cadence", repo.Len())
+	}
+	// Cadence: consecutive timer samples one second apart must exist.
+	onCadence := 0
+	for i := 1; i < repo.Len(); i++ {
+		if repo.At(i).At.Sub(repo.At(i-1).At) == time.Second {
+			onCadence++
+		}
+	}
+	if onCadence < 3 {
+		t.Errorf("only %d consecutive samples on the 1s cadence", onCadence)
+	}
+	// The workload must be visible in the stream.
+	last, _ := repo.Last()
+	if last.Counter("redo.flushed_bytes") == 0 {
+		t.Error("redo.flushed_bytes never sampled above zero")
+	}
+	if !last.Estimate.Valid {
+		t.Error("estimator not bound: samples carry no estimate")
+	}
+}
+
+func TestMmonDisabledByDefault(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		return setupAndOpen(p, in)
+	})
+	if in.Monitor() != nil {
+		t.Error("repository exists with SampleInterval zero")
+	}
+}
+
+// TestMmonCrashSampleIsPreCrash pins the chaos harness's contract: Crash
+// takes one inline sample before any teardown, so Last() is the exact
+// crash-instant picture — including the live recovery estimate the
+// estimator-accuracy invariant compares against the measured phase.
+func TestMmonCrashSampleIsPreCrash(t *testing.T) {
+	k, _, in := newInstance(t, func(c *Config) {
+		c.SampleInterval = time.Second
+	})
+	var crashAt sim.Time
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		if err := insertRows(p, in, 20); err != nil {
+			return err
+		}
+		p.Sleep(300 * time.Millisecond) // off the sampling cadence
+		crashAt = p.Now()
+		in.Crash()
+		return nil
+	})
+	last, ok := in.Monitor().Last()
+	if !ok {
+		t.Fatal("no samples at crash")
+	}
+	if last.At != crashAt {
+		t.Fatalf("last sample at %v, crash at %v — not the inline crash sample", last.At, crashAt)
+	}
+	if !last.Estimate.Valid || last.Estimate.ScanRecords == 0 {
+		t.Errorf("crash sample estimate = %+v, want valid with pending redo", last.Estimate)
+	}
+}
+
+// TestMmonCheckpointSampleShrinksEstimate pins the inline post-checkpoint
+// sample: a completed checkpoint advances the recovery start position, so
+// the estimate taken at that instant must cover (far) fewer records than
+// the one just before.
+func TestMmonCheckpointSampleShrinksEstimate(t *testing.T) {
+	k, _, in := newInstance(t, func(c *Config) {
+		c.SampleInterval = time.Hour // timer effectively off: only inline samples
+	})
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		if err := insertRows(p, in, 30); err != nil {
+			return err
+		}
+		in.Monitor().Sample(p.Now()) // pending redo visible here
+		return in.Checkpoint(p)
+	})
+	// The kernel drains long after the test body, so MMON appends idle
+	// hourly samples at the tail; find the explicit pre-checkpoint sample
+	// (the one carrying the pending redo) and compare it to its inline
+	// post-checkpoint successor.
+	repo := in.Monitor()
+	found := false
+	for i := 0; i+1 < repo.Len(); i++ {
+		before, after := repo.At(i), repo.At(i+1)
+		if before.Estimate.ScanRecords == 0 {
+			continue
+		}
+		found = true
+		if after.Gauge("db.checkpoint_scn") <= before.Gauge("db.checkpoint_scn") {
+			t.Errorf("sample %d: no checkpoint advance after the pending-redo sample", before.Seq)
+		}
+		if after.Estimate.ScanRecords >= before.Estimate.ScanRecords {
+			t.Errorf("estimate did not shrink across the checkpoint: %d -> %d records",
+				before.Estimate.ScanRecords, after.Estimate.ScanRecords)
+		}
+	}
+	if !found {
+		t.Fatal("no sample shows pending redo")
+	}
+}
+
+func TestConfigParameters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleInterval = time.Second
+	params := cfg.Parameters()
+	if len(params) < 15 {
+		t.Fatalf("only %d parameters", len(params))
+	}
+	// Stable order: sorted by name within their groups is not required,
+	// but the order must be deterministic and the well-known names present.
+	byName := map[string]Parameter{}
+	for i := 1; i < len(params); i++ {
+		if params[i].Name == params[i-1].Name {
+			t.Errorf("duplicate parameter %q", params[i].Name)
+		}
+	}
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	for _, name := range []string{
+		"cache_blocks", "checkpoint_timeout", "sample_interval",
+		"log_group_size_bytes", "recovery_parallelism", "instance_name",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("parameter %q missing", name)
+		}
+	}
+	if got := byName["sample_interval"].Value; got != "1s" {
+		t.Errorf("sample_interval = %q, want 1s", got)
+	}
+	if got := byName["cache_blocks"].Value; !strings.ContainsAny(got, "0123456789") {
+		t.Errorf("cache_blocks = %q, want numeric", got)
+	}
+	// Two calls must agree exactly (registration-order determinism).
+	again := cfg.Parameters()
+	for i := range params {
+		if params[i] != again[i] {
+			t.Fatalf("parameter order unstable at %d: %+v vs %+v", i, params[i], again[i])
+		}
+	}
+}

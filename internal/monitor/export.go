@@ -1,0 +1,239 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// This file renders the repository: the deterministic CSV/JSON exports
+// behind `dbench -stats`, the AWR-style two-snapshot diff report behind
+// `dbench -awr`, and the V$ view bodies sqladmin serves. Every value is
+// virtual-time or counter derived, so each rendering is byte-identical
+// across reruns of the same seed.
+
+// WriteCSV exports every retained sample in long form — one
+// (seq, at_us, metric, value) row per counter, gauge and estimate field,
+// in sample order. The long form keeps the column set stable even when
+// dynamic gauges (per-tablespace offline time) come and go mid-run.
+func (r *Repository) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "seq,at_us,metric,value\n"); err != nil {
+		return err
+	}
+	for i := 0; i < r.Len(); i++ {
+		s := r.At(i)
+		row := func(metric string, v int64) error {
+			_, err := fmt.Fprintf(w, "%d,%d,%s,%d\n", s.Seq, s.At.Sub(0).Microseconds(), metric, v)
+			return err
+		}
+		for _, c := range s.Counters {
+			if err := row(c.Name, c.Value); err != nil {
+				return err
+			}
+		}
+		for _, g := range s.Gauges {
+			if err := row(g.Name, g.Value); err != nil {
+				return err
+			}
+		}
+		if s.Estimate.Valid {
+			for _, e := range []struct {
+				name string
+				v    int64
+			}{
+				{"est.scan_records", s.Estimate.ScanRecords},
+				{"est.redo_bytes", s.Estimate.RedoBytes},
+				{"est.redo_replay_us", s.Estimate.RedoReplay.Microseconds()},
+				{"est.total_us", s.Estimate.Total.Microseconds()},
+				{"est.calibrations", int64(s.Estimate.Calibrations)},
+			} {
+				if err := row(e.name, e.v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// jsonSample mirrors Sample with stable field order and µs timestamps.
+type jsonSample struct {
+	Seq      int          `json:"seq"`
+	AtUS     int64        `json:"at_us"`
+	Counters []jsonMetric `json:"counters"`
+	Gauges   []jsonMetric `json:"gauges,omitempty"`
+	Estimate *jsonEst     `json:"estimate,omitempty"`
+}
+
+type jsonMetric struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type jsonEst struct {
+	ScanRecords  int64 `json:"scan_records"`
+	RedoBytes    int64 `json:"redo_bytes"`
+	RedoReplayUS int64 `json:"redo_replay_us"`
+	TotalUS      int64 `json:"total_us"`
+	Calibrations int   `json:"calibrations"`
+}
+
+// WriteJSON exports the retained samples as one indented JSON document.
+func (r *Repository) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Depth   int          `json:"depth"`
+		Dropped int          `json:"dropped"`
+		Samples []jsonSample `json:"samples"`
+	}{Depth: r.Depth(), Dropped: r.Dropped(), Samples: []jsonSample{}}
+	for i := 0; i < r.Len(); i++ {
+		s := r.At(i)
+		js := jsonSample{Seq: s.Seq, AtUS: s.At.Sub(0).Microseconds()}
+		for _, c := range s.Counters {
+			js.Counters = append(js.Counters, jsonMetric{c.Name, c.Value})
+		}
+		for _, g := range s.Gauges {
+			js.Gauges = append(js.Gauges, jsonMetric{g.Name, g.Value})
+		}
+		if s.Estimate.Valid {
+			js.Estimate = &jsonEst{
+				ScanRecords:  s.Estimate.ScanRecords,
+				RedoBytes:    s.Estimate.RedoBytes,
+				RedoReplayUS: s.Estimate.RedoReplay.Microseconds(),
+				TotalUS:      s.Estimate.Total.Microseconds(),
+				Calibrations: s.Estimate.Calibrations,
+			}
+		}
+		doc.Samples = append(doc.Samples, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// FormatAWR renders the AWR-style diff report between the oldest and the
+// most recent retained snapshot: per-counter deltas with rates over the
+// window, gauge begin/end values, and the closing recovery estimate.
+func FormatAWR(r *Repository) string {
+	var b strings.Builder
+	if r.Len() == 0 {
+		return "Workload repository: no samples.\n"
+	}
+	first, _ := r.First()
+	last, _ := r.Last()
+	elapsed := last.At.Sub(first.At)
+	fmt.Fprintf(&b, "Workload repository diff report: samples %d..%d of %d retained (%d dropped).\n",
+		first.Seq, last.Seq, r.Len(), r.Dropped())
+	fmt.Fprintf(&b, "Window: %.2fs .. %.2fs (elapsed %.2fs)\n\n",
+		time.Duration(first.At).Seconds(), time.Duration(last.At).Seconds(), elapsed.Seconds())
+
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s %12s\n", "Counter", "begin", "end", "delta", "per-sec")
+	for _, c := range last.Counters {
+		begin := first.Counter(c.Name)
+		delta := c.Value - begin
+		rate := "-"
+		if sec := elapsed.Seconds(); sec > 0 {
+			rate = fmt.Sprintf("%.2f", float64(delta)/sec)
+		}
+		fmt.Fprintf(&b, "%-28s %12d %12d %12d %12s\n", c.Name, begin, c.Value, delta, rate)
+	}
+
+	if len(last.Gauges) > 0 || len(first.Gauges) > 0 {
+		fmt.Fprintf(&b, "\n%-28s %12s %12s\n", "Gauge", "begin", "end")
+		seen := map[string]bool{}
+		for _, g := range last.Gauges {
+			seen[g.Name] = true
+			fmt.Fprintf(&b, "%-28s %12d %12d\n", g.Name, first.Gauge(g.Name), g.Value)
+		}
+		// Gauges present at the window start but gone at the end (e.g. a
+		// tablespace back online) still carry information.
+		for _, g := range first.Gauges {
+			if !seen[g.Name] {
+				fmt.Fprintf(&b, "%-28s %12d %12s\n", g.Name, g.Value, "-")
+			}
+		}
+	}
+
+	if last.Estimate.Valid {
+		e := last.Estimate
+		fmt.Fprintf(&b, "\nRecovery estimate at window end: scan %d records (%.1f KB), redo replay ~%.2fs, restart ~%.2fs (%s)\n",
+			e.ScanRecords, float64(e.RedoBytes)/1024, e.RedoReplay.Seconds(), e.Total.Seconds(),
+			calibrationLabel(e.Calibrations))
+	}
+	return b.String()
+}
+
+func calibrationLabel(n int) string {
+	if n == 0 {
+		return "cost-model prior"
+	}
+	return fmt.Sprintf("calibrated from %d recoveries", n)
+}
+
+// FormatVSysstat renders the V$SYSSTAT view: the most recent sample's
+// counter registry, one row per counter.
+func FormatVSysstat(r *Repository) string {
+	last, ok := r.Last()
+	if !ok {
+		return "no samples\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s\n", "NAME", "VALUE")
+	for _, c := range last.Counters {
+		fmt.Fprintf(&b, "%-28s %12d\n", c.Name, c.Value)
+	}
+	fmt.Fprintf(&b, "%d rows selected (sample %d at %.2fs).\n",
+		len(last.Counters), last.Seq, time.Duration(last.At).Seconds())
+	return b.String()
+}
+
+// FormatVMetric renders the V$METRIC view: derived per-second rates over
+// the last sample interval plus the current gauge values.
+func FormatVMetric(r *Repository) string {
+	last, ok := r.Last()
+	if !ok {
+		return "no samples\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %10s\n", "METRIC", "VALUE", "UNIT")
+	rateRow := func(metric, name, unit string) {
+		if v, ok := r.Rate(name); ok {
+			fmt.Fprintf(&b, "%-28s %14.2f %10s\n", metric, v, unit)
+		} else {
+			fmt.Fprintf(&b, "%-28s %14s %10s\n", metric, "-", unit)
+		}
+	}
+	rateRow("redo_bytes_per_sec", "redo.flushed_bytes", "bytes/s")
+	rateRow("redo_records_per_sec", "db.flushed_scn", "rec/s")
+	rateRow("commits_per_sec", "txn.committed", "txn/s")
+	rateRow("tpcc_served_per_sec", "tpcc.served", "txn/s")
+	for _, g := range last.Gauges {
+		fmt.Fprintf(&b, "%-28s %14d %10s\n", g.Name, g.Value, "gauge")
+	}
+	fmt.Fprintf(&b, "sample %d at %.2fs (interval rates over the last two samples).\n",
+		last.Seq, time.Duration(last.At).Seconds())
+	return b.String()
+}
+
+// FormatVRecoveryEstimate renders the V$RECOVERY_ESTIMATE view: the most
+// recent sample's live crash-recovery cost prediction.
+func FormatVRecoveryEstimate(r *Repository) string {
+	last, ok := r.Last()
+	if !ok {
+		return "no samples\n"
+	}
+	e := last.Estimate
+	if !e.Valid {
+		return "no estimator bound\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %16s\n", "ITEM", "VALUE")
+	fmt.Fprintf(&b, "%-20s %15.2fs\n", "sampled_at", time.Duration(last.At).Seconds())
+	fmt.Fprintf(&b, "%-20s %16d\n", "scan_records", e.ScanRecords)
+	fmt.Fprintf(&b, "%-20s %14.1fKB\n", "redo_bytes", float64(e.RedoBytes)/1024)
+	fmt.Fprintf(&b, "%-20s %15.2fs\n", "redo_replay_est", e.RedoReplay.Seconds())
+	fmt.Fprintf(&b, "%-20s %15.2fs\n", "restart_est", e.Total.Seconds())
+	fmt.Fprintf(&b, "%-20s %16d\n", "calibrations", e.Calibrations)
+	return b.String()
+}

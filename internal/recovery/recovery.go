@@ -22,6 +22,7 @@ import (
 
 	"dbench/internal/backup"
 	"dbench/internal/engine"
+	"dbench/internal/monitor"
 	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/storage"
@@ -97,6 +98,27 @@ type Manager struct {
 // instance recovery is needed.
 func NewManager(in *engine.Instance, backups *backup.Manager) *Manager {
 	return &Manager{in: in, backups: backups}
+}
+
+// observeRedoReplay calibrates the engine's live recovery-time estimator
+// from a completed recovery's measured redo-replay phase (nil-safe: a
+// no-op when monitoring is disabled). Every recovery path calls it after
+// its timeline is finished, so the estimate tightens with each recovery
+// the instance survives.
+func (m *Manager) observeRedoReplay(rep *Report) {
+	for i := range rep.Phases {
+		ph := &rep.Phases[i]
+		if ph.Name != PhaseRedoReplay || ph.Scanned == 0 {
+			continue
+		}
+		m.in.Monitor().ObserveRecovery(monitor.RecoveryObservation{
+			RedoReplay: ph.Duration(),
+			Scanned:    ph.Scanned,
+			Applied:    ph.Records,
+			Bytes:      ph.Bytes,
+			Workers:    ph.Workers,
+		})
+	}
 }
 
 // chunkedSleep accumulates per-record CPU charges and sleeps in chunks so
@@ -180,6 +202,7 @@ func (m *Manager) InstanceRecovery(p *sim.Proc) (*Report, error) {
 	}
 	rep.Finished = p.Now()
 	tl.finish(p)
+	m.observeRedoReplay(rep)
 	return rep, nil
 }
 
@@ -308,6 +331,7 @@ func (m *Manager) finishDatafile(p *sim.Proc, name string, f *storage.Datafile, 
 	}
 	rep.Finished = p.Now()
 	tl.finish(p)
+	m.observeRedoReplay(rep)
 	return rep, nil
 }
 
@@ -438,6 +462,7 @@ func (m *Manager) OnlineTablespaceRecovery(p *sim.Proc, name string) (*Report, e
 	}
 	rep.Finished = p.Now()
 	tl.finish(p)
+	m.observeRedoReplay(rep)
 	return rep, nil
 }
 
@@ -534,6 +559,7 @@ func (m *Manager) PointInTime(p *sim.Proc, untilSCN redo.SCN) (*Report, error) {
 	}
 	rep.Finished = p.Now()
 	tl.finish(p)
+	m.observeRedoReplay(rep)
 	return rep, nil
 }
 

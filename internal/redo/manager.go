@@ -166,6 +166,16 @@ type Manager struct {
 	// rollback segments. Transactions must therefore fit within the
 	// online log (TPC-C transactions are a few KB; groups are >= 1 MB).
 	UndoFloor func() SCN
+	// OnCheckpointNeeded, when set, is called whenever a reserve or
+	// switch stall finds the next group not yet checkpointed. A
+	// switch-triggered checkpoint can complete short of the group's last
+	// SCN (a buffer re-dirtied mid-drain clamps the checkpoint
+	// position), and with the timer checkpoint minutes away nothing else
+	// would ever advance it: the workload wedges in "checkpoint not
+	// complete" until the timer fires. The hook lets the stall itself
+	// demand a fresh checkpoint, the way Oracle's CKPT keeps advancing
+	// the position while sessions wait on the switch.
+	OnCheckpointNeeded func()
 
 	// Trace, when set, receives lgwr-category events (flush spans, log
 	// switches, reserve stalls). A nil tracer is valid.
@@ -329,6 +339,9 @@ func (m *Manager) Reserve(p *sim.Proc, size int64) error {
 		}
 		if next := m.groups[(m.cur+1)%len(m.groups)]; !next.ckptDone {
 			m.c.checkpointWaits.Inc()
+			if m.OnCheckpointNeeded != nil {
+				m.OnCheckpointNeeded()
+			}
 		} else {
 			m.c.archiveWaits.Inc()
 		}
@@ -544,6 +557,9 @@ func (m *Manager) switchGroup(p *sim.Proc) error {
 		}
 		if !next.ckptDone {
 			m.c.checkpointWaits.Inc()
+			if m.OnCheckpointNeeded != nil {
+				m.OnCheckpointNeeded()
+			}
 		} else {
 			m.c.archiveWaits.Inc()
 		}

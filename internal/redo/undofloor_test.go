@@ -84,3 +84,52 @@ func TestLowestOnlineSCN(t *testing.T) {
 	m.Stop()
 	k.RunAll()
 }
+
+// TestCheckpointStallDemandsCheckpoint pins the liveness rule behind
+// OnCheckpointNeeded: a switch-triggered checkpoint can complete one SCN
+// short of the switched-out group's tail (a buffer re-dirtied mid-drain
+// clamps the position), leaving the group un-checkpointed with no switch
+// left to request another. The "checkpoint not complete" stall itself
+// must then demand a fresh checkpoint, or the workload wedges until the
+// timer checkpoint fires.
+func TestCheckpointStallDemandsCheckpoint(t *testing.T) {
+	k, _, m := newTestLog(t, 2048, 2, false)
+	var lastSwitched *Group
+	m.OnSwitch = func(p *sim.Proc, old *Group) {
+		// Deliberately land the switch checkpoint one SCN short of the
+		// group's last record: the group stays !ckptDone.
+		lastSwitched = old
+		m.CheckpointCompleted(old.LastSCN() - 1)
+	}
+	demands := 0
+	m.OnCheckpointNeeded = func() {
+		demands++
+		// The demanded checkpoint runs asynchronously (on the engine's
+		// CKPT process) and covers the whole group this time.
+		g := lastSwitched
+		k.After(sim.Duration(time.Millisecond), func() { m.CheckpointCompleted(g.LastSCN()) })
+	}
+	m.Start()
+	wrote := 0
+	k.Go("writer", func(p *sim.Proc) {
+		for i := 0; i < 60; i++ {
+			if err := m.Reserve(p, 300); err != nil {
+				return
+			}
+			s := m.Append(dataRec(1, int64(i), 100))
+			if err := m.WaitFlushed(p, s); err != nil {
+				return
+			}
+			wrote++
+		}
+	})
+	k.Run(sim.Time(time.Minute))
+	if wrote != 60 {
+		t.Fatalf("wrote %d of 60: writer wedged in checkpoint-not-complete", wrote)
+	}
+	if demands == 0 {
+		t.Fatal("stall never demanded a checkpoint")
+	}
+	m.Stop()
+	k.RunAll()
+}

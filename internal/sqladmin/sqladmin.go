@@ -21,7 +21,12 @@
 //	RECOVER DATABASE UNTIL SCN <n>
 //	RECOVER CATALOG SCAN
 //	BACKUP DATABASE
-//	SHOW STATUS
+//	SHOW STATUS | SHOW PARAMETERS
+//	SELECT * FROM V$SYSSTAT | V$METRIC | V$RECOVERY_ESTIMATE
+//
+// The SELECT surface is deliberately narrow: the V$ views project the
+// MMON workload repository (see internal/monitor) and require the
+// instance to run with Config.SampleInterval > 0.
 package sqladmin
 
 import (
@@ -31,7 +36,9 @@ import (
 	"strings"
 
 	"dbench/internal/backup"
+	"dbench/internal/catalog"
 	"dbench/internal/engine"
+	"dbench/internal/monitor"
 	"dbench/internal/recovery"
 	"dbench/internal/redo"
 	"dbench/internal/sim"
@@ -109,12 +116,67 @@ func (e *Executor) Execute(p *sim.Proc, stmt string) (string, error) {
 	case "BACKUP":
 		return e.backupDB(p, toks)
 	case "SHOW":
-		if len(toks) >= 2 && toks[1] == "STATUS" {
-			return e.in.Status().String(), nil
-		}
-		return "", fmt.Errorf("%w: SHOW STATUS", ErrSyntax)
+		return e.show(toks)
+	case "SELECT":
+		return e.selectView(toks)
 	default:
 		return "", fmt.Errorf("%w: unknown statement %q", ErrSyntax, toks[0])
+	}
+}
+
+// show handles SHOW STATUS and SHOW PARAMETERS; an unknown target lists
+// the valid ones so the operator is not left guessing.
+func (e *Executor) show(toks []string) (string, error) {
+	if len(toks) >= 2 {
+		switch toks[1] {
+		case "STATUS":
+			return e.in.Status().String(), nil
+		case "PARAMETERS":
+			return formatParameters(e.in.Config().Parameters()), nil
+		}
+	}
+	got := "nothing"
+	if len(toks) >= 2 {
+		got = toks[1]
+	}
+	return "", fmt.Errorf("%w: SHOW %s (valid targets: STATUS, PARAMETERS)", ErrSyntax, got)
+}
+
+// formatParameters renders SHOW PARAMETERS: every engine Config knob
+// with its current value and whether it is runtime-adjustable (none are
+// yet; the column is the contract ALTER SYSTEM SET will fill in).
+func formatParameters(params []engine.Parameter) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-30s %-20s %s\n", "NAME", "VALUE", "ADJUSTABLE")
+	for _, p := range params {
+		adj := "no"
+		if p.Adjustable {
+			adj = "yes"
+		}
+		fmt.Fprintf(&b, "%-30s %-20s %s\n", p.Name, p.Value, adj)
+	}
+	fmt.Fprintf(&b, "%d parameters.", len(params))
+	return b.String()
+}
+
+// selectView serves the V$ views over the MMON workload repository.
+func (e *Executor) selectView(toks []string) (string, error) {
+	if len(toks) < 4 || toks[1] != "*" || toks[2] != "FROM" {
+		return "", fmt.Errorf("%w: SELECT * FROM V$SYSSTAT | V$METRIC | V$RECOVERY_ESTIMATE", ErrSyntax)
+	}
+	repo := e.in.Monitor()
+	if repo == nil {
+		return "", errors.New("sqladmin: workload repository disabled (set Config.SampleInterval > 0)")
+	}
+	switch toks[3] {
+	case "V$SYSSTAT":
+		return strings.TrimSuffix(monitor.FormatVSysstat(repo), "\n"), nil
+	case "V$METRIC":
+		return strings.TrimSuffix(monitor.FormatVMetric(repo), "\n"), nil
+	case "V$RECOVERY_ESTIMATE":
+		return strings.TrimSuffix(monitor.FormatVRecoveryEstimate(repo), "\n"), nil
+	default:
+		return "", fmt.Errorf("%w: unknown view %s (valid views: V$SYSSTAT, V$METRIC, V$RECOVERY_ESTIMATE)", ErrSyntax, toks[3])
 	}
 }
 
@@ -213,10 +275,13 @@ func (e *Executor) drop(p *sim.Proc, toks []string) (string, error) {
 	switch toks[1] {
 	case "TABLE":
 		// Table names are stored lower-case by the TPC-C schema; admin
-		// SQL is case-insensitive, so try as-given then lower.
+		// SQL is case-insensitive, so try as-given then lower. Only an
+		// unknown-table miss falls through to the other casing — any
+		// other failure (e.g. the writer drain timing out) must surface
+		// as-is, not be masked by a second lookup failure.
 		name := toks[2]
 		err := e.in.DropTable(p, strings.ToLower(name))
-		if err != nil {
+		if errors.Is(err, catalog.ErrUnknownTable) {
 			err = e.in.DropTable(p, name)
 		}
 		if err != nil {

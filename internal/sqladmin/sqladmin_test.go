@@ -21,7 +21,9 @@ type rig struct {
 	err error
 }
 
-func newRig(t *testing.T) *rig {
+func newRig(t *testing.T) *rig { return newRigWith(t, nil) }
+
+func newRigWith(t *testing.T, mutate func(*engine.Config)) *rig {
 	t.Helper()
 	k := sim.NewKernel(3)
 	fs := simdisk.NewFS(
@@ -35,6 +37,9 @@ func newRig(t *testing.T) *rig {
 	cfg.Redo.ArchiveMode = true
 	cfg.CheckpointTimeout = 0
 	cfg.CacheBlocks = 64
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	in, err := engine.New(k, fs, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -270,6 +275,117 @@ func TestShowStatus(t *testing.T) {
 		}
 		if _, err := r.ex.Execute(p, "SHOW TABLES"); err == nil {
 			return fmt.Errorf("SHOW TABLES accepted")
+		}
+		return nil
+	})
+}
+
+func TestShowParameters(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		out, err := r.ex.Execute(p, "SHOW PARAMETERS")
+		if err != nil {
+			return err
+		}
+		for _, want := range []string{
+			"NAME", "VALUE", "ADJUSTABLE",
+			"cache_blocks", "checkpoint_timeout", "log_group_size_bytes",
+			"recovery_parallelism", "sample_interval", "parameters.",
+		} {
+			if !strings.Contains(out, want) {
+				return fmt.Errorf("SHOW PARAMETERS missing %q:\n%s", want, out)
+			}
+		}
+		return nil
+	})
+}
+
+// TestShowUnknownListsTargets pins the discoverability contract: an
+// unknown SHOW target names the valid ones instead of a bare syntax
+// error.
+func TestShowUnknownListsTargets(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) error {
+		_, err := r.ex.Execute(p, "SHOW FROBNICATORS")
+		if err == nil {
+			return fmt.Errorf("SHOW FROBNICATORS accepted")
+		}
+		if !errors.Is(err, ErrSyntax) {
+			return fmt.Errorf("err = %v, want ErrSyntax", err)
+		}
+		for _, want := range []string{"STATUS", "PARAMETERS"} {
+			if !strings.Contains(err.Error(), want) {
+				return fmt.Errorf("error %q does not list target %s", err, want)
+			}
+		}
+		// Bare SHOW gets the same listing.
+		if _, err := r.ex.Execute(p, "SHOW"); err == nil || !strings.Contains(err.Error(), "STATUS") {
+			return fmt.Errorf("bare SHOW err = %v, want target listing", err)
+		}
+		return nil
+	})
+}
+
+func TestSelectVViews(t *testing.T) {
+	r := newRigWith(t, func(c *engine.Config) {
+		c.SampleInterval = 500 * time.Millisecond
+	})
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		p.Sleep(2 * time.Second) // let MMON tick a few times
+		out, err := r.ex.Execute(p, "SELECT * FROM V$SYSSTAT")
+		if err != nil {
+			return err
+		}
+		for _, want := range []string{"NAME", "VALUE", "engine.checkpoints", "rows selected"} {
+			if !strings.Contains(out, want) {
+				return fmt.Errorf("V$SYSSTAT missing %q:\n%s", want, out)
+			}
+		}
+		out, err = r.ex.Execute(p, "SELECT * FROM V$METRIC")
+		if err != nil {
+			return err
+		}
+		for _, want := range []string{"redo_bytes_per_sec", "commits_per_sec", "cache.dirty"} {
+			if !strings.Contains(out, want) {
+				return fmt.Errorf("V$METRIC missing %q:\n%s", want, out)
+			}
+		}
+		out, err = r.ex.Execute(p, "SELECT * FROM V$RECOVERY_ESTIMATE")
+		if err != nil {
+			return err
+		}
+		for _, want := range []string{"scan_records", "redo_replay_est", "restart_est", "calibrations"} {
+			if !strings.Contains(out, want) {
+				return fmt.Errorf("V$RECOVERY_ESTIMATE missing %q:\n%s", want, out)
+			}
+		}
+		// Unknown view: error lists the valid ones.
+		if _, err := r.ex.Execute(p, "SELECT * FROM V$NOPE"); err == nil ||
+			!strings.Contains(err.Error(), "V$SYSSTAT") {
+			return fmt.Errorf("unknown view err = %v, want view listing", err)
+		}
+		// Malformed SELECT.
+		if _, err := r.ex.Execute(p, "SELECT name FROM V$SYSSTAT"); !errors.Is(err, ErrSyntax) {
+			return fmt.Errorf("projected SELECT err = %v, want ErrSyntax", err)
+		}
+		return nil
+	})
+}
+
+// TestSelectVViewsDisabled pins the disabled-repository message: the V$
+// views name the knob to turn instead of failing opaquely.
+func TestSelectVViewsDisabled(t *testing.T) {
+	r := newRig(t) // SampleInterval zero: no repository
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.setup(p); err != nil {
+			return err
+		}
+		_, err := r.ex.Execute(p, "SELECT * FROM V$SYSSTAT")
+		if err == nil || !strings.Contains(err.Error(), "SampleInterval") {
+			return fmt.Errorf("disabled V$ err = %v, want SampleInterval hint", err)
 		}
 		return nil
 	})

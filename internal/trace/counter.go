@@ -81,9 +81,36 @@ func (r *Registry) Names() []string {
 
 // Snapshot freezes every counter in registration order.
 func (r *Registry) Snapshot() []CounterSnapshot {
-	out := make([]CounterSnapshot, len(r.ordered))
-	for i, c := range r.ordered {
-		out[i] = CounterSnapshot{Name: c.name, Value: c.v}
+	return r.SnapshotInto(make([]CounterSnapshot, 0, len(r.ordered)))
+}
+
+// SnapshotInto appends every counter, in registration order, to dst and
+// returns it. Steady-state samplers (the MMON repository ring) pass a
+// recycled dst[:0] so repeated snapshots allocate nothing.
+func (r *Registry) SnapshotInto(dst []CounterSnapshot) []CounterSnapshot {
+	for _, c := range r.ordered {
+		dst = append(dst, CounterSnapshot{Name: c.name, Value: c.v})
+	}
+	return dst
+}
+
+// CounterDelta is one counter's movement between two snapshots.
+type CounterDelta struct {
+	Name  string
+	Delta int64
+}
+
+// DiffSnapshots returns, per counter of the later snapshot b, the delta
+// against the earlier snapshot a (counters absent from a diff against
+// zero). Order follows b, i.e. registration order.
+func DiffSnapshots(a, b []CounterSnapshot) []CounterDelta {
+	prev := make(map[string]int64, len(a))
+	for _, c := range a {
+		prev[c.Name] = c.Value
+	}
+	out := make([]CounterDelta, len(b))
+	for i, c := range b {
+		out[i] = CounterDelta{Name: c.Name, Delta: c.Value - prev[c.Name]}
 	}
 	return out
 }

@@ -377,6 +377,55 @@ func TestRegistry(t *testing.T) {
 	r.Register(NewCounter("cache.hits"))
 }
 
+// TestSnapshotIntoReusesBacking pins the sampler's hot-path contract:
+// snapshotting into a warm slice appends in registration order without
+// growing the backing array.
+func TestSnapshotIntoReusesBacking(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	b := r.Counter("b")
+	a.Set(1)
+	b.Set(2)
+	buf := r.SnapshotInto(nil)
+	if len(buf) != 2 || buf[0].Name != "a" || buf[1].Value != 2 {
+		t.Fatalf("SnapshotInto = %+v", buf)
+	}
+	a.Set(10)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = r.SnapshotInto(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("warm SnapshotInto allocates %.1f/op, want 0", allocs)
+	}
+	if buf[0].Value != 10 {
+		t.Errorf("re-snapshot value = %d, want 10", buf[0].Value)
+	}
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	b := r.Counter("b")
+	a.Set(5)
+	b.Set(10)
+	before := r.Snapshot()
+	a.Add(3)
+	b.Add(7)
+	c := r.Counter("c") // registered mid-window: diffs against zero
+	c.Set(100)
+	after := r.Snapshot()
+	deltas := DiffSnapshots(before, after)
+	want := []CounterDelta{{"a", 3}, {"b", 7}, {"c", 100}}
+	if len(deltas) != len(want) {
+		t.Fatalf("DiffSnapshots = %+v, want %+v", deltas, want)
+	}
+	for i := range want {
+		if deltas[i] != want[i] {
+			t.Errorf("delta %d = %+v, want %+v", i, deltas[i], want[i])
+		}
+	}
+}
+
 func TestCategoryStrings(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range Categories {
