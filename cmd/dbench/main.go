@@ -8,6 +8,7 @@
 //	dbench -exp chaos [-crashpoints N] [-seed S] [-parallel N] [-warehouses W]
 //	dbench -exp scale [-warehouses 1,2,4,8] [-parallel N]
 //	dbench -exp logical [-scale quick|std|full] [-parallel N]
+//	dbench -exp pareto [-budget 30s] [-pareto-grid F1G3T1,F100G3T10]
 //	dbench recover -scan [-seed S] [-warehouses W]
 //
 // Output is the paper-style text table for each experiment, preceded by
@@ -39,6 +40,16 @@
 // stream, instance open) versus the paper's physical point-in-time
 // restore — per fault class: recovery time, availability during the
 // repair, and lost transactions. Opt-in (not part of "all").
+//
+// The pareto experiment maps the tpmC-vs-recovery-time frontier: per
+// static configuration one fault-free run (tpmC) and one shutdown-abort
+// run (measured recovery), then three runs of the self-tuning controller
+// under the -budget recovery objective — steady load, steady load with a
+// crash after the controller settles, and a shifting load with a late
+// crash. The report shows each static point, whether it meets the
+// budget, and the controller's throughput as a fraction of the best
+// within-budget static configuration. Opt-in (not part of "all");
+// byte-identical across reruns of the same scale and seed.
 //
 // -stats/-awr enable the MMON workload repository on the campaign's
 // first run (sampled every -sample-interval of virtual time): -stats
@@ -72,7 +83,25 @@ import (
 
 // experiments is the known -exp token set, in campaign order. "chaos" and
 // "scale" are opt-in: valid tokens but not part of "all".
-var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7", "chaos", "scale", "logical"}
+var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7", "chaos", "scale", "logical", "pareto"}
+
+// parseParetoGrid parses the -pareto-grid flag: a comma-separated list of
+// Table 3 configuration names (empty = the default grid).
+func parseParetoGrid(list string) ([]core.RecoveryConfig, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var out []core.RecoveryConfig
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.ToUpper(strings.TrimSpace(tok))
+		cfg, ok := core.ConfigByName(tok)
+		if !ok {
+			return nil, fmt.Errorf("bad -pareto-grid value %q: want Table 3 config names, e.g. F1G3T1,F100G3T10", tok)
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
 
 // parseWarehouses parses the -warehouses flag: a comma-separated list of
 // positive warehouse counts.
@@ -178,6 +207,8 @@ func run(args []string) error {
 	statsFile := fs.String("stats", "", "sample the campaign's first run with the MMON workload repository and export the metric time-series to this file (CSV; .json for JSON); byte-identical across reruns of the same seed")
 	awr := fs.Bool("awr", false, "sample the campaign's first run and print an AWR-style first-vs-last snapshot diff report")
 	sampleEvery := fs.Duration("sample-interval", time.Second, "MMON sample interval (virtual time) used by -stats/-awr")
+	budget := fs.Duration("budget", 30*time.Second, "pareto: recovery-time budget the controller must hold")
+	paretoGrid := fs.String("pareto-grid", "", "pareto: comma-separated Table 3 config names to sweep (empty = default six-config grid)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -382,6 +413,17 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(core.FormatLogical(rows))
+	}
+	if want["pareto"] {
+		grid, err := parseParetoGrid(*paretoGrid)
+		if err != nil {
+			return err
+		}
+		rep, err := core.RunPareto(sc, core.ParetoConfig{Budget: *budget, Grid: grid}, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatPareto(rep))
 	}
 	if want["chaos"] {
 		cfg := chaos.DefaultConfig()

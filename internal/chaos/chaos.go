@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dbench/internal/backup"
+	"dbench/internal/control"
 	"dbench/internal/core"
 	"dbench/internal/engine"
 	"dbench/internal/faults"
@@ -117,6 +118,19 @@ type Config struct {
 	// stream (worker spans, overlapped I/O), so each worker count has
 	// its own deterministic fingerprints.
 	RecoveryWorkers int
+
+	// Controller attaches the self-tuning controller (internal/control)
+	// to every point's instance, evaluating every sample tick — so crash
+	// points land amid ALTER SYSTEM knob changes, checkpoint-timer
+	// re-arms and pending redo resizes. Requires SampleInterval > 0 (the
+	// repository is the controller's sensor). The controller's decision
+	// stream folds into the determinism fingerprint twice over: its
+	// trace instants hash into TraceHash and its ctl.* counters into
+	// MetricsHash, so controller-enabled explorations pin their own
+	// golden fingerprints.
+	Controller bool
+	// Budget is the controller's recovery-time objective (0 = 30s).
+	Budget time.Duration
 
 	// SampleInterval enables the MMON workload repository on every
 	// point's instance and sets its sampling period. With sampling on,
@@ -259,6 +273,20 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 	}
 	app := tpcc.NewApp(in, cfg.TPCC)
 	drv := tpcc.NewDriver(app, tpcc.DefaultDriverConfig())
+	var ctl *control.Controller
+	if cfg.Controller {
+		if cfg.SampleInterval <= 0 {
+			return nil, fmt.Errorf("chaos: Controller requires SampleInterval > 0")
+		}
+		budget := cfg.Budget
+		if budget <= 0 {
+			budget = 30 * time.Second
+		}
+		ctl, err = control.New(in, control.Config{Budget: budget, Interval: cfg.SampleInterval})
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	res := &PointResult{Index: index, Window: window, Seed: seed}
 	var runErr error
@@ -304,7 +332,12 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		}
 
 		// Phase 2: workload, then position the crash inside the
-		// requested window.
+		// requested window. The controller (when enabled) starts with
+		// the workload and keeps ticking across the crash, skipping the
+		// down window and re-asserting its rung after the reopen.
+		if ctl != nil {
+			ctl.Start()
+		}
 		drv.Start()
 		p.Sleep(crashDelay)
 		var helper *sim.Proc

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dbench/internal/control"
+	"dbench/internal/faults"
+	"dbench/internal/tpcc"
+)
+
+// ---------------------------------------------------------------------
+// Pareto sweep: the tpmC-vs-recovery-time frontier of the static Table 3
+// configurations, and the self-tuning controller's position on it.
+//
+// The paper's operators pick one static checkpoint/redo configuration and
+// live with its trade-off. The sweep makes that trade-off explicit — one
+// fault-free run (tpmC) and one crash run (measured recovery) per grid
+// config — and then lets the controller pick for itself under a recovery
+// budget, both at steady load and under a shifting load no static choice
+// can track.
+
+// ParetoConfig parameterizes the pareto sweep.
+type ParetoConfig struct {
+	// Budget is the recovery-time objective handed to the controller and
+	// used to split the static frontier into within/over-budget halves.
+	Budget time.Duration
+	// Grid overrides the static configurations swept (nil = ParetoGrid).
+	Grid []RecoveryConfig
+}
+
+// ParetoGrid is the default static grid: the same six geometries as the
+// controller's DefaultLadder, so the controller's chosen rung is always
+// directly comparable to a measured frontier point.
+func ParetoGrid() []RecoveryConfig {
+	return []RecoveryConfig{
+		mkCfg(1, 3, 1*time.Minute),
+		mkCfg(10, 3, 1*time.Minute),
+		mkCfg(40, 3, 5*time.Minute),
+		mkCfg(100, 3, 10*time.Minute),
+		mkCfg(400, 3, 10*time.Minute),
+		mkCfg(400, 3, 20*time.Minute),
+	}
+}
+
+// ParetoRow is one static configuration's frontier point.
+type ParetoRow struct {
+	Config RecoveryConfig
+	// TpmC is the fault-free throughput.
+	TpmC float64
+	// Recovery is the measured shutdown-abort recovery time (crash at
+	// the mid-run injection instant).
+	Recovery time.Duration
+	// WithinBudget reports Recovery <= Budget.
+	WithinBudget bool
+}
+
+// ParetoCtl is one controller run's measures.
+type ParetoCtl struct {
+	// Kind names the scenario: "steady", "crash" or "shift".
+	Kind string
+	// TpmC is the run's throughput.
+	TpmC float64
+	// Recovery is the measured recovery time (0 on fault-free runs).
+	Recovery time.Duration
+	// BudgetHeld reports Recovery <= Budget (crash runs only).
+	BudgetHeld bool
+	// FinalRung is the ladder rung held when the run ended.
+	FinalRung string
+	// SettledTick is the tick of the last knob change (0 = never moved).
+	SettledTick int
+	// Ticks is the number of controller evaluations.
+	Ticks int
+	// RungChanges counts decisions that moved a knob.
+	RungChanges int
+	// Infeasible reports the controller flagged the budget unattainable.
+	Infeasible bool
+}
+
+// ParetoReport is the full sweep: the static frontier plus the
+// controller's three scenarios.
+type ParetoReport struct {
+	Budget time.Duration
+	Rows   []ParetoRow
+	// BestStatic indexes the highest-tpmC row with Recovery within
+	// Budget (-1 when no static config meets it).
+	BestStatic int
+	// Steady / Crash / Shift are the controller scenarios: fault-free,
+	// crash after settling, and shifting load with a late crash.
+	Steady ParetoCtl
+	Crash  ParetoCtl
+	Shift  ParetoCtl
+}
+
+// CtlFracOfBest is the steady controller throughput as a fraction of the
+// best within-budget static configuration's (0 when none qualifies).
+func (r *ParetoReport) CtlFracOfBest() float64 {
+	if r.BestStatic < 0 || r.Rows[r.BestStatic].TpmC == 0 {
+		return 0
+	}
+	return r.Steady.TpmC / r.Rows[r.BestStatic].TpmC
+}
+
+// paretoCtl folds one controller run into its report entry.
+func paretoCtl(kind string, budget time.Duration, res *Result) ParetoCtl {
+	pc := ParetoCtl{Kind: kind, TpmC: res.TpmC, Recovery: res.RecoveryTime}
+	if res.RecoveryTime > 0 {
+		pc.BudgetHeld = res.RecoveryTime <= budget
+	}
+	if ctl := res.Control; ctl != nil {
+		pc.FinalRung = ctl.Rung().Name
+		pc.SettledTick = ctl.LastChangeTick()
+		pc.Ticks = ctl.Ticks()
+		pc.Infeasible = ctl.Infeasible()
+		for _, d := range ctl.History() {
+			if d.Changed {
+				pc.RungChanges++
+			}
+		}
+	}
+	return pc
+}
+
+// paretoPhases is the shifting-load shape: ramp at 40% for a quarter of
+// the run, full load for a quarter, then settle at 70% — the controller
+// must track three different redo rates with one budget.
+func paretoPhases(d time.Duration) []tpcc.LoadPhase {
+	return []tpcc.LoadPhase{
+		{Duration: d / 4, ActiveFrac: 0.4},
+		{Duration: d / 4, ActiveFrac: 1.0},
+		{ActiveFrac: 0.7},
+	}
+}
+
+// ctlSpec builds one controller-run spec: monitored (the controller's
+// sensor) with the budgeted controller attached.
+func (sc Scale) ctlSpec(name string, budget time.Duration) Spec {
+	spec := sc.spec(name, mustConfig("F100G3T10"))
+	spec.SampleInterval = sc.SampleInterval
+	if spec.SampleInterval <= 0 {
+		spec.SampleInterval = time.Second
+	}
+	spec.RepositoryDepth = sc.RepositoryDepth
+	spec.Control = &control.Config{Budget: budget}
+	return spec
+}
+
+// RunPareto executes the sweep: 2 jobs per grid config (fault-free tpmC,
+// shutdown-abort recovery) then the three controller scenarios, all
+// through the deterministic pool.
+func RunPareto(sc Scale, cfg ParetoConfig, progress Progress) (*ParetoReport, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 30 * time.Second
+	}
+	grid := cfg.Grid
+	if len(grid) == 0 {
+		grid = ParetoGrid()
+	}
+	// Fixed spec order: [perf, crash] per grid config, then the three
+	// controller scenarios. Extraction below indexes on this layout.
+	specs := make([]Spec, 0, 2*len(grid)+3)
+	for _, rc := range grid {
+		specs = append(specs, sc.spec("PF/perf/"+rc.Name, rc))
+
+		spec := sc.spec("PF/crash/"+rc.Name, rc)
+		spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+		spec.InjectAt = sc.InjectTimes[1] // at full throughput
+		spec.TailAfterRecovery = sc.Tail
+		specs = append(specs, spec)
+	}
+	specs = append(specs, sc.ctlSpec("PF/ctl/steady", cfg.Budget))
+
+	spec := sc.ctlSpec("PF/ctl/crash", cfg.Budget)
+	spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+	spec.InjectAt = sc.InjectTimes[1]
+	spec.TailAfterRecovery = sc.Tail
+	specs = append(specs, spec)
+
+	spec = sc.ctlSpec("PF/ctl/shift", cfg.Budget)
+	spec.Phases = paretoPhases(sc.Duration)
+	spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+	spec.InjectAt = sc.InjectTimes[2] // after the load has shifted twice
+	spec.TailAfterRecovery = sc.Tail
+	specs = append(specs, spec)
+
+	if sc.Tracer != nil {
+		// The controller runs are the interesting ones to trace; the
+		// static grid is covered by the scaling/figure campaigns.
+		specs[2*len(grid)].Tracer = sc.Tracer
+	}
+
+	ctlKinds := [3]string{"steady", "crash", "shift"}
+	results, err := runPool(specs, sc.Parallel, progress, func(i int, res *Result) string {
+		if i < 2*len(grid) {
+			rc := grid[i/2]
+			if i%2 == 0 {
+				return fmt.Sprintf("PF %-10s perf   tpmC=%5.0f", rc.Name, res.TpmC)
+			}
+			return fmt.Sprintf("PF %-10s crash  recovery=%v", rc.Name, res.RecoveryTime.Round(time.Second))
+		}
+		pc := paretoCtl(ctlKinds[i-2*len(grid)], cfg.Budget, res)
+		return fmt.Sprintf("PF ctl/%-6s tpmC=%5.0f recovery=%v rung=%s", pc.Kind, pc.TpmC,
+			pc.Recovery.Round(time.Second), pc.FinalRung)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ParetoReport{Budget: cfg.Budget, BestStatic: -1}
+	for i, rc := range grid {
+		row := ParetoRow{
+			Config:   rc,
+			TpmC:     results[2*i].TpmC,
+			Recovery: results[2*i+1].RecoveryTime,
+		}
+		row.WithinBudget = row.Recovery > 0 && row.Recovery <= cfg.Budget
+		rep.Rows = append(rep.Rows, row)
+		if row.WithinBudget && (rep.BestStatic < 0 || row.TpmC > rep.Rows[rep.BestStatic].TpmC) {
+			rep.BestStatic = i
+		}
+	}
+	rep.Steady = paretoCtl("steady", cfg.Budget, results[2*len(grid)])
+	rep.Crash = paretoCtl("crash", cfg.Budget, results[2*len(grid)+1])
+	rep.Shift = paretoCtl("shift", cfg.Budget, results[2*len(grid)+2])
+	return rep, nil
+}
+
+// FormatPareto renders the report as a fixed-width text table. The
+// output is a pure function of the report, so a reproduced sweep renders
+// byte-identically.
+func FormatPareto(rep *ParetoReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pareto frontier (budget %v)\n", rep.Budget)
+	fmt.Fprintf(&b, "%-12s %8s %10s %s\n", "config", "tpmC", "recovery", "within budget")
+	for i, row := range rep.Rows {
+		mark := "no"
+		if row.WithinBudget {
+			mark = "yes"
+		}
+		if i == rep.BestStatic {
+			mark = "yes (best)"
+		}
+		fmt.Fprintf(&b, "%-12s %8.0f %10.1fs %s\n", row.Config.Name, row.TpmC, row.Recovery.Seconds(), mark)
+	}
+	b.WriteString("\nController:\n")
+	fmt.Fprintf(&b, "%-8s %8s %10s %8s %-12s %7s %7s %s\n",
+		"scenario", "tpmC", "recovery", "held", "rung", "moves", "ticks", "settled@")
+	for _, pc := range []ParetoCtl{rep.Steady, rep.Crash, rep.Shift} {
+		held := "-"
+		if pc.Recovery > 0 {
+			held = fmt.Sprintf("%v", pc.BudgetHeld)
+		}
+		rec := "-"
+		if pc.Recovery > 0 {
+			rec = fmt.Sprintf("%.1fs", pc.Recovery.Seconds())
+		}
+		fmt.Fprintf(&b, "%-8s %8.0f %10s %8s %-12s %7d %7d tick %d\n",
+			pc.Kind, pc.TpmC, rec, held, pc.FinalRung, pc.RungChanges, pc.Ticks, pc.SettledTick)
+	}
+	if rep.BestStatic >= 0 {
+		fmt.Fprintf(&b, "\ncontroller steady tpmC is %.0f%% of best within-budget static (%s)\n",
+			100*rep.CtlFracOfBest(), rep.Rows[rep.BestStatic].Config.Name)
+	} else {
+		b.WriteString("\nno static configuration meets the budget\n")
+	}
+	if rep.Steady.Infeasible || rep.Crash.Infeasible || rep.Shift.Infeasible {
+		b.WriteString("controller reports the budget infeasible at this load\n")
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dbench/internal/backup"
+	"dbench/internal/control"
 	"dbench/internal/engine"
 	"dbench/internal/faults"
 	"dbench/internal/metrics"
@@ -91,6 +92,26 @@ type Spec struct {
 	// after the simulation has fully stopped (dbench uses it to export
 	// -stats / -awr). Called once per Run, only when sampling is on.
 	OnRepository func(*monitor.Repository)
+
+	// Control, when non-nil, attaches the self-tuning controller
+	// (internal/control) to the run's instance for the measured phase.
+	// Requires SampleInterval > 0 — the repository is the controller's
+	// sensor. The controller lands in Result.Control.
+	Control *control.Config
+	// Phases shapes the offered load over time (tpcc.DriverConfig.Phases);
+	// empty = steady full load.
+	Phases []tpcc.LoadPhase
+	// Script schedules administrative statements at fixed offsets from
+	// workload start — the DBA acting mid-run. Statements run in order
+	// on one admin session; any error fails the run.
+	Script []ScriptedStmt
+}
+
+// ScriptedStmt is one scheduled admin statement: Stmt executes At after
+// the measured workload starts.
+type ScriptedStmt struct {
+	At   time.Duration
+	Stmt string
 }
 
 // DefaultSpec returns a paper-style 20-minute experiment on F100G3T10
@@ -165,6 +186,11 @@ type Result struct {
 	// Spec.SampleInterval > 0): the sampled metric time-series, rates
 	// and live recovery estimates, ready for export.
 	Repository *monitor.Repository
+
+	// Control is the run's self-tuning controller (nil unless
+	// Spec.Control was set): its decision history and final rung carry
+	// the pareto experiment's tracking report.
+	Control *control.Controller
 
 	// Diagnostics for calibration and reports.
 	DebugLog     *redo.Manager // the primary instance's log (debug access)
@@ -253,7 +279,9 @@ func Run(spec Spec) (*Result, error) {
 	inj.ForcePhysical = spec.ForcePhysical
 
 	app := tpcc.NewApp(in, spec.TPCC)
-	drv := tpcc.NewDriver(app, tpcc.DefaultDriverConfig())
+	dcfg := tpcc.DefaultDriverConfig()
+	dcfg.Phases = spec.Phases
+	drv := tpcc.NewDriver(app, dcfg)
 
 	res := &Result{Spec: spec}
 	var runErr error
@@ -317,9 +345,32 @@ func Run(spec Spec) (*Result, error) {
 
 		trace("setup done")
 		// Phase 2: measured run.
+		if spec.Control != nil {
+			ctl, err := control.New(in, *spec.Control)
+			if err != nil {
+				fail(err)
+				return
+			}
+			ctl.Start()
+			res.Control = ctl
+		}
 		start := p.Now()
 		ckptBase := in.Stats().Checkpoints
 		drv.Start()
+		if len(spec.Script) > 0 {
+			script := spec.Script
+			k.Go("DBA-script", func(sp *sim.Proc) {
+				for _, s := range script {
+					if at := start.Add(s.At); at > sp.Now() {
+						sp.Sleep(at.Sub(sp.Now()))
+					}
+					if _, err := ex.Execute(sp, s.Stmt); err != nil {
+						fail(fmt.Errorf("core: script %q: %w", s.Stmt, err))
+						return
+					}
+				}
+			})
+		}
 
 		if spec.Fault != nil {
 			p.Sleep(spec.InjectAt)

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAlterScriptDeterministic pins mid-workload reconfiguration into
+// the determinism contract: a scripted DBA session issuing ALTER SYSTEM
+// SET against the running workload — re-arming the checkpoint timer and
+// triggering a deferred redo resize — must leave the exported metric
+// stream byte-identical across reruns and across campaign worker
+// counts. The script runs on its own admin session inside the
+// simulation, so its timing is part of the seeded timeline like any
+// terminal's.
+func TestAlterScriptDeterministic(t *testing.T) {
+	script := []ScriptedStmt{
+		{At: 20 * time.Second, Stmt: "ALTER SYSTEM SET checkpoint_timeout = 45s"},
+		{At: 40 * time.Second, Stmt: "ALTER SYSTEM SET log_group_size_bytes = 2097152"},
+		{At: 60 * time.Second, Stmt: "ALTER SYSTEM SET log_groups = 4"},
+		{At: 80 * time.Second, Stmt: "ALTER SYSTEM SET recovery_parallelism = 2"},
+	}
+	export := func(i int) ([]byte, error) {
+		spec := quickSpec("alter-script") // same name+seed for every index
+		spec.Duration = 2 * time.Minute
+		spec.SampleInterval = time.Second
+		spec.Script = script
+		res, err := Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		last, ok := res.Repository.Last()
+		if !ok {
+			return nil, fmt.Errorf("no samples")
+		}
+		if got := last.Counter("engine.alters"); got != int64(len(script)) {
+			return nil, fmt.Errorf("engine.alters = %d at run end, want %d", got, len(script))
+		}
+		var b bytes.Buffer
+		if err := res.Repository.WriteCSV(&b); err != nil {
+			return nil, err
+		}
+		return b.Bytes(), nil
+	}
+	// Two runs per worker count, across worker counts: all identical.
+	var baseline []byte
+	for _, parallel := range []int{1, 4} {
+		outs, err := RunIndexed(2, parallel, func(i int) ([]byte, error) { return export(i) }, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, out := range outs {
+			if baseline == nil {
+				baseline = out
+				if len(baseline) < 1000 {
+					t.Fatalf("CSV export suspiciously small (%d bytes)", len(baseline))
+				}
+				continue
+			}
+			if !bytes.Equal(baseline, out) {
+				t.Errorf("parallel=%d run %d: stats CSV differs from baseline", parallel, i)
+			}
+		}
+	}
+}
+
+// TestScriptErrorFailsRun pins the script contract: a statement the
+// executor rejects fails the experiment instead of being dropped.
+func TestScriptErrorFailsRun(t *testing.T) {
+	spec := quickSpec("alter-script-bad")
+	spec.Duration = 90 * time.Second
+	spec.Script = []ScriptedStmt{{At: 10 * time.Second, Stmt: "ALTER SYSTEM SET cache_blocks = 9"}}
+	if _, err := Run(spec); err == nil {
+		t.Fatal("script with a rejected statement did not fail the run")
+	}
+}

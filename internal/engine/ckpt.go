@@ -38,7 +38,23 @@ func (c *ckptProcess) start() {
 	}
 	c.running = true
 	c.proc = c.in.k.Go("CKPT", c.loop)
-	if c.in.cfg.CheckpointTimeout > 0 {
+	if c.in.dyn.CheckpointTimeout() > 0 {
+		c.timer = c.in.k.Go("CKPT-timer", c.timerLoop)
+	}
+}
+
+// rearmTimer restarts the timeout timer so a just-altered
+// checkpoint_timeout counts from now instead of whenever the previous
+// interval would have expired.
+func (c *ckptProcess) rearmTimer() {
+	if !c.running {
+		return
+	}
+	if c.timer != nil {
+		c.timer.Kill()
+		c.timer = nil
+	}
+	if c.in.dyn.CheckpointTimeout() > 0 {
 		c.timer = c.in.k.Go("CKPT-timer", c.timerLoop)
 	}
 }
@@ -94,7 +110,7 @@ func (c *ckptProcess) loop(p *sim.Proc) {
 
 func (c *ckptProcess) timerLoop(p *sim.Proc) {
 	for c.running {
-		p.Sleep(c.in.cfg.CheckpointTimeout)
+		p.Sleep(c.in.dyn.CheckpointTimeout())
 		if !c.running {
 			return
 		}

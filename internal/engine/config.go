@@ -95,20 +95,32 @@ type Config struct {
 	RepositoryDepth int
 }
 
-// Parameter is one configuration knob as surfaced by SHOW PARAMETERS.
-// Adjustable marks knobs changeable on a running instance — none are
-// today; the column is the contract ALTER SYSTEM will fill in.
+// Parameter is one configuration knob as surfaced by SHOW PARAMETERS
+// and V$PARAMETER. Adjustable marks knobs changeable on a running
+// instance via ALTER SYSTEM SET; Pending carries the value a deferred
+// change (redo group resize) will take at the next log switch, empty
+// when nothing is pending.
 type Parameter struct {
 	Name       string
 	Value      string
 	Adjustable bool
+	Pending    string
+}
+
+// dynamicParams names the knobs ALTER SYSTEM SET can change on a
+// running instance; everything else in Parameters is static.
+var dynamicParams = map[string]bool{
+	"checkpoint_timeout":   true,
+	"log_group_size_bytes": true,
+	"log_groups":           true,
+	"recovery_parallelism": true,
 }
 
 // Parameters lists the instance configuration in SHOW PARAMETERS order
 // (stable, alphabetical within each group: instance, redo, cost model).
 func (c Config) Parameters() []Parameter {
 	p := func(name, format string, v any) Parameter {
-		return Parameter{Name: name, Value: fmt.Sprintf(format, v)}
+		return Parameter{Name: name, Value: fmt.Sprintf(format, v), Adjustable: dynamicParams[name]}
 	}
 	return []Parameter{
 		p("archive_disk", "%s", c.ArchiveDisk),

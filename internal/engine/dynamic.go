@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dbench/internal/sim"
+	"dbench/internal/trace"
+)
+
+// Bounds accepted by ALTER SYSTEM SET for each dynamic knob. Values
+// outside these ranges are rejected before anything is applied.
+const (
+	MinCheckpointTimeout = time.Second
+	MaxCheckpointTimeout = 2 * time.Hour
+	MinGroupSizeBytes    = 1 << 20
+	MaxGroupSizeBytes    = 1 << 30
+	MinGroups            = 2
+	MaxGroups            = 16
+	MinParallelism       = 1
+	MaxParallelism       = 64
+)
+
+// DynamicConfig is the runtime-adjustable slice of the instance
+// configuration. It is versioned and mutex-guarded so the controller
+// (or a DBA session) can change knobs while background processes read
+// them; each knob takes effect at its natural point — the checkpoint
+// timer re-arms immediately, a redo resize lands at the next log
+// switch, and recovery parallelism is read at recovery start. Values
+// survive crash and restart (SPFILE semantics): a re-Open picks up the
+// altered values, not the ones the instance was created with.
+type DynamicConfig struct {
+	mu                  sync.Mutex
+	version             int64
+	checkpointTimeout   time.Duration
+	recoveryParallelism int
+}
+
+func newDynamicConfig(cfg Config) *DynamicConfig {
+	return &DynamicConfig{
+		checkpointTimeout:   cfg.CheckpointTimeout,
+		recoveryParallelism: max(cfg.RecoveryParallelism, 1),
+	}
+}
+
+// Version counts applied dynamic changes; it bumps once per accepted
+// ALTER (including deferred redo resizes, at request time).
+func (d *DynamicConfig) Version() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
+// CheckpointTimeout returns the live log_checkpoint_timeout (zero only
+// when the instance was built with timeout checkpoints disabled and
+// never altered).
+func (d *DynamicConfig) CheckpointTimeout() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointTimeout
+}
+
+// RecoveryParallelism returns the live recovery fan-out.
+func (d *DynamicConfig) RecoveryParallelism() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recoveryParallelism
+}
+
+func (d *DynamicConfig) setCheckpointTimeout(v time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkpointTimeout = v
+	d.version++
+}
+
+func (d *DynamicConfig) setRecoveryParallelism(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.recoveryParallelism = v
+	d.version++
+}
+
+func (d *DynamicConfig) bump() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.version++
+}
+
+// Dynamic returns the instance's dynamic configuration.
+func (in *Instance) Dynamic() *DynamicConfig { return in.dyn }
+
+// RecoveryParallelism returns the dynamic recovery fan-out. The
+// recovery manager reads it once at recovery start, so an ALTER SYSTEM
+// applies to the next recovery, never one in flight.
+func (in *Instance) RecoveryParallelism() int { return in.dyn.RecoveryParallelism() }
+
+// Parameters returns the instance parameter table: the static
+// configuration overlaid with the current dynamic values, plus the
+// pending value for a redo resize that has not fully landed yet.
+func (in *Instance) Parameters() []Parameter {
+	cfg := in.cfg
+	cfg.CheckpointTimeout = in.dyn.CheckpointTimeout()
+	cfg.RecoveryParallelism = in.dyn.RecoveryParallelism()
+	rc := in.log.Config()
+	cfg.Redo.GroupSizeBytes = rc.GroupSizeBytes
+	cfg.Redo.Groups = rc.Groups
+	ps := cfg.Parameters()
+	if size, groups, ok := in.log.PendingResize(); ok {
+		for i := range ps {
+			switch ps[i].Name {
+			case "log_group_size_bytes":
+				if size != rc.GroupSizeBytes {
+					ps[i].Pending = strconv.FormatInt(size, 10)
+				}
+			case "log_groups":
+				if groups != rc.Groups {
+					ps[i].Pending = strconv.Itoa(groups)
+				}
+			}
+		}
+	}
+	return ps
+}
+
+// AlterSystem applies ALTER SYSTEM SET name = value against the open
+// instance. Static parameters and out-of-range values are rejected with
+// a descriptive error and no effect. The returned message describes
+// what happened, including whether the change is deferred to the next
+// log switch. Accepted changes charge the administrative latency on p;
+// setting a knob to its current value is a free no-op, so the
+// controller can re-assert a target without perturbing timing.
+func (in *Instance) AlterSystem(p *sim.Proc, name, value string) (string, error) {
+	if in.state != StateOpen {
+		return "", ErrInstanceDown
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	value = strings.TrimSpace(value)
+	if name == "" || value == "" {
+		return "", fmt.Errorf("engine: ALTER SYSTEM SET needs <parameter> = <value>")
+	}
+	apply, msg, err := in.prepareAlter(name, value)
+	if err != nil {
+		return "", err
+	}
+	if apply == nil { // already at the requested value
+		return msg, nil
+	}
+	p.Sleep(adminLatency)
+	// Re-check: the instance may have crashed during the admin latency.
+	if in.state != StateOpen {
+		return "", ErrInstanceDown
+	}
+	if err := apply(); err != nil {
+		return "", err
+	}
+	in.c.alters.Inc()
+	in.tr.Instant(p.Now(), trace.CatEngine, "engine", "alter system",
+		trace.S("param", name), trace.S("value", value))
+	return msg, nil
+}
+
+// prepareAlter validates one dynamic-knob assignment and returns the
+// closure that applies it (nil when the knob already holds the value).
+func (in *Instance) prepareAlter(name, value string) (func() error, string, error) {
+	switch name {
+	case "checkpoint_timeout":
+		d, err := time.ParseDuration(strings.ToLower(value))
+		if err != nil {
+			return nil, "", fmt.Errorf("engine: checkpoint_timeout: %q is not a duration", value)
+		}
+		if d < MinCheckpointTimeout || d > MaxCheckpointTimeout {
+			return nil, "", fmt.Errorf("engine: checkpoint_timeout %v out of range [%v, %v]",
+				d, MinCheckpointTimeout, MaxCheckpointTimeout)
+		}
+		if d == in.dyn.CheckpointTimeout() {
+			return nil, fmt.Sprintf("checkpoint_timeout unchanged (%v)", d), nil
+		}
+		return func() error {
+			in.dyn.setCheckpointTimeout(d)
+			// Re-arm the timer so the new interval counts from now, not
+			// from whenever the old interval happened to expire.
+			if in.ckpt != nil {
+				in.ckpt.rearmTimer()
+			}
+			return nil
+		}, fmt.Sprintf("checkpoint_timeout = %v", d), nil
+
+	case "log_group_size_bytes":
+		size, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("engine: log_group_size_bytes: %q is not an integer", value)
+		}
+		if size < MinGroupSizeBytes || size > MaxGroupSizeBytes {
+			return nil, "", fmt.Errorf("engine: log_group_size_bytes %d out of range [%d, %d]",
+				size, int64(MinGroupSizeBytes), int64(MaxGroupSizeBytes))
+		}
+		if size == in.log.TargetGroupSize() {
+			return nil, fmt.Sprintf("log_group_size_bytes unchanged (%d)", size), nil
+		}
+		return func() error {
+			in.dyn.bump()
+			return in.log.RequestResize(size, in.log.TargetGroups())
+		}, fmt.Sprintf("log_group_size_bytes = %d (pending: applies at the next log switch)", size), nil
+
+	case "log_groups":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return nil, "", fmt.Errorf("engine: log_groups: %q is not an integer", value)
+		}
+		if n < MinGroups || n > MaxGroups {
+			return nil, "", fmt.Errorf("engine: log_groups %d out of range [%d, %d]", n, MinGroups, MaxGroups)
+		}
+		if n == in.log.TargetGroups() {
+			return nil, fmt.Sprintf("log_groups unchanged (%d)", n), nil
+		}
+		return func() error {
+			in.dyn.bump()
+			return in.log.RequestResize(in.log.TargetGroupSize(), n)
+		}, fmt.Sprintf("log_groups = %d (pending: applies at the next log switch)", n), nil
+
+	case "recovery_parallelism":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return nil, "", fmt.Errorf("engine: recovery_parallelism: %q is not an integer", value)
+		}
+		if n < MinParallelism || n > MaxParallelism {
+			return nil, "", fmt.Errorf("engine: recovery_parallelism %d out of range [%d, %d]",
+				n, MinParallelism, MaxParallelism)
+		}
+		if n == in.dyn.RecoveryParallelism() {
+			return nil, fmt.Sprintf("recovery_parallelism unchanged (%d)", n), nil
+		}
+		return func() error {
+			in.dyn.setRecoveryParallelism(n)
+			// The live estimate must model the fan-out the next recovery
+			// will actually use (bounded by CPU slots, like recovery is).
+			if est := in.repo.Estimator(); est != nil {
+				est.SetParallel(min(n, max(in.cfg.CPUs, 1)))
+			}
+			return nil
+		}, fmt.Sprintf("recovery_parallelism = %d", n), nil
+	}
+
+	for _, sp := range in.cfg.Parameters() {
+		if sp.Name == name {
+			return nil, "", fmt.Errorf("engine: parameter %q is static: set at instance creation, not adjustable with ALTER SYSTEM", name)
+		}
+	}
+	return nil, "", fmt.Errorf("engine: unknown parameter %q", name)
+}

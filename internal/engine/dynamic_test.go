@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dbench/internal/sim"
+)
+
+// TestAlterSystemDynamicKnobs exercises every dynamic knob through
+// Instance.AlterSystem: acceptance, value visibility through
+// DynamicConfig, version bumps, free no-ops, and the rejection classes
+// (static, unknown, out of range, malformed) — the engine-level contract
+// the sqladmin statement surface builds on.
+func TestAlterSystemDynamicKnobs(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if _, err := in.AlterSystem(p, "checkpoint_timeout", "30s"); err == nil {
+			return fmt.Errorf("ALTER accepted before the instance opened")
+		}
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		v0 := in.Dynamic().Version()
+
+		// checkpoint_timeout: applied immediately, visible, versioned.
+		msg, err := in.AlterSystem(p, "checkpoint_timeout", "45s")
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(msg, "45s") {
+			return fmt.Errorf("msg = %q", msg)
+		}
+		if got := in.Dynamic().CheckpointTimeout(); got != 45*time.Second {
+			return fmt.Errorf("checkpoint_timeout = %v", got)
+		}
+		if in.Dynamic().Version() != v0+1 {
+			return fmt.Errorf("version = %d after one alter, started at %d", in.Dynamic().Version(), v0)
+		}
+		// No-op: same value again is accepted, free, and unversioned.
+		before := p.Now()
+		if msg, err = in.AlterSystem(p, "checkpoint_timeout", "45s"); err != nil {
+			return err
+		}
+		if !strings.Contains(msg, "unchanged") || p.Now() != before {
+			return fmt.Errorf("no-op alter: msg=%q, took %v", msg, p.Now().Sub(before))
+		}
+		if in.Dynamic().Version() != v0+1 {
+			return fmt.Errorf("no-op bumped the version")
+		}
+
+		// recovery_parallelism: applied immediately.
+		if _, err = in.AlterSystem(p, "recovery_parallelism", "4"); err != nil {
+			return err
+		}
+		if got := in.RecoveryParallelism(); got != 4 {
+			return fmt.Errorf("recovery_parallelism = %d", got)
+		}
+
+		// Redo geometry: deferred, target moves, live config does not.
+		if msg, err = in.AlterSystem(p, "log_group_size_bytes", "2097152"); err != nil {
+			return err
+		}
+		if !strings.Contains(msg, "pending") {
+			return fmt.Errorf("deferred alter not marked pending: %q", msg)
+		}
+		if _, err = in.AlterSystem(p, "log_groups", "4"); err != nil {
+			return err
+		}
+		if got := in.Log().Config().GroupSizeBytes; got != 1<<20 {
+			return fmt.Errorf("live size moved to %d before a switch", got)
+		}
+		if in.Log().TargetGroupSize() != 2<<20 || in.Log().TargetGroups() != 4 {
+			return fmt.Errorf("targets = (%d, %d)", in.Log().TargetGroupSize(), in.Log().TargetGroups())
+		}
+		// Re-asserting the pending target is also a free no-op.
+		if msg, err = in.AlterSystem(p, "log_groups", "4"); err != nil || !strings.Contains(msg, "unchanged") {
+			return fmt.Errorf("pending target re-assert: msg=%q err=%v", msg, err)
+		}
+
+		// Rejections, one per class; none may change the version.
+		vBefore := in.Dynamic().Version()
+		for _, tc := range []struct{ name, value, wantErr string }{
+			{"cache_blocks", "128", "static"},
+			{"no_such_knob", "1", "unknown"},
+			{"checkpoint_timeout", "1ms", "out of range"},
+			{"checkpoint_timeout", "3h", "out of range"},
+			{"checkpoint_timeout", "soon", "not a duration"},
+			{"log_group_size_bytes", "10", "out of range"},
+			{"log_group_size_bytes", "big", "not an integer"},
+			{"log_groups", "1", "out of range"},
+			{"log_groups", "99", "out of range"},
+			{"log_groups", "few", "not an integer"},
+			{"recovery_parallelism", "0", "out of range"},
+			{"recovery_parallelism", "many", "not an integer"},
+			{"", "1", "needs"},
+			{"checkpoint_timeout", "", "needs"},
+		} {
+			_, err := in.AlterSystem(p, tc.name, tc.value)
+			if err == nil {
+				return fmt.Errorf("%s = %q accepted", tc.name, tc.value)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				return fmt.Errorf("%s = %q: err %v, want containing %q", tc.name, tc.value, err, tc.wantErr)
+			}
+		}
+		if in.Dynamic().Version() != vBefore {
+			return fmt.Errorf("a rejected alter changed the version")
+		}
+		return nil
+	})
+}
+
+// TestAlterRearmsCheckpointTimer pins the re-arm semantics: an instance
+// built with timeout checkpoints disabled gains them through ALTER
+// SYSTEM, and the new interval counts from the alter.
+func TestAlterRearmsCheckpointTimer(t *testing.T) {
+	k, _, in := newInstance(t, nil) // CheckpointTimeout = 0: no timer
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		if _, err := in.AlterSystem(p, "checkpoint_timeout", "2s"); err != nil {
+			return err
+		}
+		// Dirty a block so the timeout checkpoint has work to announce.
+		tx, _ := in.Begin()
+		if err := in.Insert(p, tx, "t", 1, []byte("v")); err != nil {
+			return err
+		}
+		if err := in.Commit(p, tx); err != nil {
+			return err
+		}
+		base := in.reg.Counter("engine.timeout_checkpoints").Value()
+		p.Sleep(7 * time.Second)
+		if got := in.reg.Counter("engine.timeout_checkpoints").Value(); got <= base {
+			return fmt.Errorf("no timeout checkpoint fired after arming a 2s timer (count %d)", got)
+		}
+		return nil
+	})
+}
+
+// TestParametersShowsPendingResize pins the parameter table the
+// V$PARAMETER view renders: current values come from the dynamic layer
+// and a deferred resize carries its pending value.
+func TestParametersShowsPendingResize(t *testing.T) {
+	k, _, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		if _, err := in.AlterSystem(p, "checkpoint_timeout", "45s"); err != nil {
+			return err
+		}
+		if _, err := in.AlterSystem(p, "log_groups", "5"); err != nil {
+			return err
+		}
+		byName := map[string]Parameter{}
+		for _, param := range in.Parameters() {
+			byName[param.Name] = param
+		}
+		if got := byName["checkpoint_timeout"]; got.Value != "45s" || got.Pending != "" {
+			return fmt.Errorf("checkpoint_timeout row = %+v", got)
+		}
+		if got := byName["log_groups"]; got.Pending != "5" {
+			return fmt.Errorf("log_groups row = %+v, want pending 5", got)
+		}
+		if got := byName["log_group_size_bytes"]; got.Pending != "" {
+			return fmt.Errorf("log_group_size_bytes row = %+v, want no pending (size unchanged)", got)
+		}
+		return nil
+	})
+}
+
+// TestInstanceAccessors pins the trivial read surface other subsystems
+// (controller, sqladmin, recovery) are built against.
+func TestInstanceAccessors(t *testing.T) {
+	k, fs, in := newInstance(t, nil)
+	runErr(t, k, func(p *sim.Proc) error {
+		if err := setupAndOpen(p, in); err != nil {
+			return err
+		}
+		if in.Kernel() != k || in.FS() != fs {
+			return fmt.Errorf("kernel/fs accessors disagree")
+		}
+		if in.DB() == nil || in.Cache() == nil || in.Txns() == nil || in.CPU() == nil {
+			return fmt.Errorf("nil subsystem accessor")
+		}
+		_ = in.Tracer() // nil when tracing is off — must still be callable
+		if got := in.Config().CacheBlocks; got != 64 {
+			return fmt.Errorf("Config().CacheBlocks = %d", got)
+		}
+		in.RequestCheckpoint()
+		_ = in.CheckpointInProgress()
+		return nil
+	})
+}

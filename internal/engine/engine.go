@@ -74,6 +74,7 @@ type counters struct {
 	crashes            *trace.Counter
 	tsOfflines         *trace.Counter
 	tsOnlines          *trace.Counter
+	alters             *trace.Counter
 }
 
 // Instance is one database server instance plus its database.
@@ -95,6 +96,7 @@ type Instance struct {
 	crashed   bool // not cleanly shut down; recovery required before Open
 	recovered bool // recovery manager completed instance recovery
 
+	dyn       *DynamicConfig
 	ckpt      *ckptProcess
 	pmon      *pmonProcess
 	mmon      *mmonProcess
@@ -150,6 +152,7 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 		state:  StateDown,
 		tsDown: make(map[string]sim.Time),
 	}
+	inst.dyn = newDynamicConfig(cfg)
 	// One registry per instance: the engine's own counters plus every
 	// subsystem block, in construction order. Status() derives its
 	// counter fields from here, so a counter added in any subsystem
@@ -163,6 +166,7 @@ func New(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Instance, error) {
 		crashes:            inst.reg.Counter("engine.crashes"),
 		tsOfflines:         inst.reg.Counter("engine.ts_offlines"),
 		tsOnlines:          inst.reg.Counter("engine.ts_onlines"),
+		alters:             inst.reg.Counter("engine.alters"),
 	}
 	inst.reg.Register(inst.cache.Counters()...)
 	inst.reg.Register(log.Counters()...)

@@ -92,7 +92,7 @@ func buildRepository(in *Instance) *monitor.Repository {
 	})
 
 	spec := in.fs.Disk(in.cfg.Redo.Disk).Spec()
-	par := in.cfg.RecoveryParallelism
+	par := in.dyn.RecoveryParallelism()
 	if cpus := max(in.cfg.CPUs, 1); par > cpus {
 		par = cpus
 	}

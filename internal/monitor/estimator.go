@@ -96,6 +96,37 @@ func NewEstimator(m Model) *Estimator {
 // Model returns the estimator's physical constants.
 func (e *Estimator) Model() Model { return e.m }
 
+// SetParallel updates the model's effective recovery fan-out (callers
+// pass min(workers, CPU slots), at least 1). The cold prior scales
+// immediately; a calibrated fit keeps its learned value and re-learns
+// at the new fan-out from the next observed recovery.
+func (e *Estimator) SetParallel(n int) {
+	if e == nil || n < 1 {
+		return
+	}
+	e.m.Parallel = n
+}
+
+// PredictReplay is the controller's what-if query: the redo-replay
+// duration of a hypothetical scan of records/bytes at the current
+// calibration, using the same cost structure as Estimate.
+func (e *Estimator) PredictReplay(records, bytes int64) time.Duration {
+	if e == nil || records <= 0 {
+		return 0
+	}
+	scan := e.m.SeekOverhead.Seconds() + float64(bytes)/float64(e.m.ScanBytesPerSec)
+	apply := float64(records) * e.secPerRecord()
+	return time.Duration((scan + apply) * float64(time.Second))
+}
+
+// PredictTotal adds the fixed instance-restart overhead to PredictReplay.
+func (e *Estimator) PredictTotal(records, bytes int64) time.Duration {
+	if e == nil {
+		return 0
+	}
+	return e.m.MountOverhead + e.PredictReplay(records, bytes)
+}
+
 // Calibrations counts the recoveries observed so far.
 func (e *Estimator) Calibrations() int {
 	if e == nil {

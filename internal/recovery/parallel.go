@@ -22,9 +22,11 @@ import (
 	"dbench/internal/trace"
 )
 
-// workerCount returns the configured recovery apply fan-out (1 = serial).
+// workerCount returns the recovery apply fan-out (1 = serial), read
+// from the dynamic configuration at recovery start so an ALTER SYSTEM
+// SET recovery_parallelism applies to the next recovery.
 func (m *Manager) workerCount() int {
-	if n := m.in.Config().RecoveryParallelism; n > 1 {
+	if n := m.in.RecoveryParallelism(); n > 1 {
 		return n
 	}
 	return 1

@@ -136,6 +136,13 @@ type Manager struct {
 
 	groups []*Group
 	cur    int
+	maxID  int // highest group ID ever allocated (resize never reuses IDs)
+
+	// pendingSize/pendingGroups hold a requested online resize (ALTER
+	// SYSTEM SET log_group_size_bytes / log_groups) until log switches
+	// have applied it to every group; zero values mean nothing pending.
+	pendingSize   int64
+	pendingGroups int
 
 	nextSCN    SCN
 	flushedSCN SCN
@@ -196,7 +203,7 @@ func NewManager(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Manager, error) {
 	if cfg.GroupSizeBytes <= 0 {
 		return nil, fmt.Errorf("redo: group size must be positive")
 	}
-	m := &Manager{k: k, fs: fs, cfg: cfg, nextSCN: 1, c: newCounters()}
+	m := &Manager{k: k, fs: fs, cfg: cfg, maxID: cfg.Groups, nextSCN: 1, c: newCounters()}
 	for i := 0; i < cfg.Groups; i++ {
 		g := &Group{ID: i + 1, capacity: cfg.GroupSizeBytes, ckptDone: true, archived: true}
 		for j := 0; j < cfg.MembersPerGroup; j++ {
@@ -214,8 +221,140 @@ func NewManager(k *sim.Kernel, fs *simdisk.FS, cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// Config returns the manager's configuration.
+// Config returns the manager's configuration. Groups and GroupSizeBytes
+// track an online resize as it lands (see RequestResize).
 func (m *Manager) Config() Config { return m.cfg }
+
+// RequestResize schedules an online change of the group size and group
+// count. The change is deferred: each log switch re-creates the groups
+// that are safe to touch (reusable: checkpointed, archived, above the
+// undo floor) at the new geometry, so the resize completes after at
+// most a few switches plus a checkpoint — redo that recovery might
+// still need is never discarded. Requesting the current geometry clears
+// any pending resize.
+func (m *Manager) RequestResize(sizeBytes int64, groups int) error {
+	if groups < 2 {
+		return fmt.Errorf("redo: need at least 2 groups, got %d", groups)
+	}
+	if sizeBytes <= 0 {
+		return fmt.Errorf("redo: group size must be positive")
+	}
+	if sizeBytes == m.cfg.GroupSizeBytes && groups == len(m.groups) {
+		m.pendingSize, m.pendingGroups = 0, 0
+		return nil
+	}
+	m.pendingSize, m.pendingGroups = sizeBytes, groups
+	m.Trace.Instant(m.k.Now(), trace.CatLGWR, "redo", "resize requested",
+		trace.I("size", sizeBytes), trace.I("groups", int64(groups)))
+	return nil
+}
+
+// PendingResize reports the target geometry of a resize that has not
+// fully landed yet.
+func (m *Manager) PendingResize() (sizeBytes int64, groups int, pending bool) {
+	if m.pendingSize == 0 && m.pendingGroups == 0 {
+		return 0, 0, false
+	}
+	return m.pendingSize, m.pendingGroups, true
+}
+
+// TargetGroupSize returns the group size the log is converging to (the
+// pending value when a resize is in flight, the current one otherwise).
+func (m *Manager) TargetGroupSize() int64 {
+	if m.pendingSize != 0 {
+		return m.pendingSize
+	}
+	return m.cfg.GroupSizeBytes
+}
+
+// TargetGroups returns the group count the log is converging to.
+func (m *Manager) TargetGroups() int {
+	if m.pendingGroups != 0 {
+		return m.pendingGroups
+	}
+	return len(m.groups)
+}
+
+// applyResize advances a pending resize. Called on the LGWR process at
+// every log switch, immediately after the ring advanced: the new
+// current group is empty, so it adopts the new capacity in place; every
+// reusable group is re-created at the new geometry (grown, shrunk or
+// resized); groups still holding needed redo — at minimum the group
+// just switched out of, which is never checkpointed yet — are retained
+// untouched and picked up at a later switch.
+func (m *Manager) applyResize(p *sim.Proc) error {
+	if m.pendingSize == 0 && m.pendingGroups == 0 {
+		return nil
+	}
+	size, target := m.pendingSize, m.pendingGroups
+	if size == 0 {
+		size = m.cfg.GroupSizeBytes
+	}
+	if target == 0 {
+		target = len(m.groups)
+	}
+	// Rebuild the ring in reuse order starting at the current group.
+	ring := make([]*Group, 0, max(len(m.groups), target))
+	for i := range m.groups {
+		ring = append(ring, m.groups[(m.cur+i)%len(m.groups)])
+	}
+	kept := ring[:1:1]
+	ring[0].capacity = size
+	done := true
+	for _, g := range ring[1:] {
+		if !m.reusableGroup(g) {
+			// Still holds redo a recovery (or archiver) may need.
+			kept = append(kept, g)
+			done = done && g.capacity == size
+			continue
+		}
+		if len(kept) >= target {
+			// Surplus reusable group: drop it and its member files.
+			for _, member := range g.members {
+				if !member.Deleted() {
+					m.fs.Delete(member.Name())
+				}
+			}
+			continue
+		}
+		g.capacity = size
+		g.bytes = 0
+		g.records = nil
+		g.Seq = 0
+		g.archived = true
+		g.ckptDone = true
+		for _, member := range g.members {
+			if !member.Deleted() && !member.Corrupted() {
+				member.Truncate(0)
+			}
+		}
+		kept = append(kept, g)
+	}
+	for len(kept) < target {
+		m.maxID++
+		g := &Group{ID: m.maxID, capacity: size, ckptDone: true, archived: true}
+		for j := 0; j < max(m.cfg.MembersPerGroup, 1); j++ {
+			name := fmt.Sprintf("redo%02d_%d.log", g.ID, j)
+			f, err := m.fs.Create(m.cfg.Disk, name, 0)
+			if err != nil {
+				return fmt.Errorf("redo: resize member: %w", err)
+			}
+			g.members = append(g.members, f)
+		}
+		kept = append(kept, g)
+	}
+	m.groups = kept
+	m.cur = 0
+	m.cfg.GroupSizeBytes = size
+	m.cfg.Groups = len(m.groups)
+	if done && len(m.groups) == target {
+		m.pendingSize, m.pendingGroups = 0, 0
+		m.Trace.Instant(p.Now(), trace.CatLGWR, "redo", "resize applied",
+			trace.I("size", size), trace.I("groups", int64(target)))
+	}
+	m.reusable.Broadcast(m.k)
+	return nil
+}
 
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats {
@@ -579,6 +718,9 @@ func (m *Manager) switchGroup(p *sim.Proc) error {
 	m.c.switches.Inc()
 	m.Trace.End(p.Now(), span,
 		trace.I("to_seq", int64(next.Seq)), trace.I("stall_ns", int64(stalled)))
+	if err := m.applyResize(p); err != nil {
+		return err
+	}
 	if m.OnSwitch != nil {
 		m.OnSwitch(p, old)
 	}

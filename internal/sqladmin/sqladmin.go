@@ -10,6 +10,7 @@
 //	STARTUP
 //	ALTER SYSTEM CHECKPOINT
 //	ALTER SYSTEM SWITCH LOGFILE
+//	ALTER SYSTEM SET <parameter> = <value>
 //	ALTER DATABASE DATAFILE '<file>' OFFLINE|ONLINE
 //	ALTER TABLESPACE <name> OFFLINE|ONLINE
 //	DROP TABLE <name>
@@ -22,11 +23,12 @@
 //	RECOVER CATALOG SCAN
 //	BACKUP DATABASE
 //	SHOW STATUS | SHOW PARAMETERS
-//	SELECT * FROM V$SYSSTAT | V$METRIC | V$RECOVERY_ESTIMATE
+//	SELECT * FROM V$PARAMETER | V$SYSSTAT | V$METRIC | V$RECOVERY_ESTIMATE
 //
-// The SELECT surface is deliberately narrow: the V$ views project the
-// MMON workload repository (see internal/monitor) and require the
-// instance to run with Config.SampleInterval > 0.
+// The SELECT surface is deliberately narrow: V$PARAMETER projects the
+// instance parameter table (static/dynamic scope, current and pending
+// values); the other V$ views project the MMON workload repository (see
+// internal/monitor) and require Config.SampleInterval > 0.
 package sqladmin
 
 import (
@@ -132,7 +134,7 @@ func (e *Executor) show(toks []string) (string, error) {
 		case "STATUS":
 			return e.in.Status().String(), nil
 		case "PARAMETERS":
-			return formatParameters(e.in.Config().Parameters()), nil
+			return formatParameters(e.in.Parameters()), nil
 		}
 	}
 	got := "nothing"
@@ -143,8 +145,8 @@ func (e *Executor) show(toks []string) (string, error) {
 }
 
 // formatParameters renders SHOW PARAMETERS: every engine Config knob
-// with its current value and whether it is runtime-adjustable (none are
-// yet; the column is the contract ALTER SYSTEM SET will fill in).
+// with its current (live) value and whether ALTER SYSTEM SET can change
+// it on the running instance.
 func formatParameters(params []engine.Parameter) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-30s %-20s %s\n", "NAME", "VALUE", "ADJUSTABLE")
@@ -159,10 +161,35 @@ func formatParameters(params []engine.Parameter) string {
 	return b.String()
 }
 
-// selectView serves the V$ views over the MMON workload repository.
+// formatVParameter renders V$PARAMETER: the parameter table with each
+// knob's scope (static vs dynamic) and, for a deferred change, the
+// pending value it converges to at the next log switch.
+func formatVParameter(params []engine.Parameter) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-30s %-8s %-20s %s\n", "NAME", "SCOPE", "VALUE", "PENDING")
+	for _, p := range params {
+		scope := "static"
+		if p.Adjustable {
+			scope = "dynamic"
+		}
+		pending := "-"
+		if p.Pending != "" {
+			pending = p.Pending
+		}
+		fmt.Fprintf(&b, "%-30s %-8s %-20s %s\n", p.Name, scope, p.Value, pending)
+	}
+	fmt.Fprintf(&b, "%d parameters.", len(params))
+	return b.String()
+}
+
+// selectView serves the V$ views: V$PARAMETER over the instance
+// parameter table, the rest over the MMON workload repository.
 func (e *Executor) selectView(toks []string) (string, error) {
 	if len(toks) < 4 || toks[1] != "*" || toks[2] != "FROM" {
-		return "", fmt.Errorf("%w: SELECT * FROM V$SYSSTAT | V$METRIC | V$RECOVERY_ESTIMATE", ErrSyntax)
+		return "", fmt.Errorf("%w: SELECT * FROM V$PARAMETER | V$SYSSTAT | V$METRIC | V$RECOVERY_ESTIMATE", ErrSyntax)
+	}
+	if toks[3] == "V$PARAMETER" {
+		return formatVParameter(e.in.Parameters()), nil
 	}
 	repo := e.in.Monitor()
 	if repo == nil {
@@ -176,7 +203,7 @@ func (e *Executor) selectView(toks []string) (string, error) {
 	case "V$RECOVERY_ESTIMATE":
 		return strings.TrimSuffix(monitor.FormatVRecoveryEstimate(repo), "\n"), nil
 	default:
-		return "", fmt.Errorf("%w: unknown view %s (valid views: V$SYSSTAT, V$METRIC, V$RECOVERY_ESTIMATE)", ErrSyntax, toks[3])
+		return "", fmt.Errorf("%w: unknown view %s (valid views: V$PARAMETER, V$SYSSTAT, V$METRIC, V$RECOVERY_ESTIMATE)", ErrSyntax, toks[3])
 	}
 }
 
@@ -231,6 +258,8 @@ func (e *Executor) alter(p *sim.Proc, toks []string) (string, error) {
 				return "", err
 			}
 			return "log switched", nil
+		case toks[2] == "SET":
+			return e.alterSet(p, toks[3:])
 		}
 	case "DATABASE":
 		if len(toks) >= 5 && toks[2] == "DATAFILE" {
@@ -266,6 +295,22 @@ func (e *Executor) alter(p *sim.Proc, toks []string) (string, error) {
 		}
 	}
 	return "", fmt.Errorf("%w: unsupported ALTER", ErrSyntax)
+}
+
+// alterSet handles ALTER SYSTEM SET <parameter> = <value>. The
+// tokenizer upper-cases unquoted tokens, so both sides are folded back
+// to lower case — parameter names are lower-case by convention, and
+// values are parsed case-insensitively (durations like "30s", integers,
+// booleans).
+func (e *Executor) alterSet(p *sim.Proc, toks []string) (string, error) {
+	assign := strings.Join(toks, " ")
+	name, value, ok := strings.Cut(assign, "=")
+	if !ok || strings.TrimSpace(name) == "" || strings.TrimSpace(value) == "" {
+		return "", fmt.Errorf("%w: ALTER SYSTEM SET <parameter> = <value>", ErrSyntax)
+	}
+	return e.in.AlterSystem(p,
+		strings.ToLower(strings.TrimSpace(name)),
+		strings.ToLower(strings.TrimSpace(value)))
 }
 
 func (e *Executor) drop(p *sim.Proc, toks []string) (string, error) {

@@ -41,11 +41,23 @@ type AbortRecord struct {
 	W  int
 }
 
+// LoadPhase is one step of a phased (shifting) offered load: for
+// Duration, only ActiveFrac of the terminals submit work; the rest
+// sleep. Phases run in sequence from Start; the last phase persists.
+type LoadPhase struct {
+	Duration   time.Duration
+	ActiveFrac float64
+}
+
 // DriverConfig tunes the terminal emulator.
 type DriverConfig struct {
 	// RetryBackoff is how long a terminal waits after a failed attempt
 	// before submitting the next transaction (the end user retrying).
 	RetryBackoff sim.Duration
+	// Phases, when non-empty, shapes the offered load over time (the
+	// pareto experiment's shifting-load scenario). Empty = every
+	// terminal active for the whole run, the default.
+	Phases []LoadPhase
 }
 
 // DefaultDriverConfig returns the defaults used by the benchmark.
@@ -65,6 +77,7 @@ type Driver struct {
 
 	running   bool
 	terminals []*sim.Proc
+	startAt   sim.Time
 
 	commits  []CommitRecord
 	failures []FailureRecord
@@ -95,17 +108,37 @@ func (d *Driver) Start() {
 		return
 	}
 	d.running = true
+	d.startAt = d.k.Now()
 	cfg := d.app.Cfg
+	idx, total := 0, cfg.Warehouses*cfg.TerminalsPerWarehouse
 	for w := 1; w <= cfg.Warehouses; w++ {
 		for t := 0; t < cfg.TerminalsPerWarehouse; t++ {
-			w := w
+			w, idx := w, idx
 			seed := int64(w*1000+t) ^ 0x5eed
 			track := fmt.Sprintf("term w%d.%d", w, t)
 			d.terminals = append(d.terminals, d.k.Go("terminal", func(p *sim.Proc) {
-				d.terminalLoop(p, w, track, rand.New(rand.NewSource(seed)))
+				d.terminalLoop(p, w, track, rand.New(rand.NewSource(seed)), idx, total)
 			}))
+			idx++
 		}
 	}
+}
+
+// phaseFrac returns the active-terminal fraction at time now, plus the
+// time remaining until the next phase boundary (0 when in the final,
+// persisting phase).
+func (d *Driver) phaseFrac(now sim.Time) (frac float64, untilNext time.Duration) {
+	if len(d.cfg.Phases) == 0 {
+		return 1, 0
+	}
+	elapsed := now.Sub(d.startAt)
+	for _, ph := range d.cfg.Phases {
+		if elapsed < ph.Duration {
+			return ph.ActiveFrac, ph.Duration - elapsed
+		}
+		elapsed -= ph.Duration
+	}
+	return d.cfg.Phases[len(d.cfg.Phases)-1].ActiveFrac, 0
 }
 
 // Stop signals all terminals to finish their current transaction and
@@ -179,10 +212,23 @@ func newDeck(r *rand.Rand) []TxnType {
 const txnSampleEvery = 32
 
 // terminalLoop is one terminal's life: think, submit, record, repeat.
-func (d *Driver) terminalLoop(p *sim.Proc, w int, track string, r *rand.Rand) {
+// idx/total position the terminal in the phased-load ordering: terminal
+// idx is active in a phase iff idx < ActiveFrac*total (rounded up), so
+// ramps add and remove the same terminals deterministically.
+func (d *Driver) terminalLoop(p *sim.Proc, w int, track string, r *rand.Rand, idx, total int) {
 	var deck []TxnType
 	var submitted int
 	for d.running {
+		if frac, untilNext := d.phaseFrac(p.Now()); float64(idx+1) > frac*float64(total)+1e-9 {
+			// Inactive this phase. Sleep toward the phase boundary in
+			// bounded steps so Stop() is still honored promptly.
+			nap := untilNext
+			if nap <= 0 || nap > time.Second {
+				nap = time.Second
+			}
+			p.Sleep(nap)
+			continue
+		}
 		if d.app.Cfg.ThinkTimeMean > 0 {
 			think := time.Duration(r.ExpFloat64() * float64(d.app.Cfg.ThinkTimeMean))
 			if think > 10*time.Duration(d.app.Cfg.ThinkTimeMean) {

@@ -313,7 +313,7 @@ func (a *App) Load(p *sim.Proc, r *rand.Rand) error {
 			City:   randString(r, 10, 20),
 			State:  randString(r, 2, 2),
 			Zip:    randZip(r),
-			Tax: float64(r.Intn(2000)) / 10000,
+			Tax:    float64(r.Intn(2000)) / 10000,
 			// W_YTD equals the sum of the warehouse's loaded history
 			// amounts (10 per customer), the identity conditions C8/C9
 			// audit (spec §3.3.2.8–9). The spec's 300,000 is this same
@@ -339,14 +339,14 @@ func (a *App) Load(p *sim.Proc, r *rand.Rand) error {
 			// Every customer starts with exactly one order, so
 			// next_o_id is customers+1.
 			dist := District{
-				ID:      d,
-				WID:     w,
-				Name:    randString(r, 6, 10),
-				Street:  randString(r, 10, 20),
-				City:    randString(r, 10, 20),
-				State:   randString(r, 2, 2),
-				Zip:     randZip(r),
-				Tax:     float64(r.Intn(2000)) / 10000,
+				ID:     d,
+				WID:    w,
+				Name:   randString(r, 6, 10),
+				Street: randString(r, 10, 20),
+				City:   randString(r, 10, 20),
+				State:  randString(r, 2, 2),
+				Zip:    randZip(r),
+				Tax:    float64(r.Intn(2000)) / 10000,
 				// D_YTD = 10 per loaded history row of the district (C9).
 				YTD:     10 * float64(cfg.CustomersPerDistrict),
 				NextOID: cfg.CustomersPerDistrict + 1,

@@ -41,12 +41,13 @@ const (
 	CatTxn
 	CatFault
 	CatChaos
+	CatCtl
 )
 
 // Categories lists every category in declaration order.
 var Categories = []Category{
 	CatEngine, CatLGWR, CatDBWR, CatCkpt, CatArch,
-	CatRecovery, CatTxn, CatFault, CatChaos,
+	CatRecovery, CatTxn, CatFault, CatChaos, CatCtl,
 }
 
 func (c Category) String() string {
@@ -69,6 +70,8 @@ func (c Category) String() string {
 		return "fault"
 	case CatChaos:
 		return "chaos"
+	case CatCtl:
+		return "ctl"
 	}
 	return "unknown"
 }
@@ -112,11 +115,11 @@ type Event struct {
 	Kind   Kind
 	Cat    Category
 	Name   string
-	Track  string   // display track / Chrome thread (e.g. "LGWR")
+	Track  string       // display track / Chrome thread (e.g. "LGWR")
 	Start  sim.Time     // virtual timestamp (span start or instant time)
 	Dur    sim.Duration // span duration; 0 for instants
-	ID     SpanID   // span ID; 0 for instants
-	Parent SpanID   // enclosing span, 0 if top-level
+	ID     SpanID       // span ID; 0 for instants
+	Parent SpanID       // enclosing span, 0 if top-level
 	NAttrs int
 	Attrs  [MaxAttrs]Attr
 }
