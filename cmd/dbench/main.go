@@ -9,6 +9,7 @@
 //	dbench -exp scale [-warehouses 1,2,4,8] [-parallel N]
 //	dbench -exp logical [-scale quick|std|full] [-parallel N]
 //	dbench -exp pareto [-budget 30s] [-pareto-grid F1G3T1,F100G3T10]
+//	dbench -exp replica [-standbys 1,3] [-repl-mode sync,async] [-repl-link lan,wan]
 //	dbench recover -scan [-seed S] [-warehouses W]
 //
 // Output is the paper-style text table for each experiment, preceded by
@@ -51,6 +52,17 @@
 // within-budget static configuration. Opt-in (not part of "all");
 // byte-identical across reruns of the same scale and seed.
 //
+// The replica experiment measures managed failover on a streaming-
+// replication cluster: continuous redo shipping to N stand-bys (sync
+// commit waits for the stand-by acknowledgement; async does not), half
+// the read-only TPC-C traffic served from a stand-by snapshot, a primary
+// crash at the late instant, and promotion of the most-advanced stand-by
+// as the remedy. Per sweep cell (-standbys × -repl-mode × -repl-link) it
+// reports RPO (acknowledged commits lost, checked against the external
+// ledger — 0 in sync mode), measured RTO alongside the MMON live
+// estimate, end-user outage, and the stand-by read-routing counts.
+// Opt-in (not part of "all").
+//
 // -stats/-awr enable the MMON workload repository on the campaign's
 // first run (sampled every -sample-interval of virtual time): -stats
 // exports the full metric time-series — counters, gauges (dirty-buffer
@@ -78,12 +90,57 @@ import (
 	"dbench/internal/chaos"
 	"dbench/internal/core"
 	"dbench/internal/monitor"
+	"dbench/internal/sim"
+	"dbench/internal/standby"
 	"dbench/internal/trace"
 )
 
 // experiments is the known -exp token set, in campaign order. "chaos" and
 // "scale" are opt-in: valid tokens but not part of "all".
-var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7", "chaos", "scale", "logical", "pareto"}
+var experiments = []string{"t3", "f4", "f5", "t4", "t5", "f6", "f7", "chaos", "scale", "logical", "pareto", "replica"}
+
+// parseStandbys parses the -standbys flag: a comma-separated list of
+// positive first-tier stand-by counts for the replica sweep.
+func parseStandbys(list string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -standbys value %q: want positive integers, e.g. 1,3", tok)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseReplModes parses the -repl-mode flag: a comma-separated list of
+// commit-acknowledgement modes (sync, async).
+func parseReplModes(list string) ([]standby.Mode, error) {
+	var out []standby.Mode
+	for _, tok := range strings.Split(list, ",") {
+		m, err := standby.ParseMode(strings.TrimSpace(strings.ToLower(tok)))
+		if err != nil {
+			return nil, fmt.Errorf("bad -repl-mode value %q: want sync or async", tok)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// parseReplLinks parses the -repl-link flag: a comma-separated list of
+// link profile names (lan, wan).
+func parseReplLinks(list string) ([]sim.LinkSpec, error) {
+	var out []sim.LinkSpec
+	for _, tok := range strings.Split(list, ",") {
+		spec, ok := core.LinkByName(strings.TrimSpace(strings.ToLower(tok)))
+		if !ok {
+			return nil, fmt.Errorf("bad -repl-link value %q: want lan or wan", tok)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
 
 // parseParetoGrid parses the -pareto-grid flag: a comma-separated list of
 // Table 3 configuration names (empty = the default grid).
@@ -199,7 +256,7 @@ func run(args []string) error {
 	expList := fs.String("exp", "all", "comma-separated experiments: t3,f4,f5,t4,t5,f6,f7 or all")
 	parallel := fs.Int("parallel", 0, "campaign workers: 0 = one per CPU, 1 = sequential, N = exactly N")
 	crashPoints := fs.Int("crashpoints", 50, "chaos: number of crash points to explore")
-	seed := fs.Int64("seed", 1, "chaos: campaign seed (same seed = byte-identical report)")
+	seed := fs.Int64("seed", 1, "campaign seed: workload seed for every experiment, crash-point seed for chaos (same seed = byte-identical report)")
 	warehousesList := fs.String("warehouses", "1,2,4,8", "scale: warehouse counts to sweep; chaos: warehouse count (first value)")
 	recoveryWorkers := fs.String("recovery-workers", "1", "parallel recovery fan-out: scale sweeps each listed count, other experiments use the largest")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON file (virtual timebase) for the campaign's first run; open in chrome://tracing or ui.perfetto.dev")
@@ -209,6 +266,9 @@ func run(args []string) error {
 	sampleEvery := fs.Duration("sample-interval", time.Second, "MMON sample interval (virtual time) used by -stats/-awr")
 	budget := fs.Duration("budget", 30*time.Second, "pareto: recovery-time budget the controller must hold")
 	paretoGrid := fs.String("pareto-grid", "", "pareto: comma-separated Table 3 config names to sweep (empty = default six-config grid)")
+	standbysList := fs.String("standbys", "1,3", "replica: first-tier stand-by counts to sweep")
+	replModes := fs.String("repl-mode", "sync,async", "replica: commit-acknowledgement modes to sweep (sync, async)")
+	replLinks := fs.String("repl-link", "lan,wan", "replica: link profiles to sweep (lan, wan)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -228,6 +288,7 @@ func run(args []string) error {
 		return fmt.Errorf("-parallel must be >= 0 (got %d)", *parallel)
 	}
 	sc.Parallel = *parallel
+	sc.Seed = *seed
 
 	want, err := parseExperiments(*expList)
 	if err != nil {
@@ -424,6 +485,23 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(core.FormatPareto(rep))
+	}
+	if want["replica"] {
+		grid := core.DefaultReplicaGrid()
+		if grid.Standbys, err = parseStandbys(*standbysList); err != nil {
+			return err
+		}
+		if grid.Modes, err = parseReplModes(*replModes); err != nil {
+			return err
+		}
+		if grid.Links, err = parseReplLinks(*replLinks); err != nil {
+			return err
+		}
+		rows, err := core.RunReplica(sc, grid, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatReplica(rows))
 	}
 	if want["chaos"] {
 		cfg := chaos.DefaultConfig()

@@ -35,9 +35,11 @@ import (
 	"dbench/internal/faults"
 	"dbench/internal/monitor"
 	"dbench/internal/recovery"
+	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/simdisk"
 	"dbench/internal/sqladmin"
+	"dbench/internal/standby"
 	"dbench/internal/tpcc"
 	"dbench/internal/trace"
 )
@@ -60,10 +62,21 @@ const (
 	// WindowArchive forces a switch and crashes while the ARCH process
 	// has the resulting group queued or in flight.
 	WindowArchive
+	// WindowPartition (replicated explorations only) partitions every
+	// replication link, lets sync commits pile up against the dark
+	// quorum, and crashes the primary while the partition holds.
+	WindowPartition
+	// WindowLagSpike (replicated explorations only) adds latency to
+	// every replication link and crashes amid the induced apply lag.
+	WindowLagSpike
 )
 
-// windowCount is the round-robin modulus.
-const windowCount = 4
+// windowCount is the round-robin modulus; replicated explorations
+// (Standbys > 0) extend the rotation with the two link-fault windows.
+const (
+	windowCount     = 4
+	windowCountRepl = 6
+)
 
 func (w Window) String() string {
 	switch w {
@@ -75,6 +88,10 @@ func (w Window) String() string {
 		return "log-switch"
 	case WindowArchive:
 		return "archive"
+	case WindowPartition:
+		return "partition"
+	case WindowLagSpike:
+		return "lag-spike"
 	default:
 		return fmt.Sprintf("window(%d)", uint8(w))
 	}
@@ -131,6 +148,21 @@ type Config struct {
 	Controller bool
 	// Budget is the controller's recovery-time objective (0 = 30s).
 	Budget time.Duration
+
+	// Standbys attaches a streaming-replication cluster to every point:
+	// that many stand-bys fed by continuous redo streaming, the commit
+	// gate per ReplMode, and stand-by promotion — not primary instance
+	// recovery — as the remedy for every crash. The window rotation
+	// gains the two link-fault windows (partition, lag-spike), the
+	// stream hash and repl.* counters fold into the determinism
+	// fingerprint, and the served-safety invariant extends to sync
+	// acknowledgements against a dark quorum. Zero keeps the harness —
+	// and its golden fingerprints — exactly as before.
+	Standbys int
+	// ReplMode is the commit-acknowledgement protocol (sync or async).
+	ReplMode standby.Mode
+	// ReplLink is the replication link profile (zero: core.LinkLAN).
+	ReplLink sim.LinkSpec
 
 	// SampleInterval enables the MMON workload repository on every
 	// point's instance and sets its sampling period. With sampling on,
@@ -233,7 +265,11 @@ var debugChaos = false
 // (Explore fills that in from the rerun).
 func runPoint(cfg Config, index int) (*PointResult, error) {
 	seed := pointSeed(cfg.Seed, index)
-	window := Window(index%windowCount + 1)
+	mod := windowCount
+	if cfg.Standbys > 0 {
+		mod = windowCountRepl
+	}
+	window := Window(index%mod + 1)
 	rng := rand.New(rand.NewSource(seed))
 	crashDelay := cfg.CrashMin + time.Duration(rng.Int63n(int64(cfg.CrashMax-cfg.CrashMin)))
 	jitter := time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
@@ -288,7 +324,9 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		}
 	}
 
-	res := &PointResult{Index: index, Window: window, Seed: seed}
+	res := &PointResult{Index: index, Window: window, Seed: seed, ReplActive: cfg.Standbys > 0}
+	var cluster *standby.Cluster
+	var reopenAt sim.Time
 	var runErr error
 	fail := func(err error) {
 		if runErr == nil {
@@ -331,6 +369,43 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 			return
 		}
 
+		// Phase 1b (replicated explorations): the streaming cluster.
+		// Every stand-by instance reports its open — after a promotion
+		// the primary never reopens, so the dark window closes when the
+		// promoted stand-by comes up instead.
+		if cfg.Standbys > 0 {
+			sbs := make([]*standby.Standby, cfg.Standbys)
+			for i := range sbs {
+				sbs[i], err = buildChaosStandby(p, k, ecfg, cfg, seed, backupSCN, fmt.Sprintf("standby%d", i+1))
+				if err != nil {
+					fail(err)
+					return
+				}
+				sbs[i].Instance().OnStateChange = func(now sim.Time, s engine.State) {
+					if s == engine.StateOpen && reopenAt == 0 {
+						reopenAt = now
+					}
+				}
+			}
+			link := cfg.ReplLink
+			if link == (sim.LinkSpec{}) {
+				link = core.LinkLAN
+			}
+			cluster, err = standby.NewCluster(in, sbs, standby.ClusterConfig{Mode: cfg.ReplMode, Link: link})
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := cluster.Start(p); err != nil {
+				fail(err)
+				return
+			}
+			in.Log().OnDurable = cluster.OnDurable
+			in.Txns().CommitGate = cluster.CommitGate
+			in.OnStateChange = cluster.OnPrimaryState
+			inj.Failover = cluster
+		}
+
 		// Phase 2: workload, then position the crash inside the
 		// requested window. The controller (when enabled) starts with
 		// the workload and keeps ticking across the crash, skipping the
@@ -341,6 +416,7 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		drv.Start()
 		p.Sleep(crashDelay)
 		var helper *sim.Proc
+		var partStart sim.Time
 		switch window {
 		case WindowCheckpoint:
 			in.RequestCheckpoint()
@@ -365,6 +441,17 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 				p.Sleep(time.Millisecond)
 			}
 			p.Sleep(jitter / 2)
+		case WindowPartition:
+			for _, l := range cluster.Links() {
+				l.SetPartitioned(true)
+			}
+			partStart = p.Now()
+			p.Sleep(200*time.Millisecond + jitter)
+		case WindowLagSpike:
+			for _, l := range cluster.Links() {
+				l.SetExtraLatency(200 * time.Millisecond)
+			}
+			p.Sleep(100*time.Millisecond + jitter)
 		}
 
 		preSCN := in.Log().NextSCN() - 1
@@ -384,6 +471,19 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		}
 		res.CrashAt = p.Now()
 		res.CrashSCN = in.Log().FlushedSCN()
+		// Quorum floor for the dark-ack check: everything in flight at
+		// the partition start has delivered by now, so any sync commit
+		// acked during the partition with an SCN above this was acked
+		// by nobody.
+		floorAtCrash := redo.SCN(0)
+		if cluster != nil {
+			floorAtCrash = redo.SCN(int64(1) << 62)
+			for _, s := range cluster.Standbys()[:cluster.FirstTier()] {
+				if r := s.ReceivedSCN(); r < floorAtCrash {
+					floorAtCrash = r
+				}
+			}
+		}
 		if debugChaos {
 			for _, f := range in.DB().Datafiles() {
 				for no := 0; no < f.NumBlocks(); no++ {
@@ -402,10 +502,15 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		replay := captureRedo(in)
 
 		// Phase 3: the standard recovery procedure, driven through the
-		// fault injector like any operator-fault experiment. The reopen
-		// instant bounds the dark window for the served-safety check.
-		var reopenAt sim.Time
+		// fault injector like any operator-fault experiment — stand-by
+		// promotion when a cluster is attached, instance recovery
+		// otherwise. The reopen instant bounds the dark window for the
+		// served-safety check.
+		prevState := in.OnStateChange
 		in.OnStateChange = func(now sim.Time, s engine.State) {
+			if prevState != nil {
+				prevState(now, s)
+			}
 			if s == engine.StateOpen && reopenAt == 0 {
 				reopenAt = now
 			}
@@ -420,27 +525,63 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		res.RecordsApplied = o.Report.RecordsApplied
 		res.BytesReplayed = o.Report.BytesApplied
 
-		// Invariant (f): the crash-instant recovery estimate must bracket
-		// the measured redo-replay phase. Vacuous when sampling is off.
-		for _, ph := range o.Report.Phases {
-			if ph.Name == recovery.PhaseRedoReplay {
-				res.MeasuredRedoReplay += ph.Duration()
+		// After a promotion the cluster's stand-by is the database: the
+		// terminals re-target it, every check below runs against it, and
+		// the promotion SCN is the durability cut — acknowledged commits
+		// beyond it are the failover's RPO, legitimate in async mode
+		// only.
+		checkIn, reapplier := in, rm
+		recoveryPoint := redo.SCN(-1)
+		if o.FailedOver {
+			res.FailedOver = true
+			checkIn = cluster.ActiveInstance()
+			reapplier = recovery.NewManager(checkIn, nil)
+			recoveryPoint = cluster.PromotedSCN()
+			app.In = checkIn
+			// Trim the idempotence replay to the promoted prefix: redo
+			// beyond the promotion SCN never reached the stand-by, so
+			// re-applying it would (correctly) change state.
+			trimmed := replay[:0]
+			for _, rec := range replay {
+				if rec.SCN <= recoveryPoint {
+					trimmed = append(trimmed, rec)
+				}
 			}
+			replay = trimmed
 		}
-		res.EstimatedRedoReplay = crashEstimate.RedoReplay
-		if cfg.SampleInterval > 0 {
-			res.EstimateOK = crashEstimate.Valid &&
-				estimateWithin(res.EstimatedRedoReplay, res.MeasuredRedoReplay)
+
+		// Invariant (f): the estimate in force at the remedy decision
+		// must bracket the measured repair. For instance recovery that is
+		// the crash-instant V$RECOVERY_ESTIMATE redo-replay prediction
+		// against the measured replay phase (vacuous when sampling is
+		// off); for a failover it is the cluster's live RTO estimate —
+		// activation overhead plus the promotion backlog — against the
+		// measured promotion duration.
+		if o.FailedOver {
+			res.EstimatedRedoReplay = cluster.LastRTOEstimate()
+			res.MeasuredRedoReplay = res.RecoveryTime
+			res.EstimateOK = estimateWithin(res.EstimatedRedoReplay, res.MeasuredRedoReplay)
 		} else {
-			res.EstimateOK = true
+			for _, ph := range o.Report.Phases {
+				if ph.Name == recovery.PhaseRedoReplay {
+					res.MeasuredRedoReplay += ph.Duration()
+				}
+			}
+			res.EstimatedRedoReplay = crashEstimate.RedoReplay
+			if cfg.SampleInterval > 0 {
+				res.EstimateOK = crashEstimate.Valid &&
+					estimateWithin(res.EstimatedRedoReplay, res.MeasuredRedoReplay)
+			} else {
+				res.EstimateOK = true
+			}
 		}
 
 		// Invariant (c), checked atomically in virtual time (no sleeps
 		// between hash, replay and re-hash, so no other process runs):
 		// replaying the recovered redo again must change nothing.
-		before := StateHash(in)
-		res.ReappliedRecords = rm.ReapplyDataRecords(replay)
-		res.Idempotent = res.ReappliedRecords == 0 && StateHash(in) == before
+		before := StateHash(checkIn)
+		res.ReappliedRecords = reapplier.ReapplyDataRecords(replay)
+		res.Idempotent = res.ReappliedRecords == 0 && StateHash(checkIn) == before
 
 		// Phase 4: post-recovery tail, then quiesce and check.
 		debugf("recovered")
@@ -450,14 +591,20 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 		drv.Quiesce(p)
 		debugf("quiesced")
 
-		// Invariant (a): every ledger entry must be in the database.
-		missing, err := missingFromLedger(p, app, ledger)
+		// Invariant (a): every ledger entry must be in the database — up
+		// to the promotion SCN after a failover. Acknowledged commits
+		// beyond the cut are the failover's RPO: the async exposure the
+		// replica experiment measures, and a hard violation in sync mode
+		// (the commit gate held those acknowledgements for the quorum).
+		missing, beyond, err := missingFromLedger(p, app, ledger, recoveryPoint)
 		if err != nil {
 			fail(fmt.Errorf("durability check: %w", err))
 			return
 		}
 		res.MissingCommits = missing
-		res.Durable = missing == 0
+		res.RPOLost = beyond
+		res.Durable = missing == 0 &&
+			(!res.FailedOver || cfg.ReplMode != standby.ModeSync || beyond == 0)
 
 		// Invariant (e): served traffic is safe. The driver must never
 		// have recorded a commit acknowledgement while the instance was
@@ -470,7 +617,18 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 				res.DarkCommits++
 			}
 		}
-		res.ServedSafe = res.DarkCommits == 0
+		// Extension for sync replication: while the partition held, the
+		// quorum was dark — a commit acknowledged in that window whose
+		// SCN had not already reached every first-tier stand-by was
+		// acked by nobody. The commit gate must have held it instead.
+		if cluster != nil && cfg.ReplMode == standby.ModeSync && partStart > 0 {
+			for _, c := range drv.Commits() {
+				if c.At > partStart && c.At <= res.CrashAt && c.SCN > floorAtCrash {
+					res.DarkAcks++
+				}
+			}
+		}
+		res.ServedSafe = res.DarkCommits == 0 && res.DarkAcks == 0
 
 		// Invariant (b): the TPC-C consistency conditions.
 		viols, err := app.CheckConsistency(p)
@@ -500,8 +658,51 @@ func runPoint(cfg Config, index int) (*PointResult, error) {
 	// the final database state agrees. Nil-safe zero when sampling is off.
 	res.MetricsHash = in.Monitor().Hash()
 	res.MetricSamples = in.Monitor().Len()
-	res.Fingerprint = fingerprint(in, res)
+	// Replicated points fold the stream transport and the repl.* counters
+	// into the fingerprint, and hash the promoted stand-by's state (the
+	// database that survives) rather than the dead primary's.
+	activeIn := in
+	if cluster != nil {
+		res.StreamHash = cluster.StreamHash()
+		res.ReplFrames, res.ReplBytes, res.ReplRecords,
+			res.ReplSyncWaits, res.ReplSyncLost, res.ReplResyncs = cluster.Counters()
+		if res.FailedOver {
+			activeIn = cluster.ActiveInstance()
+		}
+	}
+	res.Fingerprint = fingerprint(activeIn, res)
 	return res, nil
+}
+
+// buildChaosStandby creates one streaming stand-by on the point's kernel:
+// its own simulated machine and engine, schema and rows recreated from
+// the same seed (so its datafiles start bit-identical to the primary's
+// reference backup), mounted at the backup SCN.
+func buildChaosStandby(p *sim.Proc, k *sim.Kernel, ecfg engine.Config, cfg Config, seed int64, startSCN redo.SCN, name string) (*standby.Standby, error) {
+	fs := simdisk.NewFS(
+		simdisk.DefaultSpec(engine.DiskData1),
+		simdisk.DefaultSpec(engine.DiskData2),
+		simdisk.DefaultSpec(engine.DiskRedo),
+		simdisk.DefaultSpec(engine.DiskArch),
+	)
+	sbCfg := ecfg
+	sbCfg.Name = name
+	// The stand-by shares the point's kernel but is a second database;
+	// only the primary feeds the trace hash and the MMON repository.
+	sbCfg.Tracer = nil
+	sbCfg.SampleInterval = 0
+	sbIn, err := engine.New(k, fs, sbCfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: standby: %w", err)
+	}
+	sbApp := tpcc.NewApp(sbIn, cfg.TPCC)
+	if err := sbApp.CreateSchema(p, []string{engine.DiskData1, engine.DiskData2}); err != nil {
+		return nil, fmt.Errorf("chaos: standby schema: %w", err)
+	}
+	if err := sbApp.Load(p, rand.New(rand.NewSource(seed))); err != nil {
+		return nil, fmt.Errorf("chaos: standby load: %w", err)
+	}
+	return standby.New(sbIn, standby.DefaultConfig(), startSCN), nil
 }
 
 // Estimator-accuracy tolerance: the crash-instant redo-replay estimate

@@ -90,22 +90,31 @@ func captureRedo(in *engine.Instance) []redo.Record {
 // missingFromLedger probes every acknowledged New-Order commit in the
 // ledger and counts the ones whose order row is absent — lost
 // transactions from the end-user's view. The instance must be open and
-// the workload quiesced.
-func missingFromLedger(p *sim.Proc, app *tpcc.App, ledger []tpcc.CommitRecord) (int, error) {
-	missing := 0
+// the workload quiesced. A commit whose SCN lies beyond the non-negative
+// cut (the failover's promotion SCN) is counted as beyond without
+// probing: the promoted stand-by never received it, so it is the
+// failover's RPO rather than a recovery defect — and probing would lie,
+// because the post-failover workload reuses the lost order ids (the
+// promoted district counters rolled back with the lost redo) and plants
+// unrelated orders at the same keys. cut < 0 probes everything.
+func missingFromLedger(p *sim.Proc, app *tpcc.App, ledger []tpcc.CommitRecord, cut redo.SCN) (missing, beyond int, err error) {
 	for _, c := range ledger {
 		if c.Type != tpcc.TxnNewOrder || c.OID == 0 {
 			continue
 		}
+		if cut >= 0 && c.SCN > cut {
+			beyond++
+			continue
+		}
 		ok, err := app.HasOrder(p, c.W, c.D, c.OID)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if !ok {
 			missing++
 		}
 	}
-	return missing, nil
+	return missing, beyond, nil
 }
 
 // sameOutcome decides the determinism verdict: two runs of the same
@@ -131,7 +140,17 @@ func sameOutcome(a, b *PointResult) bool {
 		a.MetricsHash == b.MetricsHash &&
 		a.MetricSamples == b.MetricSamples &&
 		a.EstimatedRedoReplay == b.EstimatedRedoReplay &&
-		a.MeasuredRedoReplay == b.MeasuredRedoReplay
+		a.MeasuredRedoReplay == b.MeasuredRedoReplay &&
+		a.FailedOver == b.FailedOver &&
+		a.RPOLost == b.RPOLost &&
+		a.DarkAcks == b.DarkAcks &&
+		a.StreamHash == b.StreamHash &&
+		a.ReplFrames == b.ReplFrames &&
+		a.ReplBytes == b.ReplBytes &&
+		a.ReplRecords == b.ReplRecords &&
+		a.ReplSyncWaits == b.ReplSyncWaits &&
+		a.ReplSyncLost == b.ReplSyncLost &&
+		a.ReplResyncs == b.ReplResyncs
 }
 
 // fingerprint condenses a finished point — final datafile state plus
@@ -163,5 +182,23 @@ func fingerprint(in *engine.Instance, r *PointResult) uint64 {
 	writeInt(int64(r.MetricSamples))
 	writeInt(int64(r.EstimatedRedoReplay))
 	writeInt(int64(r.MeasuredRedoReplay))
+	// Replication measures join the fingerprint only on replicated points,
+	// so unreplicated explorations keep their historical golden values.
+	if r.ReplActive {
+		if r.FailedOver {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+		writeInt(int64(r.RPOLost))
+		writeInt(int64(r.DarkAcks))
+		writeInt(int64(r.StreamHash))
+		writeInt(r.ReplFrames)
+		writeInt(r.ReplBytes)
+		writeInt(r.ReplRecords)
+		writeInt(r.ReplSyncWaits)
+		writeInt(r.ReplSyncLost)
+		writeInt(r.ReplResyncs)
+	}
 	return h.Sum64()
 }

@@ -96,7 +96,7 @@ func TestDurabilityCheckerFlagsMissingCommit(t *testing.T) {
 			{Type: tpcc.TxnPayment},                          // no order: skipped
 			{Type: tpcc.TxnNewOrder, OID: 0},                 // user-aborted New-Order: skipped
 		}
-		missing, err := missingFromLedger(p, r.app, ledger)
+		missing, _, err := missingFromLedger(p, r.app, ledger, -1)
 		if err != nil {
 			return err
 		}

@@ -59,6 +59,26 @@ type PointResult struct {
 	MetricsHash   uint64
 	MetricSamples int
 
+	// Replication measures (replicated explorations only; ReplActive
+	// gates their fold into the fingerprint so unreplicated golden
+	// values are untouched). FailedOver reports the remedy was a
+	// promotion; RPOLost counts acknowledged commits beyond the
+	// promotion SCN (legitimate async exposure, a durability violation
+	// in sync mode); DarkAcks counts sync acknowledgements granted while
+	// the stand-by quorum was partitioned (always a violation);
+	// StreamHash and the Repl* counters condense the redo transport.
+	ReplActive    bool
+	FailedOver    bool
+	RPOLost       int
+	DarkAcks      int
+	StreamHash    uint64
+	ReplFrames    int64
+	ReplBytes     int64
+	ReplRecords   int64
+	ReplSyncWaits int64
+	ReplSyncLost  int64
+	ReplResyncs   int64
+
 	// Offered/Served count the terminals' transaction attempts over the
 	// whole point (commits and user aborts served, errors refused).
 	// DarkCommits is the evidence count behind ServedSafe: commit
@@ -149,7 +169,7 @@ func FormatReport(r *Report) string {
 			verdict(p.Consistent, p.Violations),
 			verdict(p.Idempotent, p.ReappliedRecords),
 			verdict(p.Deterministic, 1),
-			verdict(p.ServedSafe, p.DarkCommits),
+			verdict(p.ServedSafe, p.DarkCommits+p.DarkAcks),
 			verdict(p.EstimateOK, 1))
 	}
 	if r.AllGreen() {

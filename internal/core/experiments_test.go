@@ -117,3 +117,30 @@ func TestShapeLostTransactionsVsLogSize(t *testing.T) {
 	}
 	t.Logf("lost: small=%d large=%d", small, large)
 }
+
+// TestFigure7LostTransactionCountPinned pins the exact Figure 7 loss for
+// one archive-shipped stand-by failover cell. The count is the acked
+// commits in the never-archived online tail — an archive fully handed
+// off before the crash must never join it (the RFS transport owns the
+// transfer), so a change here means the shipping/activation accounting
+// changed: re-pin only if that is deliberate.
+func TestFigure7LostTransactionCountPinned(t *testing.T) {
+	sc := miniScale()
+	cfg := RecoveryConfig{
+		Name: "f7pin", FileSize: 16 << 10 * 64, Groups: 3, CheckpointTimeout: time.Minute,
+	}
+	spec := sc.spec("f7pin", cfg)
+	spec.Archive = true
+	spec.Standby = true
+	spec.Fault = &faults.Fault{Kind: faults.ShutdownAbort}
+	spec.InjectAt = sc.InjectTimes[2]
+	spec.TailAfterRecovery = sc.Tail
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pinned = 109
+	if res.LostTransactions != pinned {
+		t.Errorf("Figure 7 cell lost %d transactions, pinned %d (re-pin if the change is deliberate)", res.LostTransactions, pinned)
+	}
+}

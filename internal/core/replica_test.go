@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// The replica sweep itself (shape, RPO/RTO promises, determinism across
+// worker counts) lives in internal/core/sweeps — it runs multi-minute
+// campaigns and gets its own test binary. Here: the grid plumbing.
+
+func TestLinkByName(t *testing.T) {
+	for _, name := range []string{"lan", "wan"} {
+		spec, ok := LinkByName(name)
+		if !ok || spec.Name != name {
+			t.Fatalf("LinkByName(%q) = %+v, %v", name, spec, ok)
+		}
+	}
+	if _, ok := LinkByName("carrier-pigeon"); ok {
+		t.Fatal("unknown link profile resolved")
+	}
+}
+
+func TestDefaultReplicaGrid(t *testing.T) {
+	g := DefaultReplicaGrid()
+	if len(g.Standbys) != 2 || g.Standbys[0] != 1 || g.Standbys[1] != 3 {
+		t.Fatalf("standbys = %v", g.Standbys)
+	}
+	if len(g.Modes) != 2 || len(g.Links) != 2 {
+		t.Fatalf("grid = %+v", g)
+	}
+	if g.CascadeAt != 3 {
+		t.Fatalf("cascade at %d, want 3", g.CascadeAt)
+	}
+}

@@ -37,6 +37,24 @@ type Spec struct {
 	// Standby adds a stand-by database fed by archive shipping (§5.3).
 	Standby bool
 
+	// Standbys adds a streaming-replication cluster: that many first-tier
+	// stand-bys fed by continuous redo streaming (plus ReplCascade
+	// cascaded ones), with commit acknowledgement per ReplMode. A primary
+	// crash (ShutdownAbort) then fails over to the most advanced stand-by
+	// instead of recovering in place. Mutually independent from Standby
+	// (the archive-shipping configuration).
+	Standbys int
+	// ReplMode is the commit-acknowledgement protocol (sync or async).
+	ReplMode standby.Mode
+	// ReplLink is the primary→stand-by network profile (zero: LinkLAN).
+	ReplLink sim.LinkSpec
+	// ReplCascade adds that many second-tier stand-bys fed from the
+	// first stand-by's reception.
+	ReplCascade int
+	// ReplicaReads routes this fraction of the read-only TPC-C traffic
+	// (Order-Status, Stock-Level) to the first stand-by's snapshot.
+	ReplicaReads float64
+
 	// TPCC scales the workload.
 	TPCC tpcc.Config
 	// CacheBlocks sizes the buffer cache.
@@ -169,8 +187,23 @@ type Result struct {
 
 	// LostTransactions counts acknowledged commits whose effects are
 	// missing after the experiment (the paper's lost-transaction
-	// measure).
+	// measure). In a replicated run this is the failover's RPO in
+	// transactions.
 	LostTransactions int
+	// FailedOver reports that the run's remedy was a stand-by promotion;
+	// RTOEstimate is the MMON live estimate captured at the promotion
+	// decision (compare against RecoveryTime, the measured RTO), and
+	// ReplLagRecords how far the promoted stand-by trailed the primary's
+	// flushed redo at the crash (the async RPO bound, in records).
+	FailedOver     bool
+	RTOEstimate    time.Duration
+	ReplLagRecords int64
+	// Replication is the final V$REPLICATION view (nil without a
+	// streaming cluster); ReplicaServed/ReplicaFallback count stand-by-
+	// routed read-only transactions.
+	Replication     []monitor.ReplicationRow
+	ReplicaServed   int64
+	ReplicaFallback int64
 	// IntegrityViolations lists failed TPC-C consistency conditions.
 	IntegrityViolations []tpcc.Violation
 
@@ -298,6 +331,7 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}
 	var sb *standby.Standby
+	var cluster *standby.Cluster
 	recoveryPoint := redo.SCN(-1) // -1: complete recovery, nothing lost
 	k.Go("benchmark", func(p *sim.Proc) {
 		// Phase 1: create, load, checkpoint, reference backup.
@@ -331,7 +365,7 @@ func Run(spec Spec) (*Result, error) {
 
 		// Phase 1b: instantiate the stand-by from the same content.
 		if spec.Standby {
-			sb, err = buildStandby(p, k, ecfg, spec, backupSCN)
+			sb, err = buildStandby(p, k, ecfg, spec, backupSCN, "standby")
 			if err != nil {
 				fail(err)
 				return
@@ -341,6 +375,53 @@ func Run(spec Spec) (*Result, error) {
 				return
 			}
 			in.Archiver().OnArchived = sb.Ship
+		}
+
+		// Phase 1c: the streaming-replication cluster — N stand-bys fed
+		// by continuous redo streaming, the commit gate, and failover as
+		// the ShutdownAbort remedy.
+		if spec.Standbys > 0 {
+			n := spec.Standbys + spec.ReplCascade
+			sbs := make([]*standby.Standby, n)
+			for i := range sbs {
+				sbs[i], err = buildStandby(p, k, ecfg, spec, backupSCN, fmt.Sprintf("standby%d", i+1))
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+			link := spec.ReplLink
+			if link == (sim.LinkSpec{}) {
+				link = LinkLAN
+			}
+			cluster, err = standby.NewCluster(in, sbs, standby.ClusterConfig{
+				Mode:    spec.ReplMode,
+				Link:    link,
+				Cascade: spec.ReplCascade,
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := cluster.Start(p); err != nil {
+				fail(err)
+				return
+			}
+			in.Log().OnDurable = cluster.OnDurable
+			in.Txns().CommitGate = cluster.CommitGate
+			prevState := in.OnStateChange
+			in.OnStateChange = func(now sim.Time, st engine.State) {
+				if prevState != nil {
+					prevState(now, st)
+				}
+				cluster.OnPrimaryState(now, st)
+			}
+			inj.Failover = cluster
+			cluster.RegisterProbes(in.Monitor())
+			if spec.ReplicaReads > 0 {
+				app.Replica = ReplicaOf(cluster.Standbys()[0])
+				app.ReplicaShare = spec.ReplicaReads
+			}
 		}
 
 		trace("setup done")
@@ -398,7 +479,19 @@ func Run(spec Spec) (*Result, error) {
 					fail(err)
 					return
 				}
-				if o.Report != nil && !o.Report.Complete {
+				switch {
+				case o.FailedOver:
+					// The cluster promoted a stand-by: the new
+					// incarnation starts at the promoted watermark,
+					// acknowledged commits beyond it are the RPO, and
+					// the drivers re-target the new primary.
+					recoveryPoint = cluster.PromotedSCN()
+					app.In = cluster.ActiveInstance()
+					app.Replica = nil
+					res.FailedOver = true
+					res.RTOEstimate = cluster.LastRTOEstimate()
+					res.ReplLagRecords = cluster.PromotedLag()
+				case o.Report != nil && !o.Report.Complete:
 					recoveryPoint = o.PreFaultSCN
 				}
 			}
@@ -483,6 +576,11 @@ func Run(spec Spec) (*Result, error) {
 			}
 			res.LostTransactions = len(lost)
 		}
+		if cluster != nil {
+			res.Replication = cluster.VReplication()
+			res.ReplicaServed = app.ReplicaServed
+			res.ReplicaFallback = app.ReplicaFallback
+		}
 		viols, err := app.CheckConsistency(p)
 		if err != nil {
 			fail(fmt.Errorf("core: consistency check: %w", err))
@@ -506,15 +604,15 @@ func Run(spec Spec) (*Result, error) {
 	return res, nil
 }
 
-// buildStandby creates the stand-by server: its own simulated machine with
-// an identical schema and data content (the standard "instantiate from a
-// backup of the primary" procedure, reproduced by re-running the
+// buildStandby creates one stand-by server: its own simulated machine
+// with an identical schema and data content (the standard "instantiate
+// from a backup of the primary" procedure, reproduced by re-running the
 // deterministic load), left mounted in managed recovery from startSCN.
-func buildStandby(p *sim.Proc, k *sim.Kernel, ecfg engine.Config, spec Spec, startSCN redo.SCN) (*standby.Standby, error) {
+func buildStandby(p *sim.Proc, k *sim.Kernel, ecfg engine.Config, spec Spec, startSCN redo.SCN, name string) (*standby.Standby, error) {
 	dataDisks := dataDiskNames(spec.DataDisks)
 	sbFS := simdisk.NewFS(diskSpecs(dataDisks)...)
 	sbCfg := ecfg
-	sbCfg.Name = "standby"
+	sbCfg.Name = name
 	// The stand-by shares the primary's kernel but is a second database:
 	// its events would interleave with the primary's on the same tracks,
 	// so only the primary is traced.

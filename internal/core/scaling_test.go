@@ -53,69 +53,9 @@ func TestCampaignsRejectInvalidScale(t *testing.T) {
 	}
 }
 
-// TestScalingSweepShape runs the W ∈ {1,2} sweep at mini scale and checks
-// the properties the experiment exists to show: throughput grows with the
-// warehouse count for both configurations, every cell measured a real
-// recovery, and the rendered table is byte-identical when the same sweep
-// runs on a different worker count (the determinism contract).
-func TestScalingSweepShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("short mode")
-	}
-	sc := miniScale()
-	sc.Parallel = 0
-	rows, err := RunScaling(sc, []int{1, 2}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 2 {
-		t.Fatalf("got %d rows, want 2", len(rows))
-	}
-	for i, w := range []int{1, 2} {
-		r := rows[i]
-		if r.Warehouses != w {
-			t.Errorf("row %d: warehouses %d, want %d", i, r.Warehouses, w)
-		}
-		if want := w * sc.TPCC.TerminalsPerWarehouse; r.Terminals != want {
-			t.Errorf("W=%d: terminals %d, want %d", w, r.Terminals, want)
-		}
-		for _, cell := range []struct {
-			name string
-			c    ScalingCell
-		}{{"base", r.Base}, {"tuned", r.Tuned}} {
-			if cell.c.TpmC <= 0 {
-				t.Errorf("W=%d %s: tpmC %.1f", w, cell.name, cell.c.TpmC)
-			}
-			if cell.c.RecoveryTime <= 0 {
-				t.Errorf("W=%d %s: recovery time %v", w, cell.name, cell.c.RecoveryTime)
-			}
-		}
-		// The tuned config buys throughput at every W (that trade-off is
-		// the experiment's point).
-		if r.Tuned.TpmC < r.Base.TpmC {
-			t.Errorf("W=%d: tuned tpmC %.0f below baseline %.0f", w, r.Tuned.TpmC, r.Base.TpmC)
-		}
-	}
-	// Monotone growth W=1 -> W=2 for both configurations.
-	if rows[1].Base.TpmC <= rows[0].Base.TpmC {
-		t.Errorf("baseline tpmC not monotone: W=1 %.0f, W=2 %.0f", rows[0].Base.TpmC, rows[1].Base.TpmC)
-	}
-	if rows[1].Tuned.TpmC <= rows[0].Tuned.TpmC {
-		t.Errorf("tuned tpmC not monotone: W=1 %.0f, W=2 %.0f", rows[0].Tuned.TpmC, rows[1].Tuned.TpmC)
-	}
-	// Byte-identical across worker counts.
-	sc2 := miniScale()
-	sc2.Parallel = 2
-	rows2, err := RunScaling(sc2, []int{1, 2}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if FormatScaling(rows) != FormatScaling(rows2) {
-		t.Errorf("scaling table differs across -parallel:\n--- parallel 0\n%s--- parallel 2\n%s",
-			FormatScaling(rows), FormatScaling(rows2))
-	}
-	t.Logf("\n%s", FormatScaling(rows))
-}
+// The full W-sweep (shape + across-worker-count determinism) lives in
+// internal/core/sweeps: it runs multi-minute campaigns and gets its own
+// test binary.
 
 // FormatScaling renders one aligned row per warehouse count.
 func TestFormatScalingShape(t *testing.T) {

@@ -1,0 +1,9 @@
+// Package sweeps holds the long-running campaign sweeps split out of
+// internal/core's own test binary: the warehouse-scaling sweep and the
+// replica sweep each run multi-minute simulated campaigns (twice, for
+// the across-worker-count determinism contract), and together with the
+// rest of the core battery they were courting go test's default
+// per-package 10-minute timeout. A separate package means a separate
+// test binary with its own budget; the tests themselves exercise only
+// core's exported campaign API.
+package sweeps

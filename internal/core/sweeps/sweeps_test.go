@@ -1,0 +1,175 @@
+package sweeps
+
+import (
+	"testing"
+	"time"
+
+	"dbench/internal/core"
+	"dbench/internal/sim"
+	"dbench/internal/standby"
+	"dbench/internal/tpcc"
+)
+
+// miniScale mirrors the helper in internal/core's tests: the smallest
+// scale whose campaigns still load, run TPC-C, inject, and recover.
+func miniScale() core.Scale {
+	cfg := tpcc.DefaultConfig()
+	cfg.Warehouses = 1
+	cfg.CustomersPerDistrict = 60
+	cfg.Items = 500
+	cfg.TerminalsPerWarehouse = 5
+	return core.Scale{
+		TPCC:        cfg,
+		CacheBlocks: 512,
+		Duration:    4 * time.Minute,
+		InjectTimes: [3]time.Duration{30 * time.Second, 60 * time.Second, 120 * time.Second},
+		Tail:        30 * time.Second,
+		Seed:        7,
+	}
+}
+
+// TestScalingSweepShape runs the W ∈ {1,2} sweep at mini scale and checks
+// the properties the experiment exists to show: throughput grows with the
+// warehouse count for both configurations, every cell measured a real
+// recovery, and the rendered table is byte-identical when the same sweep
+// runs on a different worker count (the determinism contract).
+func TestScalingSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := miniScale()
+	sc.Parallel = 0
+	rows, err := core.RunScaling(sc, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for i, w := range []int{1, 2} {
+		r := rows[i]
+		if r.Warehouses != w {
+			t.Errorf("row %d: warehouses %d, want %d", i, r.Warehouses, w)
+		}
+		if want := w * sc.TPCC.TerminalsPerWarehouse; r.Terminals != want {
+			t.Errorf("W=%d: terminals %d, want %d", w, r.Terminals, want)
+		}
+		for _, cell := range []struct {
+			name string
+			c    core.ScalingCell
+		}{{"base", r.Base}, {"tuned", r.Tuned}} {
+			if cell.c.TpmC <= 0 {
+				t.Errorf("W=%d %s: tpmC %.1f", w, cell.name, cell.c.TpmC)
+			}
+			if cell.c.RecoveryTime <= 0 {
+				t.Errorf("W=%d %s: recovery time %v", w, cell.name, cell.c.RecoveryTime)
+			}
+		}
+		// The tuned config buys throughput at every W (that trade-off is
+		// the experiment's point).
+		if r.Tuned.TpmC < r.Base.TpmC {
+			t.Errorf("W=%d: tuned tpmC %.0f below baseline %.0f", w, r.Tuned.TpmC, r.Base.TpmC)
+		}
+	}
+	// Monotone growth W=1 -> W=2 for both configurations.
+	if rows[1].Base.TpmC <= rows[0].Base.TpmC {
+		t.Errorf("baseline tpmC not monotone: W=1 %.0f, W=2 %.0f", rows[0].Base.TpmC, rows[1].Base.TpmC)
+	}
+	if rows[1].Tuned.TpmC <= rows[0].Tuned.TpmC {
+		t.Errorf("tuned tpmC not monotone: W=1 %.0f, W=2 %.0f", rows[0].Tuned.TpmC, rows[1].Tuned.TpmC)
+	}
+	// Byte-identical across worker counts.
+	sc2 := miniScale()
+	sc2.Parallel = 2
+	rows2, err := core.RunScaling(sc2, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.FormatScaling(rows) != core.FormatScaling(rows2) {
+		t.Errorf("scaling table differs across -parallel:\n--- parallel 0\n%s--- parallel 2\n%s",
+			core.FormatScaling(rows), core.FormatScaling(rows2))
+	}
+	t.Logf("\n%s", core.FormatScaling(rows))
+}
+
+// tinyReplicaGrid is the smoke sweep: one stand-by, both modes, LAN.
+func tinyReplicaGrid() core.ReplicaGrid {
+	return core.ReplicaGrid{
+		Standbys: []int{1},
+		Modes:    []standby.Mode{standby.ModeSync, standby.ModeAsync},
+		Links:    []sim.LinkSpec{core.LinkLAN},
+	}
+}
+
+// TestReplicaSweepMeasures runs the tiny grid at mini scale and holds the
+// cells to the replication promises: every cell fails over, sync loses no
+// acknowledged commit, async loss is bounded by the measured stream lag,
+// the measured RTO lands within ±20% of the live MMON estimate, and the
+// promoted database is consistent.
+func TestReplicaSweepMeasures(t *testing.T) {
+	sc := miniScale()
+	rows, err := core.RunReplica(sc, tinyReplicaGrid(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("s=%d+%d %-5s %s: tpmC=%.0f rpo=%d lag=%d rto=%v est=%v served=%d viol=%d",
+			r.Standbys, r.Cascade, r.Mode, r.Link.Name, r.TpmC, r.RPO,
+			r.LagRecords, r.RTO, r.RTOEstimate, r.Served, r.Violations)
+		if !r.FailedOver {
+			t.Errorf("%s cell did not fail over", r.Mode)
+		}
+		if r.Mode == standby.ModeSync && r.RPO != 0 {
+			t.Errorf("sync cell lost %d acknowledged commits, want 0", r.RPO)
+		}
+		if int64(r.RPO) > r.LagRecords {
+			t.Errorf("%s cell RPO %d exceeds the measured stream lag %d records", r.Mode, r.RPO, r.LagRecords)
+		}
+		// RTO within ±20% of the MMON live estimate (small absolute floor
+		// for scheduling quanta).
+		diff := r.RTO - r.RTOEstimate
+		if diff < 0 {
+			diff = -diff
+		}
+		tol := time.Duration(0.20 * float64(r.RTOEstimate))
+		if tol < 200*time.Millisecond {
+			tol = 200 * time.Millisecond
+		}
+		if diff > tol {
+			t.Errorf("%s cell RTO %v vs estimate %v: outside ±20%%", r.Mode, r.RTO, r.RTOEstimate)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%s cell: %d consistency violations on the promoted database", r.Mode, r.Violations)
+		}
+		if r.Served == 0 {
+			t.Errorf("%s cell served no read-only transactions from the stand-by", r.Mode)
+		}
+		if r.TpmC <= 0 {
+			t.Errorf("%s cell reports no throughput", r.Mode)
+		}
+	}
+}
+
+// TestReplicaSweepDeterministicAcrossParallelism pins the scheduling
+// contract the whole experiment layer rests on: the rendered replica
+// report is byte-identical whether the cells run sequentially or on four
+// workers.
+func TestReplicaSweepDeterministicAcrossParallelism(t *testing.T) {
+	grid := tinyReplicaGrid()
+	run := func(parallel int) string {
+		sc := miniScale()
+		sc.Parallel = parallel
+		rows, err := core.RunReplica(sc, grid, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.FormatReplica(rows)
+	}
+	serial, parallel := run(1), run(4)
+	if serial != parallel {
+		t.Errorf("replica report diverges across -parallel 1/4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

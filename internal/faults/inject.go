@@ -127,6 +127,11 @@ type Outcome struct {
 	// Report is the recovery manager's account; nil when the recovery
 	// is a pure administrative action (set tablespace offline).
 	Report *recovery.Report
+	// FailedOver reports that the remedy was a stand-by promotion (the
+	// injector's Failover hook) rather than recovery of the faulted
+	// instance: Report describes the promotion and the caller must
+	// re-target sessions at the new primary.
+	FailedOver bool
 	// RecoveredAt is when the recovery procedure completed.
 	RecoveredAt sim.Time
 }
@@ -166,6 +171,18 @@ type Injector struct {
 	// paper's baseline, and the control arm of the logical-vs-physical
 	// differential harness.
 	ForcePhysical bool
+
+	// Failover, when set, turns a primary crash (ShutdownAbort) into a
+	// managed failover: instead of recovering the crashed instance, the
+	// cluster promotes a stand-by and the outcome reports FailedOver.
+	Failover Promoter
+}
+
+// Promoter is a stand-by cluster that can take over after a primary
+// crash (standby.Cluster implements it; an interface here keeps faults
+// free of the replication machinery).
+type Promoter interface {
+	Promote(p *sim.Proc) (*recovery.Report, error)
 }
 
 // misroutedBatchSize is how many rows the mis-routed batch job updates
@@ -321,7 +338,12 @@ func (inj *Injector) Recover(p *sim.Proc, o *Outcome) error {
 	var err error
 	switch o.Fault.Kind {
 	case ShutdownAbort:
-		o.Report, err = inj.rm.InstanceRecovery(p)
+		if inj.Failover != nil {
+			o.Report, err = inj.Failover.Promote(p)
+			o.FailedOver = err == nil
+		} else {
+			o.Report, err = inj.rm.InstanceRecovery(p)
+		}
 	case DeleteDatafile, CorruptDatafile:
 		// The damaged file's tablespace is offline while the rest of the
 		// database serves: restore and roll it forward online. The

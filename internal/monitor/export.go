@@ -216,6 +216,38 @@ func FormatVMetric(r *Repository) string {
 	return b.String()
 }
 
+// ReplicationRow is one stand-by destination's state in the
+// V$REPLICATION view. The row type lives here (not in the standby
+// package) so reporting layers can carry and format replication state
+// without importing the replication machinery.
+type ReplicationRow struct {
+	Target      string
+	Mode        string
+	ReceivedSCN int64
+	AppliedSCN  int64
+	LagRecords  int64
+	Frames      int64
+	Bytes       int64
+	Status      string
+}
+
+// FormatVReplication renders the V$REPLICATION view from the rows a
+// stand-by cluster reports.
+func FormatVReplication(rows []ReplicationRow) string {
+	if len(rows) == 0 {
+		return "no standby destinations\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-6s %10s %12s %9s %8s %12s %-10s\n",
+		"TARGET", "MODE", "RECV_SCN", "APPLIED_SCN", "LAG_RECS", "FRAMES", "BYTES", "STATUS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-6s %10d %12d %9d %8d %12d %-10s\n",
+			r.Target, r.Mode, r.ReceivedSCN, r.AppliedSCN, r.LagRecords, r.Frames, r.Bytes, r.Status)
+	}
+	fmt.Fprintf(&b, "%d rows selected.\n", len(rows))
+	return b.String()
+}
+
 // FormatVRecoveryEstimate renders the V$RECOVERY_ESTIMATE view: the most
 // recent sample's live crash-recovery cost prediction.
 func FormatVRecoveryEstimate(r *Repository) string {

@@ -152,3 +152,30 @@ func TestFormatVRecoveryEstimateNoEstimator(t *testing.T) {
 		t.Errorf("no-estimator V$RECOVERY_ESTIMATE = %q", got)
 	}
 }
+
+func TestFormatVReplicationGolden(t *testing.T) {
+	rows := []ReplicationRow{
+		{Target: "standby1", Mode: "sync", ReceivedSCN: 536205, AppliedSCN: 536205,
+			LagRecords: 0, Frames: 27922, Bytes: 246849282, Status: "PRIMARY"},
+		{Target: "standby2", Mode: "sync", ReceivedSCN: 536190, AppliedSCN: 535900,
+			LagRecords: 290, Frames: 27922, Bytes: 246849282, Status: "APPLYING"},
+		{Target: "casc-standby2", Mode: "cascade", ReceivedSCN: 535100, AppliedSCN: 535100,
+			LagRecords: 0, Frames: 27800, Bytes: 246100000, Status: "APPLYING"},
+	}
+	checkGolden(t, "vreplication", FormatVReplication(rows))
+}
+
+func TestFormatVReplicationEmpty(t *testing.T) {
+	if got := FormatVReplication(nil); got != "no standby destinations\n" {
+		t.Fatalf("empty view = %q", got)
+	}
+}
+
+func TestCalibrationLabel(t *testing.T) {
+	if got := calibrationLabel(0); got != "cost-model prior" {
+		t.Fatalf("cold label = %q", got)
+	}
+	if got := calibrationLabel(3); got != "calibrated from 3 recoveries" {
+		t.Fatalf("warm label = %q", got)
+	}
+}

@@ -38,6 +38,7 @@ const (
 	KindPointInTime
 	KindTablespace
 	KindFlashback
+	KindFailover
 )
 
 func (k Kind) String() string {
@@ -52,6 +53,8 @@ func (k Kind) String() string {
 		return "tablespace media"
 	case KindFlashback:
 		return "flashback"
+	case KindFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -678,33 +681,13 @@ func (m *Manager) refFor(rec *redo.Record) (storage.BlockRef, bool) {
 // the block-SCN idempotence guard. It reports whether the record was
 // applied.
 func (m *Manager) applyToImage(rec *redo.Record, ref storage.BlockRef) bool {
-	img := ref.File.PeekBlock(ref.No)
-	if img.SCN >= rec.SCN {
-		return false // change already present (written before the crash)
-	}
-	switch rec.Op {
-	case redo.OpInsert, redo.OpUpdate:
-		img.Rows[rec.Key] = append([]byte(nil), rec.After...)
-	case redo.OpDelete:
-		delete(img.Rows, rec.Key)
-	}
-	img.SCN = rec.SCN
-	return true
+	return ApplyToImage(rec, ref)
 }
 
 // undoToImage applies a before-image during the rollback pass, stamping
 // the image with the recovery end SCN.
 func (m *Manager) undoToImage(rec *redo.Record, ref storage.BlockRef, stamp redo.SCN) {
-	img := ref.File.PeekBlock(ref.No)
-	switch rec.Op {
-	case redo.OpInsert: // undo insert: remove the row
-		delete(img.Rows, rec.Key)
-	case redo.OpUpdate, redo.OpDelete: // restore the before image
-		img.Rows[rec.Key] = append([]byte(nil), rec.Before...)
-	}
-	if img.SCN < stamp {
-		img.SCN = stamp
-	}
+	UndoToImage(rec, ref, stamp)
 }
 
 // participates decides whether a file takes part in a whole-database
@@ -727,8 +710,20 @@ func participates(f *storage.Datafile, includeOffline bool) bool {
 // with it). With RecoveryParallelism > 1 the forward pass is fanned out
 // across the apply crew; results are identical, only the timing differs.
 func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, includeOffline bool, stamp redo.SCN, tl *timeline) error {
+	return m.applyAndUndoPending(p, rep, recs, nil, includeOffline, stamp, tl)
+}
+
+// applyAndUndoPending is applyAndUndo with a pre-seeded undo set:
+// `pending` holds already-applied records (SCN order, all below recs'
+// SCNs) of transactions known unfinished, which failover promotion must
+// roll back alongside the tail's own losers. They are undone last —
+// i.e. the undo pass stays in reverse global SCN order.
+func (m *Manager) applyAndUndoPending(p *sim.Proc, rep *Report, recs, pending []redo.Record, includeOffline bool, stamp redo.SCN, tl *timeline) error {
 	if n := m.workerCount(); n > 1 {
 		sa := m.newStreamApply(p, rep, tl, includeOffline, nil, n)
+		for i := range pending {
+			sa.cands = append(sa.cands, loserCand{rec: &pending[i]})
+		}
 		sa.feed(p, recs)
 		return sa.finish(p, stamp)
 	}
@@ -740,6 +735,10 @@ func (m *Manager) applyAndUndo(p *sim.Proc, rep *Report, recs []redo.Record, inc
 	touched := make(map[storage.BlockRef]bool)
 	var loserRecs []redo.Record
 	losers := make(map[redo.TxnID]bool)
+	for i := range pending {
+		losers[pending[i].Txn] = true
+		loserRecs = append(loserRecs, pending[i])
+	}
 
 	// Forward pass: apply everything (DDL included).
 	for i := range recs {
@@ -824,23 +823,7 @@ func (m *Manager) ReapplyDataRecords(recs []redo.Record) int {
 // during roll-forward (e.g. a DROP TABLE that happened after the backup
 // but before the recovery target).
 func (m *Manager) replayDDL(stmt string) {
-	cat := m.in.Catalog()
-	switch {
-	case strings.HasPrefix(stmt, "DROP TABLE "):
-		name := firstWord(strings.TrimPrefix(stmt, "DROP TABLE "))
-		_ = cat.DropTable(name)
-	case strings.HasPrefix(stmt, "DROP TABLESPACE "):
-		name := firstWord(strings.TrimPrefix(stmt, "DROP TABLESPACE "))
-		// Same containment rule as engine.DropTablespace: only tables
-		// fully inside the tablespace go down with it.
-		for _, tbl := range cat.TablesFullyIn(name) {
-			_ = cat.DropTable(tbl)
-		}
-		_ = m.in.DB().DropTablespace(name)
-	case strings.HasPrefix(stmt, "DROP USER "):
-		name := firstWord(strings.TrimPrefix(stmt, "DROP USER "))
-		_, _ = cat.DropUser(name)
-	}
+	ReplayDDL(m.in.Catalog(), m.in.DB(), stmt)
 }
 
 func firstWord(s string) string {

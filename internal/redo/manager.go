@@ -173,6 +173,13 @@ type Manager struct {
 	// rollback segments. Transactions must therefore fit within the
 	// online log (TPC-C transactions are a few KB; groups are >= 1 MB).
 	UndoFloor func() SCN
+	// OnDurable, when set, is called (from the LGWR process) each time a
+	// flushed segment advances flushedSCN, with exactly the records that
+	// just became durable, in SCN order. It is the tap continuous redo
+	// streaming hangs off: a replication cluster copies the records into
+	// its per-standby outboxes here. The hook must not advance virtual
+	// time (LGWR's flush timing is part of every pinned fingerprint).
+	OnDurable func(p *sim.Proc, recs []Record)
 	// OnCheckpointNeeded, when set, is called whenever a reserve or
 	// switch stall finds the next group not yet checkpointed. A
 	// switch-triggered checkpoint can complete short of the group's last
@@ -592,6 +599,7 @@ func (m *Manager) drainBuffer(p *sim.Proc) error {
 			trace.I("bytes", total), trace.I("flushed_scn", int64(m.flushedSCN)))
 	}()
 	var segBytes int64
+	var segRecs []Record
 	var lastPlaced SCN = -1
 	flushSeg := func() error {
 		if segBytes == 0 {
@@ -616,6 +624,10 @@ func (m *Manager) drainBuffer(p *sim.Proc) error {
 			m.flushedSCN = lastPlaced
 			m.flushed.Broadcast(m.k)
 		}
+		if m.OnDurable != nil && len(segRecs) > 0 {
+			m.OnDurable(p, segRecs)
+		}
+		segRecs = nil
 		return nil
 	}
 	for len(m.buffer) > 0 {
@@ -634,6 +646,9 @@ func (m *Manager) drainBuffer(p *sim.Proc) error {
 		g.records = append(g.records, rec)
 		g.bytes += rec.Size()
 		segBytes += rec.Size()
+		if m.OnDurable != nil {
+			segRecs = append(segRecs, rec)
+		}
 		m.bufferBytes -= rec.Size()
 		lastPlaced = rec.SCN
 	}

@@ -1,11 +1,18 @@
-// Package standby implements the stand-by database of the paper's §5.3: a
-// second server kept in permanent recovery, applying the primary's
-// archived redo logs as they are shipped over the network. On a primary
-// failure the stand-by is activated and takes over; its recovery time is
-// roughly constant (it only finishes applying what it already received),
-// and the transactions whose redo sat in the primary's current,
-// not-yet-archived online log group are lost — the effect the paper's
-// Figure 7 measures against redo log size and group count.
+// Package standby implements the stand-by database of the paper's §5.3
+// and its modern extension: replication. A stand-by is a second server
+// kept in permanent managed recovery, fed either by whole archived redo
+// logs shipped after each log switch (the paper's cold configuration,
+// Figures 6/7) or by continuous redo streaming over a simulated network
+// link (see stream.go), in sync or async mode, with optional cascading.
+//
+// On a primary failure the stand-by is promoted: the received-but-
+// unapplied redo tail is rolled forward on the regular recovery pipeline
+// (parallel apply crew included), transactions the stream never finished
+// are rolled back, and the database opens as the new primary. Committed
+// transactions whose redo never reached the stand-by are lost — the
+// paper's Figure 7 measures that against the online log geometry for
+// archive shipping; the replica experiment measures it as RPO for
+// streaming.
 package standby
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"dbench/internal/archivelog"
 	"dbench/internal/engine"
+	"dbench/internal/recovery"
 	"dbench/internal/redo"
 	"dbench/internal/sim"
 	"dbench/internal/storage"
@@ -23,13 +31,24 @@ import (
 // Config tunes the stand-by machinery.
 type Config struct {
 	// ShipBytesPerSec is the archive shipping bandwidth between the
-	// servers (the paper used dedicated fast Ethernet).
+	// servers (the paper used dedicated fast Ethernet). Continuous
+	// streaming uses the cluster's link spec instead.
 	ShipBytesPerSec int64
 	// ApplyPerRecord is the managed-recovery CPU cost per redo record.
 	ApplyPerRecord time.Duration
 	// ActivationOverhead is the fixed cost of activating the stand-by
 	// (terminating managed recovery, opening the database).
 	ActivationOverhead time.Duration
+	// ReadPerRow is the CPU cost a replica-served read-only transaction
+	// pays per row it reads from the stand-by's snapshot.
+	ReadPerRow time.Duration
+	// MaxReadLag bounds replica-served reads: when the stand-by's apply
+	// lag (last known primary SCN minus applied SCN, in records) exceeds
+	// it, snapshot reads are refused and the driver falls back to the
+	// primary. 0 disables replica reads entirely.
+	MaxReadLag int64
+	// FrameRecords bounds the records per stream frame (streaming only).
+	FrameRecords int
 }
 
 // DefaultConfig returns costs for a dedicated 100 Mbit/s link.
@@ -38,77 +57,186 @@ func DefaultConfig() Config {
 		ShipBytesPerSec:    12 << 20,
 		ApplyPerRecord:     110 * time.Microsecond,
 		ActivationOverhead: 8 * time.Second,
+		ReadPerRow:         60 * time.Microsecond,
+		MaxReadLag:         4096,
+		FrameRecords:       64,
 	}
 }
 
 // Stats counts stand-by activity.
 type Stats struct {
+	// Shipped counts archived logs fully received; Applied counts apply
+	// batches (one per archived log or received stream batch).
 	Shipped     int
 	Applied     int
 	RecordsDone int64
+	// Frames/StreamBytes count received stream frames (streaming only).
+	Frames      int64
+	StreamBytes int64
 }
 
-// Standby is the stand-by database server.
-type Standby struct {
-	k   *sim.Kernel
-	in  *engine.Instance
-	cfg Config
+// overlayKey identifies one row in the committed-read overlay.
+type overlayKey struct {
+	table string
+	key   int64
+}
 
+// overlayEntry is the committed (pre-transaction) view of one row touched
+// by a transaction the continuous apply has not yet seen finish: the
+// before-image of the transaction's first change to the row. Snapshot
+// reads substitute it for the raw image, so replica-served reads observe
+// only committed state at the applied SCN.
+type overlayEntry struct {
+	txn    redo.TxnID
+	before []byte
+	insert bool // first change was an insert: committed view has no row
+}
+
+// Standby is one stand-by database server.
+type Standby struct {
+	k    *sim.Kernel
+	in   *engine.Instance
+	cfg  Config
+	name string
+
+	running   bool
+	activated bool
+
+	// Archive transport: Ship hands archives to the RFS receiver process,
+	// which pays the network transfer on the stand-by side — so a primary
+	// crash cannot lose an archive that was already fully handed off —
+	// and queues them for the MRP apply loop.
+	shipQueue  []*archivelog.ArchivedLog
+	rfsWake    sim.Cond
+	rfsDrained sim.Cond
+	rfs        *sim.Proc
 	queue      []*archivelog.ArchivedLog
 	wake       sim.Cond
 	mrp        *sim.Proc
-	running    bool
-	activated  bool
+
+	// Streaming transport (fed by a cluster streamer, see stream.go).
+	wantSeq     uint64
+	receivedSCN redo.SCN
+	lastPrimary redo.SCN
+	recvQueue   []redo.Record
+	applyWake   sim.Cond
+	applier     *sim.Proc
+	streamHash  uint64
+	frames      int64
+	streamBytes int64
+	// relays forward received records to cascaded stand-bys, on receipt
+	// (a cascade's lag is bounded by its feeder's reception, not apply).
+	relays []*streamer
+
 	appliedSCN redo.SCN
 
 	// pending tracks data records of transactions not yet known to be
-	// finished, for the rollback pass at activation.
+	// finished — the rollback set at promotion — with the same
+	// unconditional-of-apply-guard candidacy the recovery paths use.
 	pending map[redo.TxnID][]redo.Record
+	// overlay is the committed-read view over pending rows (reads.go).
+	overlay map[overlayKey]overlayEntry
+	// snapReads accumulates snapshot read-row counts whose CPU cost is
+	// paid when the snapshot closes.
+	snapReads int64
 
-	// gapErr is set when a shipped log starts beyond the applied
-	// watermark — an archived log is missing from the middle of the
+	// gapErr is set when shipped or streamed redo arrives beyond the
+	// expected watermark — something is missing from the middle of the
 	// sequence. Managed recovery halts rather than apply around the
-	// hole; Activate refuses until the gap is resolved.
+	// hole; promotion refuses until the gap is resolved.
 	gapErr error
 
 	stats Stats
 }
+
+// fnvOffset/fnvPrime are the FNV-64a constants the stream hash chains
+// frames with.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
 
 // New wraps a prepared stand-by instance. The instance must contain a
 // physical copy of the primary as of startSCN (the backup the stand-by
 // was instantiated from); it stays unopened until activation.
 func New(in *engine.Instance, cfg Config, startSCN redo.SCN) *Standby {
 	return &Standby{
-		k:          in.Kernel(),
-		in:         in,
-		cfg:        cfg,
-		appliedSCN: startSCN,
-		pending:    make(map[redo.TxnID][]redo.Record),
+		k:           in.Kernel(),
+		in:          in,
+		cfg:         cfg,
+		name:        in.Config().Name,
+		wantSeq:     1,
+		receivedSCN: startSCN,
+		appliedSCN:  startSCN,
+		pending:     make(map[redo.TxnID][]redo.Record),
+		overlay:     make(map[overlayKey]overlayEntry),
+		streamHash:  fnvOffset,
 	}
 }
 
 // Instance returns the stand-by's engine instance.
 func (s *Standby) Instance() *engine.Instance { return s.in }
 
+// Name returns the stand-by's instance name.
+func (s *Standby) Name() string { return s.name }
+
 // AppliedSCN returns the managed-recovery watermark: every change at or
 // below it is applied on the stand-by.
 func (s *Standby) AppliedSCN() redo.SCN { return s.appliedSCN }
+
+// ReceivedSCN returns the reception watermark: the highest SCN the
+// stand-by holds redo for (streamed frames plus applied archives).
+// Promotion recovers through it; in sync mode no commit is acknowledged
+// until the quorum's ReceivedSCN covers it.
+func (s *Standby) ReceivedSCN() redo.SCN {
+	if s.receivedSCN > s.appliedSCN {
+		return s.receivedSCN
+	}
+	return s.appliedSCN
+}
+
+// LastPrimarySCN returns the primary's flushed SCN as of the last
+// received frame — the far end of the lag interval.
+func (s *Standby) LastPrimarySCN() redo.SCN { return s.lastPrimary }
+
+// Lag returns the apply lag in records: how far the stand-by's applied
+// state trails the primary's flushed stream, as of the last frame heard.
+func (s *Standby) Lag() int64 {
+	if s.lastPrimary <= s.appliedSCN {
+		return 0
+	}
+	return int64(s.lastPrimary - s.appliedSCN)
+}
+
+// StreamHash is the FNV-64a chain over every received frame's encoded
+// bytes — the transport-level fingerprint the chaos harness folds into
+// its per-seed goldens.
+func (s *Standby) StreamHash() uint64 { return s.streamHash }
 
 // Activated reports whether the stand-by has taken over.
 func (s *Standby) Activated() bool { return s.activated }
 
 // Stats returns a copy of the counters.
-func (s *Standby) Stats() Stats { return s.stats }
+func (s *Standby) Stats() Stats {
+	st := s.stats
+	st.Frames = s.frames
+	st.StreamBytes = s.streamBytes
+	return st
+}
 
-// QueueLen reports shipped-but-unapplied logs.
+// QueueLen reports received-but-unapplied archived logs.
 func (s *Standby) QueueLen() int { return len(s.queue) }
 
-// Err reports why managed recovery halted (a gap in the shipped log
-// sequence), or nil while the stand-by is healthy.
+// InFlight reports archives handed off by the primary's ARCH process but
+// not yet fully received.
+func (s *Standby) InFlight() int { return len(s.shipQueue) }
+
+// Err reports why managed recovery halted (a gap in the shipped or
+// streamed redo), or nil while the stand-by is healthy.
 func (s *Standby) Err() error { return s.gapErr }
 
-// Start mounts the stand-by instance and launches the managed recovery
-// process.
+// Start mounts the stand-by instance and launches the receiver and
+// managed recovery processes.
 func (s *Standby) Start(p *sim.Proc) error {
 	if s.running {
 		return nil
@@ -117,36 +245,59 @@ func (s *Standby) Start(p *sim.Proc) error {
 		return err
 	}
 	s.running = true
-	s.mrp = s.k.Go("MRP", s.mrpLoop)
+	s.rfs = s.k.Go("RFS-"+s.name, s.rfsLoop)
+	s.mrp = s.k.Go("MRP-"+s.name, s.mrpLoop)
+	s.applier = s.k.Go("MRP-stream-"+s.name, s.streamApplyLoop)
 	return nil
 }
 
-// Stop halts managed recovery (without activating).
+// Stop halts the receiver and managed recovery (without activating).
 func (s *Standby) Stop() {
 	if !s.running {
 		return
 	}
 	s.running = false
-	if s.mrp != nil {
-		s.mrp.Kill()
+	for _, pr := range []*sim.Proc{s.mrp, s.applier, s.rfs} {
+		if pr != nil {
+			pr.Kill()
+		}
 	}
 }
 
-// Ship transfers one archived log to the stand-by. It is called from the
-// primary's ARCH process (via archivelog.Archiver.OnArchived) and charges
-// the network transfer to that process — the shipping overhead the paper
-// notes for the stand-by configuration.
+// Ship hands one archived log to the stand-by. It is called from the
+// primary's ARCH process (via archivelog.Archiver.OnArchived) and only
+// enqueues: the stand-by's own RFS process pays the network transfer, so
+// a primary crash after the hand-off cannot lose the archive — the
+// received bytes are accounted in the activation apply phase.
 func (s *Standby) Ship(p *sim.Proc, al *archivelog.ArchivedLog) {
-	if s.cfg.ShipBytesPerSec > 0 {
-		p.Sleep(time.Duration(al.Bytes * int64(time.Second) / s.cfg.ShipBytesPerSec))
-	}
-	s.stats.Shipped++
-	s.queue = append(s.queue, al)
-	s.wake.Broadcast(s.k)
+	s.shipQueue = append(s.shipQueue, al)
+	s.rfsWake.Broadcast(s.k)
 }
 
-// mrpLoop is the managed recovery process: it applies shipped logs in
-// order, forever.
+// rfsLoop is the remote-file-server receiver: it pays each handed-off
+// archive's transfer time and queues it for apply.
+func (s *Standby) rfsLoop(p *sim.Proc) {
+	for s.running {
+		for s.running && len(s.shipQueue) == 0 {
+			s.rfsWake.Wait(p)
+		}
+		if !s.running {
+			return
+		}
+		al := s.shipQueue[0]
+		if s.cfg.ShipBytesPerSec > 0 {
+			p.Sleep(time.Duration(al.Bytes * int64(time.Second) / s.cfg.ShipBytesPerSec))
+		}
+		s.shipQueue = s.shipQueue[1:]
+		s.stats.Shipped++
+		s.queue = append(s.queue, al)
+		s.wake.Broadcast(s.k)
+		s.rfsDrained.Broadcast(s.k)
+	}
+}
+
+// mrpLoop is the archive-fed managed recovery process: it applies
+// received logs in order, forever.
 func (s *Standby) mrpLoop(p *sim.Proc) {
 	for s.running {
 		for s.running && len(s.queue) == 0 {
@@ -162,6 +313,50 @@ func (s *Standby) mrpLoop(p *sim.Proc) {
 			// Managed recovery halts on a gap; the un-applied queue is
 			// kept so a re-ship of the missing log could resume.
 			return
+		}
+	}
+}
+
+// streamApplyLoop is the stream-fed managed recovery process: it applies
+// received records as they arrive. Records are popped one at a time and
+// applied instantly, with the CPU cost paid in chunks — a kill mid-sleep
+// leaves appliedSCN exactly at the last applied record and the queue
+// holding exactly the unapplied tail.
+func (s *Standby) streamApplyLoop(p *sim.Proc) {
+	var owed time.Duration
+	touched := make(map[storage.BlockRef]bool)
+	for s.running {
+		for s.running && len(s.recvQueue) == 0 {
+			if owed > 0 || len(touched) > 0 {
+				d := owed
+				owed = 0
+				p.Sleep(d)
+				if len(s.recvQueue) > 0 {
+					continue // more work arrived while paying the debt
+				}
+				s.chargeTouched(p, touched)
+				touched = make(map[storage.BlockRef]bool)
+				s.stats.Applied++
+				continue
+			}
+			s.applyWake.Wait(p)
+		}
+		if !s.running {
+			return
+		}
+		rec := s.recvQueue[0]
+		s.recvQueue = s.recvQueue[1:]
+		if rec.SCN <= s.appliedSCN {
+			continue
+		}
+		s.applyRecord(rec, touched)
+		s.appliedSCN = rec.SCN
+		s.stats.RecordsDone++
+		owed += s.cfg.ApplyPerRecord
+		if owed >= 50*time.Millisecond {
+			d := owed
+			owed = 0
+			p.Sleep(d)
 		}
 	}
 }
@@ -197,17 +392,21 @@ func (s *Standby) applyLog(p *sim.Proc, al *archivelog.ArchivedLog) {
 	s.stats.Applied++
 }
 
-// applyRecord applies one record to the stand-by images and maintains the
-// pending-transaction table.
+// applyRecord applies one record to the stand-by images with exactly the
+// recovery paths' semantics — the shared exported helpers guarantee the
+// promoted images stay bit-identical to a serial recovery of the same
+// redo prefix — and maintains the pending-transaction table and the
+// committed-read overlay.
 func (s *Standby) applyRecord(rec redo.Record, touched map[storage.BlockRef]bool) {
 	switch rec.Op {
 	case redo.OpCommit, redo.OpAbort:
-		delete(s.pending, rec.Txn)
+		s.finishTxn(rec.Txn)
 		return
 	case redo.OpDDL:
-		s.replayDDL(rec.Meta)
+		recovery.ReplayDDL(s.in.Catalog(), s.in.DB(), rec.Meta)
 		return
-	case redo.OpCheckpoint:
+	}
+	if !rec.IsDataChange() {
 		return
 	}
 	tbl, err := s.in.Catalog().Table(rec.Table)
@@ -218,46 +417,28 @@ func (s *Standby) applyRecord(rec redo.Record, touched map[storage.BlockRef]bool
 	if ref.File.Lost() {
 		return
 	}
-	img := ref.File.PeekBlock(ref.No)
-	if img.SCN >= rec.SCN {
-		return
+	if recovery.ApplyToImage(&rec, ref) {
+		touched[ref] = true
 	}
-	switch rec.Op {
-	case redo.OpInsert, redo.OpUpdate:
-		img.Rows[rec.Key] = append([]byte(nil), rec.After...)
-	case redo.OpDelete:
-		delete(img.Rows, rec.Key)
-	}
-	img.SCN = rec.SCN
-	touched[ref] = true
+	// Rollback candidacy is unconditional of the idempotence guard's
+	// outcome, mirroring the recovery loser tracking.
 	s.pending[rec.Txn] = append(s.pending[rec.Txn], rec)
+	ok := overlayKey{table: rec.Table, key: rec.Key}
+	if _, exists := s.overlay[ok]; !exists {
+		s.overlay[ok] = overlayEntry{txn: rec.Txn, before: rec.Before, insert: rec.Op == redo.OpInsert}
+	}
 }
 
-// replayDDL mirrors dictionary changes on the stand-by.
-func (s *Standby) replayDDL(stmt string) {
-	cat := s.in.Catalog()
-	trim := func(prefix string) (string, bool) {
-		if len(stmt) <= len(prefix) || stmt[:len(prefix)] != prefix {
-			return "", false
+// finishTxn retires a transaction the stream saw commit or abort: its
+// rows leave the committed-read overlay and the rollback set.
+func (s *Standby) finishTxn(id redo.TxnID) {
+	for _, rec := range s.pending[id] {
+		ok := overlayKey{table: rec.Table, key: rec.Key}
+		if e, exists := s.overlay[ok]; exists && e.txn == id {
+			delete(s.overlay, ok)
 		}
-		rest := stmt[len(prefix):]
-		for i := 0; i < len(rest); i++ {
-			if rest[i] == ' ' {
-				return rest[:i], true
-			}
-		}
-		return rest, true
 	}
-	if name, ok := trim("DROP TABLE "); ok {
-		_ = cat.DropTable(name)
-	} else if name, ok := trim("DROP TABLESPACE "); ok {
-		for _, tbl := range cat.TablesIn(name) {
-			_ = cat.DropTable(tbl)
-		}
-		_ = s.in.DB().DropTablespace(name)
-	} else if name, ok := trim("DROP USER "); ok {
-		_, _ = cat.DropUser(name)
-	}
+	delete(s.pending, id)
 }
 
 // chargeTouched charges standby block I/O for the applied changes.
@@ -283,95 +464,114 @@ func (s *Standby) chargeTouched(p *sim.Proc, touched map[storage.BlockRef]bool) 
 	}
 }
 
-// Activate fails the stand-by over: managed recovery finishes the shipped
-// queue, transactions with no commit record in the applied stream are
-// rolled back, and the database opens as the new primary. It returns the
-// number of transactions rolled back.
+// pendingRecords flattens the rollback set in ascending SCN order — the
+// promotion undo pass reverses it, restoring recovery's reverse global
+// SCN undo order.
+func (s *Standby) pendingRecords() []redo.Record {
+	var out []redo.Record
+	for _, recs := range s.pending {
+		out = append(out, recs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SCN < out[j].SCN })
+	return out
+}
+
+// Activate fails the stand-by over and reports the number of in-flight
+// transactions rolled back (the legacy archive-transport API; Promote
+// returns the full recovery report).
 func (s *Standby) Activate(p *sim.Proc) (int, error) {
+	rep, err := s.Promote(p)
+	if err != nil {
+		return 0, err
+	}
+	return rep.LosersRolledBack, nil
+}
+
+// Promote fails the stand-by over: in-flight archive transfers are
+// drained (received bytes must not be lost), the received-but-unapplied
+// redo tail — queued archives plus the stream queue — is rolled forward
+// on the regular recovery pipeline (recovery.Manager.Failover, parallel
+// apply crew included), transactions with no commit record in the
+// received stream are rolled back, and the database opens RESETLOGS as
+// the new primary.
+func (s *Standby) Promote(p *sim.Proc) (*recovery.Report, error) {
 	if s.activated {
-		return 0, fmt.Errorf("standby: already activated")
+		return nil, fmt.Errorf("standby: already activated")
+	}
+	p.Sleep(s.cfg.ActivationOverhead)
+	// Account received-but-unapplied bytes: every archive already handed
+	// off by the primary's ARCH finishes its transfer and joins the apply
+	// queue before managed recovery stops.
+	for len(s.shipQueue) > 0 {
+		s.rfsDrained.Wait(p)
 	}
 	s.Stop()
-	p.Sleep(s.cfg.ActivationOverhead)
-	// Finish applying everything already shipped.
+
+	// Collect the unapplied tail: queued archives first (their SCNs
+	// precede any streamed records on a healthy stand-by), then the
+	// stream queue, gap-checked like the apply loops.
+	var tail []redo.Record
+	next := s.appliedSCN
 	for _, al := range s.queue {
-		s.applyLog(p, al)
+		recs := al.Records()
+		if len(recs) > 0 && recs[len(recs)-1].SCN > next && recs[0].SCN > next+1 {
+			s.gapErr = fmt.Errorf("standby: gap in shipped redo: applied through SCN %d but archived log seq %d starts at SCN %d", next, al.Seq, recs[0].SCN)
+		}
+		if s.gapErr != nil {
+			break
+		}
+		for _, rec := range recs {
+			if rec.SCN > next {
+				tail = append(tail, rec)
+				next = rec.SCN
+			}
+		}
 	}
 	if s.gapErr != nil {
 		// Opening with a hole in the applied redo would present a state
 		// that never existed on the primary.
-		return 0, s.gapErr
+		return nil, s.gapErr
 	}
 	s.queue = nil
-	// Roll back in-flight transactions (reverse order).
-	losers := 0
-	cs := time.Duration(0)
-	touched := make(map[storage.BlockRef]bool)
-	ids := make([]redo.TxnID, 0, len(s.pending))
-	for id := range s.pending {
-		ids = append(ids, id)
-	}
-	sortTxnIDs(ids)
-	for _, id := range ids {
-		recs := s.pending[id]
-		losers++
-		for i := len(recs) - 1; i >= 0; i-- {
-			rec := recs[i]
-			tbl, err := s.in.Catalog().Table(rec.Table)
-			if err != nil {
-				continue
-			}
-			ref := tbl.BlockFor(rec.Key)
-			if ref.File.Lost() {
-				continue
-			}
-			img := ref.File.PeekBlock(ref.No)
-			switch rec.Op {
-			case redo.OpInsert:
-				delete(img.Rows, rec.Key)
-			case redo.OpUpdate, redo.OpDelete:
-				img.Rows[rec.Key] = append([]byte(nil), rec.Before...)
-			}
-			if img.SCN < s.appliedSCN {
-				img.SCN = s.appliedSCN
-			}
-			touched[ref] = true
-			cs += s.cfg.ApplyPerRecord
+	for _, rec := range s.recvQueue {
+		if rec.SCN > next {
+			tail = append(tail, rec)
+			next = rec.SCN
 		}
 	}
-	p.Sleep(cs)
-	s.chargeTouched(p, touched)
-	s.pending = make(map[redo.TxnID][]redo.Record)
+	s.recvQueue = nil
+	scn := next
+	if s.receivedSCN > scn {
+		scn = s.receivedSCN
+	}
 
-	// Stamp the physical database consistent and open.
-	ctl := s.in.DB().Control
-	ctl.CheckpointSCN = s.appliedSCN
-	ctl.StopSCN = s.appliedSCN
-	for _, f := range s.in.DB().Datafiles() {
-		if f.Lost() {
-			continue
-		}
-		f.CkptSCN = s.appliedSCN
-		f.NeedsRecovery = false
-		f.SetOnline(true)
+	rm := recovery.NewManager(s.in, nil)
+	rep, err := rm.Failover(p, tail, s.pendingRecords(), scn)
+	if err != nil {
+		return nil, err
 	}
-	if err := ctl.Update(p); err != nil {
-		return losers, err
-	}
-	if err := s.in.Log().ResetLogs(s.appliedSCN + 1); err != nil {
-		return losers, err
-	}
-	if err := s.in.Open(p); err != nil {
-		return losers, err
-	}
+	s.appliedSCN = scn
+	s.receivedSCN = scn
+	s.pending = make(map[redo.TxnID][]redo.Record)
+	s.overlay = make(map[overlayKey]overlayEntry)
 	s.activated = true
-	return losers, nil
+	return rep, nil
 }
 
-func sortTxnIDs(ids []redo.TxnID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+// EstimateRTO is the stand-by's live promotion-time estimate, exposed as
+// an MMON gauge on the primary: the fixed activation overhead plus the
+// apply and rollback cost of everything received but not yet applied.
+func (s *Standby) EstimateRTO() time.Duration {
+	backlog := int64(len(s.recvQueue))
+	for _, al := range s.queue {
+		for _, rec := range al.Records() {
+			if rec.SCN > s.appliedSCN {
+				backlog++
+			}
 		}
 	}
+	for _, recs := range s.pending {
+		backlog += int64(len(recs))
+	}
+	return s.cfg.ActivationOverhead + time.Duration(backlog)*s.cfg.ApplyPerRecord
 }

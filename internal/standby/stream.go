@@ -1,0 +1,577 @@
+// Continuous redo streaming: instead of waiting for a log switch and
+// shipping whole archives, a log-network-server (LNS) process per
+// destination tails the primary's durable redo and pushes framed record
+// batches over a simulated network link. In sync mode a commit is not
+// acknowledged until every first-tier stand-by has received its redo
+// (zero RPO by construction); async mode acknowledges locally and bounds
+// the loss by the stream lag. Cascaded stand-bys are fed from the first
+// stand-by's reception — not the primary — so remote copies cost the
+// primary nothing.
+package standby
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dbench/internal/engine"
+	"dbench/internal/monitor"
+	"dbench/internal/recovery"
+	"dbench/internal/redo"
+	"dbench/internal/sim"
+	"dbench/internal/trace"
+)
+
+// Mode selects the commit-acknowledgement protocol.
+type Mode uint8
+
+const (
+	// ModeAsync acknowledges commits as soon as the primary's own redo is
+	// durable; streamed redo trails behind (non-zero RPO on failover).
+	ModeAsync Mode = iota
+	// ModeSync holds the commit until every healthy first-tier stand-by
+	// has received the transaction's redo (RPO zero on failover).
+	ModeSync
+)
+
+func (m Mode) String() string {
+	if m == ModeSync {
+		return "sync"
+	}
+	return "async"
+}
+
+// ParseMode parses "sync" or "async".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "sync":
+		return ModeSync, nil
+	case "async":
+		return ModeAsync, nil
+	}
+	return ModeAsync, fmt.Errorf("standby: unknown replication mode %q (want sync or async)", s)
+}
+
+// ErrPrimaryLost fails a sync commit whose quorum acknowledgement was
+// still outstanding when the primary went down: the transaction was
+// never acknowledged to the client, so losing it costs no RPO.
+var ErrPrimaryLost = errors.New("standby: primary lost before sync acknowledgement")
+
+// streamer is one LNS shipping process: it cuts frames from its outbox
+// and pushes them over a link to one destination. First-tier streamers
+// run on the primary host and die with it; cascade relays run on their
+// feeder stand-by and survive a primary crash.
+type streamer struct {
+	k       *sim.Kernel
+	name    string
+	link    *sim.Link
+	src     func() redo.SCN // primary flushed SCN stamped on each frame
+	dst     *Standby
+	max     int // records per frame
+	outbox  []redo.Record
+	wake    sim.Cond
+	proc    *sim.Proc
+	running bool
+	nextSeq uint64
+	// onDeliver observes every delivered frame (cluster counters and
+	// sync-ack wakeups). Runs after the destination processed the frame.
+	onDeliver func(p *sim.Proc, f *redo.StreamFrame, encoded int)
+}
+
+func (st *streamer) start() {
+	if st.running {
+		return
+	}
+	st.running = true
+	st.proc = st.k.Go(st.name, st.loop)
+}
+
+// stop kills the shipping process and drops the outbox — the undelivered
+// records live in primary memory and are lost with it.
+func (st *streamer) stop() {
+	if !st.running {
+		return
+	}
+	st.running = false
+	st.outbox = nil
+	if st.proc != nil {
+		st.proc.Kill()
+	}
+}
+
+func (st *streamer) enqueue(recs []redo.Record) {
+	if !st.running || len(recs) == 0 {
+		return
+	}
+	st.outbox = append(st.outbox, recs...)
+	st.wake.Broadcast(st.k)
+}
+
+func (st *streamer) loop(p *sim.Proc) {
+	for st.running {
+		for st.running && len(st.outbox) == 0 {
+			st.wake.Wait(p)
+		}
+		if !st.running {
+			return
+		}
+		n := len(st.outbox)
+		if n > st.max {
+			n = st.max
+		}
+		f := redo.StreamFrame{
+			Seq:        st.nextSeq,
+			PrimarySCN: st.src(),
+			Records:    append([]redo.Record(nil), st.outbox[:n]...),
+		}
+		st.outbox = st.outbox[n:]
+		st.nextSeq++
+		enc := f.Encode()
+		st.link.Send(p, int64(len(enc)))
+		st.dst.Receive(p, &f, enc)
+		if st.onDeliver != nil {
+			st.onDeliver(p, &f, len(enc))
+		}
+	}
+}
+
+// markGap halts the stand-by on the first detected hole in its redo feed.
+func (s *Standby) markGap(err error) {
+	if s.gapErr == nil {
+		s.gapErr = err
+	}
+}
+
+// Receive accepts one stream frame. Frames must arrive in sequence — a
+// skipped frame means redo is missing from the middle of the stream, so
+// the stand-by halts (like an archive gap) rather than apply around it.
+// Records are queued for the stream apply loop and forwarded to any
+// cascaded destinations on receipt, before apply.
+func (s *Standby) Receive(p *sim.Proc, f *redo.StreamFrame, encoded []byte) {
+	if s.gapErr != nil || s.activated {
+		return
+	}
+	if f.Seq != s.wantSeq {
+		s.markGap(fmt.Errorf("standby: stream gap: want frame %d, got %d", s.wantSeq, f.Seq))
+		return
+	}
+	s.wantSeq++
+	s.frames++
+	s.streamBytes += int64(len(encoded))
+	for _, b := range encoded {
+		s.streamHash = (s.streamHash ^ uint64(b)) * fnvPrime
+	}
+	if f.PrimarySCN > s.lastPrimary {
+		s.lastPrimary = f.PrimarySCN
+	}
+	if len(f.Records) == 0 {
+		return
+	}
+	if last := f.LastSCN(); last > s.receivedSCN {
+		s.receivedSCN = last
+	}
+	s.recvQueue = append(s.recvQueue, f.Records...)
+	s.applyWake.Broadcast(s.k)
+	for _, rel := range s.relays {
+		rel.enqueue(f.Records)
+	}
+}
+
+// ClusterConfig shapes a replicated configuration.
+type ClusterConfig struct {
+	// Mode is the commit-acknowledgement protocol.
+	Mode Mode
+	// Link is the primary→stand-by network profile.
+	Link sim.LinkSpec
+	// CascadeLink is the stand-by→cascade profile (zero value: Link).
+	CascadeLink sim.LinkSpec
+	// Cascade turns the trailing Cascade stand-bys into second-tier
+	// destinations fed from the first stand-by's reception.
+	Cascade int
+}
+
+// Cluster wires a primary instance to its streaming stand-bys: it taps
+// the primary's durable redo, gates sync commits on quorum reception,
+// and promotes the most advanced stand-by when the primary dies.
+type Cluster struct {
+	k         *sim.Kernel
+	primary   *engine.Instance
+	cfg       ClusterConfig
+	standbys  []*Standby
+	firstTier int
+	links     []*sim.Link
+	streamers []*streamer
+
+	down          bool
+	flushedAtDown redo.SCN
+	ackWake       sim.Cond
+
+	cFrames, cBytes, cRecords *trace.Counter
+	cSyncWaits, cSyncLost     *trace.Counter
+	cResyncs                  *trace.Counter
+
+	promoted     *Standby
+	lastEstimate time.Duration
+	promotedLag  int64
+}
+
+// NewCluster builds a cluster over prepared stand-bys (see New). The
+// last cfg.Cascade stand-bys become second-tier destinations; at least
+// one first-tier stand-by must remain. Counters register on the
+// primary's registry under repl.*.
+func NewCluster(primary *engine.Instance, standbys []*Standby, cfg ClusterConfig) (*Cluster, error) {
+	if len(standbys) == 0 {
+		return nil, errors.New("standby: cluster needs at least one standby")
+	}
+	if cfg.Cascade < 0 || cfg.Cascade >= len(standbys) {
+		return nil, fmt.Errorf("standby: %d cascades leave no first-tier standby (have %d)", cfg.Cascade, len(standbys))
+	}
+	if cfg.CascadeLink == (sim.LinkSpec{}) {
+		cfg.CascadeLink = cfg.Link
+	}
+	reg := primary.Registry()
+	return &Cluster{
+		k:          primary.Kernel(),
+		primary:    primary,
+		cfg:        cfg,
+		standbys:   standbys,
+		firstTier:  len(standbys) - cfg.Cascade,
+		cFrames:    reg.Counter("repl.frames"),
+		cBytes:     reg.Counter("repl.bytes"),
+		cRecords:   reg.Counter("repl.records"),
+		cSyncWaits: reg.Counter("repl.sync.waits"),
+		cSyncLost:  reg.Counter("repl.sync.lost"),
+		cResyncs:   reg.Counter("repl.resyncs"),
+	}, nil
+}
+
+// Start mounts every stand-by and launches the shipping processes. The
+// caller wires the primary's redo tap (Log().OnDurable = c.OnDurable),
+// commit gate (Txns().CommitGate = c.CommitGate) and lifecycle observer
+// (chain OnStateChange to c.OnPrimaryState).
+func (c *Cluster) Start(p *sim.Proc) error {
+	deliver := func(dp *sim.Proc, f *redo.StreamFrame, encoded int) {
+		c.cFrames.Inc()
+		c.cBytes.Add(int64(encoded))
+		c.cRecords.Add(int64(len(f.Records)))
+		c.ackWake.Broadcast(c.k)
+	}
+	for i, s := range c.standbys {
+		if err := s.Start(p); err != nil {
+			return err
+		}
+		if i >= c.firstTier {
+			continue
+		}
+		spec := c.cfg.Link
+		if spec.Name == "" {
+			spec.Name = "repl-" + s.name
+		}
+		link := sim.NewLink(c.k, spec)
+		st := &streamer{
+			k:         c.k,
+			name:      "LNS-" + s.name,
+			link:      link,
+			src:       c.primary.Log().FlushedSCN,
+			dst:       s,
+			max:       frameMax(s.cfg),
+			nextSeq:   1,
+			onDeliver: deliver,
+		}
+		st.start()
+		c.links = append(c.links, link)
+		c.streamers = append(c.streamers, st)
+	}
+	// Cascades chain off the first stand-by's reception.
+	feeder := c.standbys[0]
+	for _, s := range c.standbys[c.firstTier:] {
+		spec := c.cfg.CascadeLink
+		if spec.Name == "" {
+			spec.Name = "repl-casc-" + s.name
+		}
+		link := sim.NewLink(c.k, spec)
+		rel := &streamer{
+			k:    c.k,
+			name: "LNS-casc-" + s.name,
+			// A cascade frame carries the feeder's best knowledge of the
+			// primary position, not a fresh read of the primary.
+			src:       func() redo.SCN { return feeder.lastPrimary },
+			link:      link,
+			dst:       s,
+			max:       frameMax(s.cfg),
+			nextSeq:   1,
+			onDeliver: deliver,
+		}
+		rel.start()
+		feeder.relays = append(feeder.relays, rel)
+		c.links = append(c.links, link)
+	}
+	return nil
+}
+
+func frameMax(cfg Config) int {
+	if cfg.FrameRecords > 0 {
+		return cfg.FrameRecords
+	}
+	return DefaultConfig().FrameRecords
+}
+
+// OnDurable is the primary redo tap (redo.Manager.OnDurable): newly
+// durable records fan out to every first-tier shipping process. Runs on
+// the LGWR process and must not advance virtual time — it only enqueues.
+func (c *Cluster) OnDurable(p *sim.Proc, recs []redo.Record) {
+	for _, st := range c.streamers {
+		st.enqueue(recs)
+	}
+}
+
+// CommitGate implements txn.Manager.CommitGate. In sync mode the commit
+// holds until every healthy first-tier stand-by received the
+// transaction's redo; a commit still waiting when the primary dies fails
+// with ErrPrimaryLost — never acknowledged, so never counted lost. With
+// no healthy destination left (gap/activated) the gate degrades to
+// async rather than freeze the primary (maximum availability).
+func (c *Cluster) CommitGate(p *sim.Proc, scn redo.SCN) error {
+	if c.cfg.Mode != ModeSync {
+		return nil
+	}
+	waited := false
+	for !c.down && !c.quorum(scn) {
+		if !waited {
+			waited = true
+			c.cSyncWaits.Inc()
+		}
+		c.ackWake.Wait(p)
+	}
+	if c.quorum(scn) {
+		return nil
+	}
+	c.cSyncLost.Inc()
+	return ErrPrimaryLost
+}
+
+// quorum reports whether every healthy first-tier stand-by has received
+// redo through scn.
+func (c *Cluster) quorum(scn redo.SCN) bool {
+	for _, s := range c.standbys[:c.firstTier] {
+		if s.activated || s.gapErr != nil {
+			continue
+		}
+		if s.ReceivedSCN() < scn {
+			return false
+		}
+	}
+	return true
+}
+
+// OnPrimaryState tracks the primary lifecycle. On a crash the shipping
+// processes die with the primary host (their outboxes are lost — that
+// tail is the async RPO) and waiting sync commits fail. If the primary
+// comes back (instance recovery, not failover), each streamer resyncs
+// from the online logs at its destination's received watermark.
+func (c *Cluster) OnPrimaryState(now sim.Time, st engine.State) {
+	switch st {
+	case engine.StateDown:
+		if c.down {
+			return
+		}
+		c.down = true
+		c.flushedAtDown = c.primary.Log().FlushedSCN()
+		for _, s := range c.streamers {
+			s.stop()
+		}
+		c.ackWake.Broadcast(c.k)
+	case engine.StateOpen:
+		if !c.down {
+			return
+		}
+		c.down = false
+		c.resync()
+	}
+}
+
+// resync restarts the shipping processes after an instance recovery,
+// refilling each outbox from the online logs past the destination's
+// received watermark. A destination whose missing range was already
+// overwritten halts with a gap (it would need a new base copy).
+func (c *Cluster) resync() {
+	for _, st := range c.streamers {
+		s := st.dst
+		if s.activated || s.gapErr != nil {
+			continue
+		}
+		recs, ok := c.primary.Log().OnlineRecords(s.ReceivedSCN() + 1)
+		if !ok {
+			s.markGap(fmt.Errorf("standby: resync gap: online redo past SCN %d was overwritten", s.ReceivedSCN()))
+			continue
+		}
+		st.nextSeq = s.wantSeq
+		st.outbox = nil
+		st.start()
+		st.enqueue(recs)
+		c.cResyncs.Inc()
+	}
+	c.ackWake.Broadcast(c.k)
+}
+
+// Promote fails the cluster over: the stand-by with the highest received
+// watermark (lowest index on ties — deterministic) is activated on the
+// recovery pipeline and becomes the new primary. Implements the fault
+// injector's failover hook.
+func (c *Cluster) Promote(p *sim.Proc) (*recovery.Report, error) {
+	if c.promoted != nil {
+		return nil, errors.New("standby: cluster already failed over")
+	}
+	var best *Standby
+	for _, s := range c.standbys {
+		if s.activated || s.gapErr != nil {
+			continue
+		}
+		if best == nil || s.ReceivedSCN() > best.ReceivedSCN() {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, errors.New("standby: no healthy standby to promote")
+	}
+	c.lastEstimate = best.EstimateRTO()
+	if lag := int64(c.flushedAtDown) - int64(best.ReceivedSCN()); lag > 0 {
+		c.promotedLag = lag
+	}
+	rep, err := best.Promote(p)
+	if err != nil {
+		return nil, err
+	}
+	c.promoted = best
+	return rep, nil
+}
+
+// Promoted returns the stand-by that took over, or nil.
+func (c *Cluster) Promoted() *Standby { return c.promoted }
+
+// ActiveInstance returns the serving instance: the promoted stand-by
+// after a failover, the primary before.
+func (c *Cluster) ActiveInstance() *engine.Instance {
+	if c.promoted != nil {
+		return c.promoted.Instance()
+	}
+	return c.primary
+}
+
+// PromotedSCN is the new incarnation's starting watermark: changes above
+// it are the failover's data loss.
+func (c *Cluster) PromotedSCN() redo.SCN {
+	if c.promoted == nil {
+		return 0
+	}
+	return c.promoted.AppliedSCN()
+}
+
+// PromotedLag is the record count the promoted stand-by trailed the
+// primary's flushed stream by at the crash — the measured upper bound on
+// the async RPO.
+func (c *Cluster) PromotedLag() int64 { return c.promotedLag }
+
+// LastRTOEstimate is the promoted stand-by's RTO estimate captured at
+// the promotion decision (before any work), for comparison against the
+// measured failover time.
+func (c *Cluster) LastRTOEstimate() time.Duration { return c.lastEstimate }
+
+// Standbys returns the cluster's stand-bys, first tier first.
+func (c *Cluster) Standbys() []*Standby { return c.standbys }
+
+// FirstTier returns the number of first-tier (primary-fed) stand-bys.
+func (c *Cluster) FirstTier() int { return c.firstTier }
+
+// Links returns the replication links in wiring order: first tier, then
+// cascades — the chaos harness's fault surface.
+func (c *Cluster) Links() []*sim.Link { return c.links }
+
+// StreamHash folds every stand-by's transport fingerprint into one
+// value, in wiring order.
+func (c *Cluster) StreamHash() uint64 {
+	h := uint64(fnvOffset)
+	for _, s := range c.standbys {
+		v := s.streamHash
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * fnvPrime
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// Counters returns the repl.* counter values — frames and bytes
+// delivered, records streamed, sync commit waits, sync commits failed by
+// a primary loss, and stream resyncs. The chaos harness folds them into
+// its determinism fingerprints.
+func (c *Cluster) Counters() (frames, bytes, records, syncWaits, syncLost, resyncs int64) {
+	return c.cFrames.Value(), c.cBytes.Value(), c.cRecords.Value(),
+		c.cSyncWaits.Value(), c.cSyncLost.Value(), c.cResyncs.Value()
+}
+
+// VReplication reports the V$REPLICATION view rows, one per stand-by.
+func (c *Cluster) VReplication() []monitor.ReplicationRow {
+	rows := make([]monitor.ReplicationRow, 0, len(c.standbys))
+	for i, s := range c.standbys {
+		mode := c.cfg.Mode.String()
+		if i >= c.firstTier {
+			mode = "casc"
+		}
+		status := "APPLYING"
+		switch {
+		case s.activated:
+			status = "PRIMARY"
+		case s.gapErr != nil:
+			status = "GAP"
+		}
+		rows = append(rows, monitor.ReplicationRow{
+			Target:      s.name,
+			Mode:        mode,
+			ReceivedSCN: int64(s.ReceivedSCN()),
+			AppliedSCN:  int64(s.appliedSCN),
+			LagRecords:  s.Lag(),
+			Frames:      s.frames,
+			Bytes:       s.streamBytes,
+			Status:      status,
+		})
+	}
+	return rows
+}
+
+// RegisterProbes adds the replication gauges to the primary's MMON
+// repository: worst first-tier apply lag, live RTO estimate for the
+// stand-by a failover would pick, and accumulated link partition stalls.
+func (c *Cluster) RegisterProbes(repo *monitor.Repository) {
+	repo.AddProbe("repl.lag.records", func() int64 {
+		var worst int64
+		for _, s := range c.standbys[:c.firstTier] {
+			if l := s.Lag(); l > worst {
+				worst = l
+			}
+		}
+		return worst
+	})
+	repo.AddProbe("repl.rto.estimate.ms", func() int64 {
+		var best *Standby
+		for _, s := range c.standbys {
+			if s.activated || s.gapErr != nil {
+				continue
+			}
+			if best == nil || s.ReceivedSCN() > best.ReceivedSCN() {
+				best = s
+			}
+		}
+		if best == nil {
+			return 0
+		}
+		return best.EstimateRTO().Milliseconds()
+	})
+	repo.AddProbe("repl.link.stalls", func() int64 {
+		var n int64
+		for _, l := range c.links {
+			n += l.PartitionStalls()
+		}
+		return n
+	})
+}

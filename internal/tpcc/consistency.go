@@ -42,13 +42,17 @@ func (v Violation) String() string { return v.Condition + ": " + v.Detail }
 type checker struct {
 	a *App
 	p *sim.Proc
+	// scan supplies the table walk: the primary's direct scan for
+	// CheckConsistency, a stand-by snapshot's for
+	// CheckReplicaConsistency.
+	scan func(p *sim.Proc, table string, fn func(key int64, value []byte) bool) error
 
 	violations []Violation
 }
 
 // CheckConsistency runs all conditions.
 func (a *App) CheckConsistency(p *sim.Proc) ([]Violation, error) {
-	c := &checker{a: a, p: p}
+	c := &checker{a: a, p: p, scan: a.In.Scan}
 	if err := c.run(); err != nil {
 		return nil, err
 	}
@@ -60,12 +64,10 @@ func (c *checker) addf(cond, format string, args ...any) {
 }
 
 func (c *checker) run() error {
-	in := c.a.In
-
 	// Gather per-district aggregates in one pass per table.
 	dYTD := make(map[int64]float64)
 	dNext := make(map[int64]int)
-	if err := in.Scan(c.p, TableDistrict, func(k int64, v []byte) bool {
+	if err := c.scan(c.p, TableDistrict, func(k int64, v []byte) bool {
 		d, err := DecodeDistrict(v)
 		if err != nil {
 			c.addf("decode", "district[%d]: %v", k, err)
@@ -79,7 +81,7 @@ func (c *checker) run() error {
 	}
 
 	wYTD := make(map[int]float64)
-	if err := in.Scan(c.p, TableWarehouse, func(k int64, v []byte) bool {
+	if err := c.scan(c.p, TableWarehouse, func(k int64, v []byte) bool {
 		w, err := DecodeWarehouse(v)
 		if err != nil {
 			c.addf("decode", "warehouse[%d]: %v", k, err)
@@ -98,7 +100,7 @@ func (c *checker) run() error {
 	}
 	orders := make(map[int64]*orderInfo)
 	maxOID := make(map[int64]int)
-	if err := in.Scan(c.p, TableOrder, func(k int64, v []byte) bool {
+	if err := c.scan(c.p, TableOrder, func(k int64, v []byte) bool {
 		o, err := DecodeOrder(v)
 		if err != nil {
 			c.addf("decode", "orders[%d]: %v", k, err)
@@ -114,7 +116,7 @@ func (c *checker) run() error {
 		return err
 	}
 
-	if err := in.Scan(c.p, TableOrderLine, func(k int64, v []byte) bool {
+	if err := c.scan(c.p, TableOrderLine, func(k int64, v []byte) bool {
 		l, err := DecodeOrderLine(v)
 		if err != nil {
 			c.addf("decode", "order_line[%d]: %v", k, err)
@@ -131,7 +133,7 @@ func (c *checker) run() error {
 	}
 
 	newOrders := make(map[int64]bool)
-	if err := in.Scan(c.p, TableNewOrder, func(k int64, v []byte) bool {
+	if err := c.scan(c.p, TableNewOrder, func(k int64, v []byte) bool {
 		n, err := DecodeNewOrder(v)
 		if err != nil {
 			c.addf("decode", "new_order[%d]: %v", k, err)
@@ -148,7 +150,7 @@ func (c *checker) run() error {
 	// the customer lives.
 	hWarehouse := make(map[int]float64)
 	hDistrict := make(map[int64]float64)
-	if err := in.Scan(c.p, TableHistory, func(k int64, v []byte) bool {
+	if err := c.scan(c.p, TableHistory, func(k int64, v []byte) bool {
 		h, err := DecodeHistory(v)
 		if err != nil {
 			c.addf("decode", "history[%d]: %v", k, err)

@@ -112,6 +112,16 @@ type App struct {
 	In  *engine.Instance
 	Cfg Config
 
+	// Replica, when set, serves a ReplicaShare fraction of the read-only
+	// transactions (Order-Status, Stock-Level) from a stand-by snapshot,
+	// falling back to the primary when the replica refuses (too stale).
+	Replica      Replica
+	ReplicaShare float64
+	// ReplicaServed/ReplicaFallback count how the routed read-only
+	// transactions resolved.
+	ReplicaServed   int64
+	ReplicaFallback int64
+
 	// byName maps (w, d, lastname) to the customer IDs sharing that
 	// name, sorted by first name then ID (spec's midpoint rule input).
 	byName map[string][]int

@@ -1,0 +1,124 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbench/internal/engine"
+	"dbench/internal/sim"
+	"dbench/internal/txn"
+)
+
+// primaryReplica fakes a stand-by by serving the Replica contract from
+// the primary itself: each ReadOnly runs inside one read transaction.
+// It isolates the read-routing plumbing (replicaRead, the read-only
+// transaction bodies, CheckReplicaConsistency) from the streaming
+// machinery, which has its own battery in internal/standby.
+type primaryReplica struct {
+	in   *engine.Instance
+	fail error // when set, every ReadOnly refuses — the stale-replica shape
+}
+
+type primarySession struct {
+	in *engine.Instance
+	tx *txn.Txn
+}
+
+func (s primarySession) Read(p *sim.Proc, table string, key int64) ([]byte, error) {
+	return s.in.Read(p, s.tx, table, key)
+}
+
+func (s primarySession) Scan(p *sim.Proc, table string, fn func(key int64, value []byte) bool) error {
+	return s.in.Scan(p, table, fn)
+}
+
+func (r *primaryReplica) ReadOnly(p *sim.Proc, fn func(s ReadSession) error) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	tx, err := r.in.Begin()
+	if err != nil {
+		return err
+	}
+	err = fn(primarySession{in: r.in, tx: tx})
+	if cerr := r.in.Commit(p, tx); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// TestReplicaRoutingServesAndFallsBack drives the read-only transactions
+// through the replica routing: a healthy replica serves them
+// (ReplicaServed advances, no errors), a refusing replica falls back to
+// the primary without surfacing an error, and the consistency checks run
+// clean over a replica session.
+func TestReplicaRoutingServesAndFallsBack(t *testing.T) {
+	rg := newRig(t, smallConfig(), nil)
+	rg.run(t, func(p *sim.Proc) error {
+		if err := rg.boot(p); err != nil {
+			return err
+		}
+		// A little committed history so Order-Status and Stock-Level have
+		// orders and lines to walk.
+		r := rand.New(rand.NewSource(42))
+		for i := 0; i < 20; i++ {
+			if _, err := rg.app.NewOrder(p, r, 1); err != nil && !errors.Is(err, ErrUserAbort) {
+				return err
+			}
+		}
+
+		rep := &primaryReplica{in: rg.in}
+		rg.app.Replica = rep
+		rg.app.ReplicaShare = 1
+		for i := 0; i < 15; i++ {
+			if _, err := rg.app.OrderStatus(p, r, 1); err != nil {
+				return fmt.Errorf("order-status via replica: %w", err)
+			}
+			if _, err := rg.app.StockLevel(p, r, 1); err != nil {
+				return fmt.Errorf("stock-level via replica: %w", err)
+			}
+		}
+		if rg.app.ReplicaServed != 30 {
+			return fmt.Errorf("replica served %d of 30 routed reads", rg.app.ReplicaServed)
+		}
+		if rg.app.ReplicaFallback != 0 {
+			return fmt.Errorf("unexpected fallbacks: %d", rg.app.ReplicaFallback)
+		}
+
+		// A refusing replica (the stale-stand-by shape) must not fail the
+		// transaction — it reruns on the primary.
+		rep.fail = fmt.Errorf("replica lagging beyond bound")
+		if _, err := rg.app.OrderStatus(p, r, 1); err != nil {
+			return fmt.Errorf("order-status with refusing replica: %w", err)
+		}
+		if _, err := rg.app.StockLevel(p, r, 1); err != nil {
+			return fmt.Errorf("stock-level with refusing replica: %w", err)
+		}
+		if rg.app.ReplicaFallback != 2 {
+			return fmt.Errorf("fallbacks = %d, want 2", rg.app.ReplicaFallback)
+		}
+		if rg.app.ReplicaServed != 30 {
+			return fmt.Errorf("served moved on refused reads: %d", rg.app.ReplicaServed)
+		}
+		rep.fail = nil
+
+		// The consistency conditions run over a replica session.
+		viols, err := rg.app.CheckReplicaConsistency(p, rep)
+		if err != nil {
+			return err
+		}
+		if len(viols) != 0 {
+			return fmt.Errorf("replica consistency violations: %v", viols)
+		}
+
+		// A refusing replica fails the check outright rather than
+		// reporting a clean database it never looked at.
+		rep.fail = fmt.Errorf("replica down")
+		if _, err := rg.app.CheckReplicaConsistency(p, rep); err == nil {
+			return fmt.Errorf("consistency check over a down replica reported success")
+		}
+		return nil
+	})
+}

@@ -333,46 +333,24 @@ func (a *App) OrderStatus(p *sim.Proc, r *rand.Rand, w int) (Result, error) {
 	} else {
 		c = a.randomCustomerID(r)
 	}
+	// Route a share of the read-only traffic to the stand-by replica; a
+	// refused or failed snapshot falls back to the primary. The extra
+	// random draw happens only with a replica attached, so unreplicated
+	// runs keep their exact event sequence.
+	if a.Replica != nil && r.Float64() < a.ReplicaShare {
+		if a.replicaRead(p, func(read readFn) error {
+			return a.orderStatusBody(p, read, w, d, c)
+		}) {
+			return res, nil
+		}
+	}
 	t, err := in.Begin()
 	if err != nil {
 		return res, err
 	}
-	err = func() error {
-		if _, err := in.Read(p, t, TableCustomer, CKey(w, d, c)); err != nil {
-			return err
-		}
-		// Find the customer's most recent order by walking back from
-		// the district's order counter (bounded probe, like an index
-		// range scan on (c_id, o_id desc)).
-		db, err := in.Read(p, t, TableDistrict, DKey(w, d))
-		if err != nil {
-			return err
-		}
-		dist, err := DecodeDistrict(db)
-		if err != nil {
-			return err
-		}
-		for o := dist.NextOID - 1; o > 0 && o > dist.NextOID-40; o-- {
-			ob, err := in.Read(p, t, TableOrder, OKey(w, d, o))
-			if err != nil {
-				continue // gap (rolled-back order id)
-			}
-			ord, err := DecodeOrder(ob)
-			if err != nil {
-				return err
-			}
-			if ord.CID != c {
-				continue
-			}
-			for ol := 1; ol <= ord.OLCnt; ol++ {
-				if _, err := in.Read(p, t, TableOrderLine, OLKey(w, d, o, ol)); err != nil {
-					return err
-				}
-			}
-			break
-		}
-		return nil
-	}()
+	err = a.orderStatusBody(p, func(p *sim.Proc, table string, key int64) ([]byte, error) {
+		return in.Read(p, t, table, key)
+	}, w, d, c)
 	if err != nil {
 		if rbErr := in.Rollback(p, t); rbErr != nil {
 			in.Txns().MarkZombie(t)
@@ -499,59 +477,20 @@ func (a *App) StockLevel(p *sim.Proc, r *rand.Rand, w int) (Result, error) {
 	d := a.randomDistrict(r)
 	threshold := 10 + r.Intn(11)
 
+	if a.Replica != nil && r.Float64() < a.ReplicaShare {
+		if a.replicaRead(p, func(read readFn) error {
+			return a.stockLevelBody(p, read, w, d, threshold)
+		}) {
+			return res, nil
+		}
+	}
 	t, err := in.Begin()
 	if err != nil {
 		return res, err
 	}
-	err = func() error {
-		db, err := in.Read(p, t, TableDistrict, DKey(w, d))
-		if err != nil {
-			return err
-		}
-		dist, err := DecodeDistrict(db)
-		if err != nil {
-			return err
-		}
-		seen := make(map[int]bool)
-		low := 0
-		for o := dist.NextOID - 1; o > 0 && o >= dist.NextOID-20; o-- {
-			ob, err := in.Read(p, t, TableOrder, OKey(w, d, o))
-			if err != nil {
-				continue
-			}
-			ord, err := DecodeOrder(ob)
-			if err != nil {
-				return err
-			}
-			for ol := 1; ol <= ord.OLCnt; ol++ {
-				lb, err := in.Read(p, t, TableOrderLine, OLKey(w, d, o, ol))
-				if err != nil {
-					continue
-				}
-				line, err := DecodeOrderLine(lb)
-				if err != nil {
-					return err
-				}
-				if seen[line.ItemID] {
-					continue
-				}
-				seen[line.ItemID] = true
-				sb, err := in.Read(p, t, TableStock, SKey(w, line.ItemID))
-				if err != nil {
-					return err
-				}
-				st, err := DecodeStock(sb)
-				if err != nil {
-					return err
-				}
-				if st.Quantity < threshold {
-					low++
-				}
-			}
-		}
-		_ = low
-		return nil
-	}()
+	err = a.stockLevelBody(p, func(p *sim.Proc, table string, key int64) ([]byte, error) {
+		return in.Read(p, t, table, key)
+	}, w, d, threshold)
 	if err != nil {
 		if rbErr := in.Rollback(p, t); rbErr != nil {
 			in.Txns().MarkZombie(t)

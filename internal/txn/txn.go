@@ -105,6 +105,14 @@ type Manager struct {
 	// active set (commit, rollback, abandon): the redo log uses it to
 	// re-check group-reuse stalls against the undo floor.
 	OnTxnFinished func()
+
+	// CommitGate, when set, blocks a commit after its local log flush
+	// until the gate clears — the hook synchronous replication uses to
+	// hold the acknowledgement until the standby quorum has received the
+	// commit record. A gate error fails the commit exactly like a log
+	// failure: the transaction's fate is decided by recovery (and, under
+	// failover, by how far the promoted standby's stream reached).
+	CommitGate func(p *sim.Proc, scn redo.SCN) error
 }
 
 // NewManager wires a transaction manager. cpu may be nil to skip CPU
@@ -403,6 +411,11 @@ func (m *Manager) Commit(p *sim.Proc, t *Txn) error {
 		// The instance died under us; the transaction's fate is
 		// decided by recovery.
 		return fmt.Errorf("txn: commit: %w", err)
+	}
+	if m.CommitGate != nil {
+		if err := m.CommitGate(p, scn); err != nil {
+			return fmt.Errorf("txn: commit: %w", err)
+		}
 	}
 	t.state = StateCommitted
 	t.CommitSCN = scn
